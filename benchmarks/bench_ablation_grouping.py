@@ -1,0 +1,92 @@
+"""Extension ablation — the sequential/parallel spectrum.
+
+The paper compares two extremes: all siblings sequential (g = k) vs all
+concurrent (g = 1). The grouped strategy interpolates; this ablation
+shows *when* full parallelism wins: at rack scale always, but for the
+Fig 10 large-nest configuration at modest scale the intermediate points
+reveal how much of the gain comes from eliminating the per-step fixed
+cost vs from better scaling regions.
+"""
+
+import pytest
+
+from conftest import record
+from repro.analysis.tables import Table
+from repro.core.scheduler.grouped import (
+    GroupedStrategy,
+    simulate_grouped_iteration,
+)
+from repro.analysis.experiments.common import grid_for
+from repro.topology.machines import BLUE_GENE_L, BLUE_GENE_P
+from repro.workloads.paper_configs import fig10_domains, table2_domains
+
+
+@pytest.fixture(scope="module")
+def result():
+    rows = []
+    cases = [
+        ("table2 @1024 BG/L", table2_domains(), 1024, BLUE_GENE_L),
+        ("fig10 @2048 BG/P", fig10_domains(), 2048, BLUE_GENE_P),
+    ]
+    for label, config, ranks, machine in cases:
+        grid = grid_for(ranks)
+        siblings = list(config.siblings)
+        k = len(siblings)
+        times = {}
+        for g in range(1, k + 1):
+            plans = GroupedStrategy(g).plan_groups(grid, config.parent, siblings)
+            t, _ = simulate_grouped_iteration(plans, machine)
+            times[g] = t
+        rows.append((label, k, times))
+    return rows
+
+
+def test_grouping_ablation_regenerate(result, benchmark):
+    """Emit the spectrum; full parallelism must win at these scales."""
+    def render():
+        t = Table(
+            ["configuration", "#groups", "s/iteration", "vs sequential %"],
+            title="Ablation — grouped execution between the paper's two extremes",
+        )
+        for label, k, times in result:
+            basis = times[k]
+            for g in sorted(times):
+                t.add_row([
+                    label if g == 1 else "", g, times[g],
+                    100 * (1 - times[g] / basis),
+                ])
+        return t.render()
+
+    record("ablation_grouping", benchmark(render))
+    for _, k, times in result:
+        # Monotone: fewer groups (more parallelism) never slower here.
+        ordered = [times[g] for g in sorted(times)]
+        assert ordered == sorted(ordered)
+
+
+def test_most_gain_from_first_halving(result, benchmark):
+    """Going from k groups to ceil(k/2) captures a large share of the
+    total gain — the fixed-cost elimination dominates."""
+    benchmark(lambda: None)
+    for _, k, times in result:
+        if k < 3:
+            continue
+        total_gain = times[k] - times[1]
+        half = -(-k // 2)
+        first_gain = times[k] - times[half]
+        assert first_gain > 0.35 * total_gain
+
+
+def test_grouping_kernel_benchmark(benchmark):
+    """Time a two-group plan + pricing of the Table 2 configuration."""
+    config = table2_domains()
+    grid = grid_for(1024)
+
+    def run():
+        plans = GroupedStrategy(2).plan_groups(
+            grid, config.parent, list(config.siblings)
+        )
+        return simulate_grouped_iteration(plans, BLUE_GENE_L)
+
+    t, w = benchmark(run)
+    assert t > 0 and w > 0

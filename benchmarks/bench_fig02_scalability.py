@@ -1,0 +1,37 @@
+"""Fig 2 — scaling of the parent + 415x445-nest simulation on BG/L."""
+
+import pytest
+
+from conftest import record
+from repro.analysis.experiments import fig2_scaling
+from repro.core.scheduler.strategies import SequentialStrategy
+from repro.perfsim.simulate import simulate_iteration
+from repro.runtime.process_grid import ProcessGrid
+from repro.topology.machines import BLUE_GENE_L
+from repro.workloads.paper_configs import fig2_domains
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig2_scaling()
+
+
+def test_fig2_regenerate(result, benchmark):
+    """Emit the Fig 2 rows and assert the scaling shape."""
+    record("fig02_scalability", benchmark(result.render))
+    # Time decreases monotonically ...
+    assert list(result.total_times) == sorted(result.total_times, reverse=True)
+    # ... but efficiency collapses by rack scale (the knee Fig 2 shows).
+    base = result.total_times[0] * result.ranks[0]
+    eff_1024 = base / (result.total_times[-1] * result.ranks[-1])
+    assert eff_1024 < 0.6
+
+
+def test_fig2_kernel_benchmark(benchmark):
+    """Time one cost-simulation of the Fig 2 configuration (512 ranks)."""
+    config = fig2_domains()
+    plan = SequentialStrategy().plan(
+        ProcessGrid(32, 16), config.parent, list(config.siblings)
+    )
+    rep = benchmark(simulate_iteration, plan, BLUE_GENE_L)
+    assert rep.integration_time > 0

@@ -1,0 +1,45 @@
+"""Fig 3(a)/(b) — Delaunay triangulation and proportional partitioning."""
+
+import pytest
+
+from conftest import record
+from repro.analysis.experiments import fig3a_triangulation, fig3b_partition
+from repro.core.prediction.basis import generate_candidates, select_basis
+from repro.core.prediction.delaunay import delaunay_triangulation
+from repro.core.allocation.partition import partition_grid
+from repro.runtime.process_grid import ProcessGrid
+
+
+def test_fig3a_regenerate(benchmark):
+    """Emit the triangulation of the 13 basis domains."""
+    result = fig3a_triangulation()
+    record("fig03a_triangulation", benchmark(result.render))
+    assert len(result.points) == 13
+
+
+def test_fig3b_regenerate(benchmark):
+    """Emit the 0.15:0.3:0.35:0.2 processor partition."""
+    result = fig3b_partition()
+    record("fig03b_partition", benchmark(result.render))
+    for rect, ratio in zip(result.rects, result.ratios):
+        assert rect.area / 1024 == pytest.approx(ratio, abs=0.03)
+
+
+def test_fig3a_kernel_benchmark(benchmark):
+    """Time a 13-point Delaunay construction (the model-fit kernel)."""
+    basis = select_basis(generate_candidates(200, seed=7))
+    aspects = [b.aspect_ratio for b in basis]
+    points = [float(b.points) for b in basis]
+    a0, a1 = min(aspects), max(aspects)
+    p0, p1 = min(points), max(points)
+    norm = [((a - a0) / (a1 - a0), (p - p0) / (p1 - p0))
+            for a, p in zip(aspects, points)]
+    tri = benchmark(delaunay_triangulation, norm)
+    assert len(tri.triangles) >= 10
+
+
+def test_fig3b_kernel_benchmark(benchmark):
+    """Time one Huffman split-tree partition of a 32x32 grid."""
+    grid = ProcessGrid(32, 32)
+    alloc = benchmark(partition_grid, grid, [0.15, 0.3, 0.35, 0.2])
+    assert alloc.num_siblings == 4

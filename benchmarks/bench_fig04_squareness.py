@@ -1,0 +1,54 @@
+"""Fig 4 — ablation: splitting along the longer vs shorter dimension."""
+
+import pytest
+
+from conftest import record
+from repro.analysis.experiments import fig4_split_direction
+from repro.analysis.experiments.exp_allocation import _shorter_first_partition
+from repro.core.allocation.partition import partition_grid
+from repro.runtime.process_grid import ProcessGrid
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig4_split_direction()
+
+
+def test_fig4_regenerate(result, benchmark):
+    """Emit the squareness comparison; Algorithm 1's choice must win."""
+    record("fig04_squareness", benchmark(result.render))
+    assert result.longer_first_squareness > result.shorter_first_squareness
+
+
+def test_fig4_sweep_many_ratios(benchmark):
+    """The longer-dimension rule wins across random ratio sets, not just
+    the figure's example."""
+    import random
+
+    rng = random.Random(4)
+    grid = ProcessGrid(32, 32)
+    wins = 0
+    trials = 25
+    from repro.core.allocation.splittree import partition_squareness
+
+    def sweep():
+        w = 0
+        r = random.Random(4)
+        for _ in range(trials):
+            k = r.randint(2, 5)
+            ratios = [r.uniform(0.1, 1.0) for _ in range(k)]
+            longer = partition_squareness(list(partition_grid(grid, ratios).rects))
+            shorter = partition_squareness(_shorter_first_partition(ratios, grid))
+            if longer >= shorter:
+                w += 1
+        return w
+
+    wins = benchmark(sweep)
+    assert wins >= trials * 0.8
+
+
+def test_fig4_kernel_benchmark(benchmark):
+    """Time the k=3 partition the figure illustrates."""
+    grid = ProcessGrid(32, 32)
+    alloc = benchmark(partition_grid, grid, [0.4, 0.35, 0.25])
+    assert alloc.num_siblings == 3

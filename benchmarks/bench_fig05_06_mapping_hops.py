@@ -1,0 +1,42 @@
+"""Figs 5/6 — the 32-process mapping example, hop for hop."""
+
+import pytest
+
+from conftest import record
+from repro.analysis.experiments import fig5_fig6_mapping_example
+from repro.core.mapping.base import SlotSpace
+from repro.core.mapping.multilevel import MultiLevelMapping
+from repro.runtime.process_grid import GridRect, ProcessGrid
+from repro.topology.torus import Torus3D
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig5_fig6_mapping_example()
+
+
+def test_fig5_6_regenerate(result, benchmark):
+    """Emit the hop table and assert the paper's exact claims."""
+    record("fig05_06_mapping_hops", benchmark(result.render))
+    assert result.oblivious_0_to_8 == 2      # Fig 5: "2 hops apart"
+    assert result.oblivious_8_to_16 == 3     # Fig 5: "3 hops away"
+    assert result.multilevel_3_to_4 == 1     # Fig 6(b): "1 hop apart"
+    assert result.average_hops["multilevel"]["parent"] == pytest.approx(1.0)
+
+
+def test_ordering_matches_paper(result, benchmark):
+    """oblivious > partition >= multilevel on nest hops."""
+    benchmark(lambda: dict(result.average_hops))
+    for nest in ("nest0", "nest1"):
+        assert (result.average_hops["multilevel"][nest]
+                <= result.average_hops["partition"][nest]
+                < result.average_hops["oblivious"][nest])
+
+
+def test_fig6_kernel_benchmark(benchmark):
+    """Time the multi-level placement of the example."""
+    grid = ProcessGrid(8, 4)
+    space = SlotSpace(Torus3D((4, 4, 2)), 1)
+    rects = [GridRect(0, 0, 4, 4), GridRect(4, 0, 4, 4)]
+    placement = benchmark(MultiLevelMapping().place, grid, space, rects)
+    assert len(placement.slots) == 32

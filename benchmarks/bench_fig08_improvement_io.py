@@ -1,0 +1,34 @@
+"""Fig 8 — mean improvement incl./excl. I/O on up to 4096 BG/P cores."""
+
+import pytest
+
+from conftest import config_count, record
+from repro.analysis.experiments import compare_strategies, fig8_improvement_with_io
+from repro.iosim.model import IoModel
+from repro.topology.machines import BLUE_GENE_P
+from repro.workloads.regions import pacific_configurations
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig8_improvement_with_io(num_configs=config_count(30, 8))
+
+
+def test_fig8_regenerate(result, benchmark):
+    """Emit the Fig 8 rows and assert the figure's two properties."""
+    record("fig08_improvement_io", benchmark(result.render))
+    # Improvement including I/O exceeds improvement excluding it at every
+    # processor count (the PnetCDF effect the figure highlights).
+    for excl, incl in zip(result.improvement_excl_io, result.improvement_incl_io):
+        assert incl > excl
+    # Both improvements are positive and grow toward rack scale.
+    assert all(v > 0 for v in result.improvement_excl_io)
+    assert result.improvement_excl_io[-1] > result.improvement_excl_io[0]
+
+
+def test_fig8_kernel_benchmark(benchmark):
+    """Time one strategy comparison with I/O (the Fig 8 inner loop)."""
+    config = pacific_configurations(1, seed=808)[0]
+    io = IoModel("pnetcdf")
+    cmp = benchmark(compare_strategies, config, 512, BLUE_GENE_P, io_model=io)
+    assert cmp.improvement_with_io != 0

@@ -1,0 +1,39 @@
+"""Fig 10 — three large siblings: improvement grows with machine scale.
+
+Paper: 1.33% at 1024 BG/P cores rising to 20.64% at 8192.
+"""
+
+import pytest
+
+from conftest import record
+from repro.analysis.experiments import compare_strategies, fig10_large_siblings
+from repro.topology.machines import BLUE_GENE_P
+from repro.workloads.paper_configs import fig10_domains
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig10_large_siblings()
+
+
+def test_fig10_regenerate(result, benchmark):
+    """Emit the Fig 10 rows and assert the crossover shape."""
+    record("fig10_large_siblings", benchmark(result.render))
+    # Small gain at 1024, large gain at 8192 — the figure's message.
+    assert result.improvements[0] < result.improvements[-1]
+    assert result.improvements[-1] > 15.0
+    # Parallel never loses.
+    assert all(i > 0 for i in result.improvements)
+
+
+def test_fig10_parallel_scales_further(result, benchmark):
+    """The parallel nest phase keeps shrinking all the way to 8192."""
+    par = benchmark(lambda: result.parallel_phase)
+    assert list(par) == sorted(par, reverse=True)
+
+
+def test_fig10_kernel_benchmark(benchmark):
+    """Time one large-sibling comparison at 2048 ranks."""
+    config = fig10_domains()
+    cmp = benchmark(compare_strategies, config, 2048, BLUE_GENE_P)
+    assert cmp.improvement > 0

@@ -1,0 +1,57 @@
+"""Figs 13/14 — high-frequency output: integration/I/O/total vs cores.
+
+Paper: sequential per-iteration I/O time rises steadily with processor
+count (PnetCDF degradation) until it dominates; the parallel-siblings
+strategy keeps I/O low because each sibling file has few writers.
+"""
+
+import pytest
+
+from conftest import config_count, record
+from repro.analysis.experiments import fig13_fig14_io_scaling
+from repro.iosim.pnetcdf import pnetcdf_write_time
+from repro.topology.machines import BLUE_GENE_P
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig13_fig14_io_scaling(num_configs=config_count(8, 4))
+
+
+def test_fig13_regenerate(result, benchmark):
+    """Emit the three Fig 13 panels + Fig 14 fractions."""
+    record("fig13_14_io_scaling", benchmark(result.render))
+    seq_io = result.io["sequential"]
+    # Sequential I/O time per iteration rises steadily (Fig 13(b)).
+    assert list(seq_io) == sorted(seq_io)
+    # Parallel I/O stays well below sequential everywhere.
+    for s, p in zip(seq_io, result.io["parallel"]):
+        assert p < s
+
+
+def test_fig13_total_scalability(result, benchmark):
+    """Fig 13(c): the parallel total keeps improving; the sequential
+    total stalls (or reverses) once I/O dominates."""
+    par_total = benchmark(lambda: result.total["parallel"])
+    assert par_total[-1] < par_total[0]
+    seq_total = result.total["sequential"]
+    # Sequential gains from the first to last point are much smaller.
+    seq_gain = 1 - seq_total[-1] / seq_total[0]
+    par_gain = 1 - par_total[-1] / par_total[0]
+    assert par_gain > seq_gain
+
+
+def test_fig14_fractions(result, benchmark):
+    """Fig 14: the sequential I/O fraction grows with processors and
+    exceeds the parallel fraction everywhere."""
+    seq_frac = benchmark(lambda: result.io_fraction("sequential"))
+    par_frac = result.io_fraction("parallel")
+    assert seq_frac[-1] > seq_frac[0]
+    for s, p in zip(seq_frac, par_frac):
+        assert p < s
+
+
+def test_io_kernel_benchmark(benchmark):
+    """Time one PnetCDF write estimate (the I/O model kernel)."""
+    t = benchmark(pnetcdf_write_time, 4096, 50e6, BLUE_GENE_P)
+    assert t > 0

@@ -1,0 +1,62 @@
+"""Fig 15 — scalability and speedup, two 259x229 siblings, 32..1024 cores.
+
+Paper: both strategies saturate similarly; the concurrent strategy is
+faster at every processor count, with the speedup gap widening at scale.
+"""
+
+import pytest
+
+from conftest import record
+from repro.analysis.experiments import fig15_speedup
+from repro.core.scheduler.strategies import ParallelSiblingsStrategy
+from repro.perfsim.simulate import simulate_iteration
+from repro.runtime.process_grid import ProcessGrid
+from repro.topology.machines import BLUE_GENE_L
+from repro.workloads.paper_configs import fig15_domains
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig15_speedup()
+
+
+def test_fig15_regenerate(result, benchmark):
+    """Emit the scalability/speedup table and assert the figure's claims."""
+    record("fig15_speedup", benchmark(result.render))
+    # Concurrent never slower than sequential.
+    for s, p in zip(result.sequential_times, result.parallel_times):
+        assert p <= s * 1.01
+
+
+def test_fig15_gap_widens_at_scale(result, benchmark):
+    """'Our strategy shows better speedup at a higher number of
+    processors' — and about equal at low counts."""
+    gaps = benchmark(lambda: [
+        (s - p) / s
+        for s, p in zip(result.sequential_times, result.parallel_times)
+    ])
+    assert gaps[-1] > gaps[0]
+    assert gaps[0] < 0.12  # near-equal at 32 processors
+
+    seq_speedup, par_speedup = result.speedups()
+    assert par_speedup[-1] > seq_speedup[-1]
+
+
+def test_fig15_saturation(result, benchmark):
+    """Both curves flatten: the last doubling gains far less than the
+    first."""
+    t = benchmark(lambda: result.sequential_times)
+    first_gain = 1 - t[1] / t[0]
+    last_gain = 1 - t[-1] / t[-2]
+    assert last_gain < first_gain
+
+
+def test_fig15_kernel_benchmark(benchmark):
+    """Time the concurrent simulation at 1024 ranks."""
+    config = fig15_domains()
+    plan = ParallelSiblingsStrategy().plan(
+        ProcessGrid(32, 32), config.parent, list(config.siblings),
+        ratios=[s.points for s in config.siblings],
+    )
+    rep = benchmark(simulate_iteration, plan, BLUE_GENE_L)
+    assert rep.nest_phase_time > 0

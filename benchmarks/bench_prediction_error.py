@@ -1,0 +1,34 @@
+"""Sec 3.1 — prediction accuracy: Delaunay model vs naive baseline.
+
+Paper claims: <6% error for the Delaunay model, >19% for the naive
+points-proportional model. This is also the features ablation: the only
+difference between the two models is the aspect-ratio feature.
+"""
+
+import pytest
+
+from conftest import FULL, record
+from repro.analysis.experiments import fitted_model, prediction_error_study
+from repro.topology.machines import BLUE_GENE_L
+from repro.wrf.grid import DomainSpec
+
+
+@pytest.fixture(scope="module")
+def result():
+    return prediction_error_study(num_tests=85 if FULL else 40)
+
+
+def test_prediction_error_regenerate(result, benchmark):
+    """Emit the accuracy table and assert both claims."""
+    record("prediction_error", benchmark(result.render))
+    assert result.delaunay_mean_error < 6.0, "paper claims <6% error"
+    assert result.naive_mean_error > 15.0, "paper claims >19% error"
+    assert result.delaunay_below_6pct >= 0.8
+
+
+def test_prediction_kernel_benchmark(benchmark):
+    """Time one model prediction (runs inside every allocation)."""
+    model = fitted_model(BLUE_GENE_L)
+    spec = DomainSpec("q", 313, 337, 8.0, parent="p", parent_start=(0, 0), level=1)
+    t = benchmark(model.predict, spec)
+    assert t > 0

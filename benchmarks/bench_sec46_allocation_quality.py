@@ -1,0 +1,64 @@
+"""Sec 4.6 — allocation ablation: default vs naive strips vs Algorithm 1.
+
+Paper: default 4.49 s, naive strips 4.08 s (9% better), Huffman
+split-tree 3.72 s (17% better).
+"""
+
+import pytest
+
+from conftest import record
+from repro.analysis.experiments import sec46_allocation_quality
+from repro.core.allocation.baselines import naive_strip_partition
+from repro.runtime.process_grid import ProcessGrid
+
+
+@pytest.fixture(scope="module")
+def result():
+    return sec46_allocation_quality()
+
+
+def test_sec46_regenerate(result, benchmark):
+    """Emit the comparison; the ordering must match the paper."""
+    record("sec46_allocation_quality", benchmark(result.render))
+    assert result.default_time > result.naive_time > result.ours_time
+    assert result.ours_improvement > result.naive_improvement
+    assert result.ours_improvement > 15.0  # paper: 17%
+
+
+def test_equal_split_ablation(benchmark):
+    """The Sec 3.2 baseline (equal shares) loses to proportional shares
+    when sibling sizes differ."""
+    from repro.core.allocation.baselines import equal_partition
+    from repro.core.scheduler.plan import ExecutionPlan, SiblingAssignment
+    from repro.perfsim.simulate import simulate_iteration
+    from repro.topology.machines import BLUE_GENE_L
+    from repro.workloads.paper_configs import table2_domains
+
+    config = table2_domains()
+    grid = ProcessGrid(32, 32)
+    siblings = list(config.siblings)
+
+    def plan_with(alloc):
+        return ExecutionPlan(
+            grid=grid, parent=config.parent,
+            assignments=tuple(
+                SiblingAssignment(s, alloc.rects[i]) for i, s in enumerate(siblings)
+            ),
+            concurrent=True, strategy="ablation",
+        )
+
+    equal = benchmark(
+        simulate_iteration, plan_with(equal_partition(grid, len(siblings))), BLUE_GENE_L
+    )
+    proportional = simulate_iteration(
+        plan_with(naive_strip_partition(grid, [s.points for s in siblings])),
+        BLUE_GENE_L,
+    )
+    assert proportional.integration_time < equal.integration_time
+
+
+def test_sec46_kernel_benchmark(benchmark):
+    """Time the naive strip partition (the baseline's kernel)."""
+    grid = ProcessGrid(32, 32)
+    alloc = benchmark(naive_strip_partition, grid, [164692, 46864, 59392, 105481])
+    assert alloc.num_siblings == 4

@@ -1,0 +1,30 @@
+"""Sec 4.3.4 — more siblings, bigger improvement.
+
+Paper: 19.43% mean improvement with 2 siblings vs 24.22% with 4.
+"""
+
+import pytest
+
+from conftest import config_count, record
+from repro.analysis.experiments import sibling_count_effect
+from repro.workloads.generator import random_siblings
+from repro.workloads.regions import pacific_parent
+
+
+@pytest.fixture(scope="module")
+def result():
+    return sibling_count_effect(configs_per_count=config_count(20, 8))
+
+
+def test_sibling_count_regenerate(result, benchmark):
+    """Emit the comparison; 4 siblings must out-improve 2."""
+    record("sibling_count_effect", benchmark(result.render))
+    assert result.improvement_by_count[4] > result.improvement_by_count[2]
+    assert result.improvement_by_count[2] == pytest.approx(19.4, abs=10.0)
+
+
+def test_sibling_generation_kernel_benchmark(benchmark):
+    """Time the random-configuration generator used by the sweep."""
+    parent = pacific_parent()
+    sibs = benchmark(random_siblings, parent, 4, seed=5)
+    assert len(sibs) == 4

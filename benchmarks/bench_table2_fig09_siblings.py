@@ -1,0 +1,52 @@
+"""Table 2 / Fig 9 — the four-sibling configuration on 1024 BG/L cores.
+
+Paper: sequential sibling steps 0.4/0.2/0.2/0.3 s (phase 1.1 s);
+parallel 0.7/0.6/0.6/0.7 s on 18x24/18x8/14x12/14x20 rectangles
+(phase 0.7 s); 36% sibling-phase gain.
+"""
+
+import pytest
+
+from conftest import record
+from repro.analysis.experiments import table2_fig9_siblings
+from repro.core.scheduler.strategies import SequentialStrategy
+from repro.perfsim.simulate import simulate_iteration
+from repro.runtime.process_grid import ProcessGrid
+from repro.topology.machines import BLUE_GENE_L
+from repro.workloads.paper_configs import table2_domains
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table2_fig9_siblings()
+
+
+def test_table2_fig9_regenerate(result, benchmark):
+    """Emit the per-sibling table and assert the paper's numbers."""
+    record("table2_fig09_siblings", benchmark(result.render))
+    assert result.sequential_total == pytest.approx(1.1, rel=0.2)
+    assert result.parallel_total == pytest.approx(0.7, rel=0.15)
+    assert result.improvement == pytest.approx(36.0, abs=9.0)
+
+
+def test_sequential_ordering_matches_paper(result, benchmark):
+    """Largest sibling slowest, smallest fastest."""
+    times = benchmark(lambda: result.sequential_times)
+    assert times[0] == max(times)  # 394x418
+    assert min(times) in (times[1], times[2])  # the two small nests
+
+
+def test_parallel_times_balanced(result, benchmark):
+    """Proportional allocation balances the parallel step times."""
+    ratio = benchmark(lambda: max(result.parallel_times) / min(result.parallel_times))
+    assert ratio < 1.25
+
+
+def test_table2_kernel_benchmark(benchmark):
+    """Time the sequential simulation of the Table 2 configuration."""
+    config = table2_domains()
+    plan = SequentialStrategy().plan(
+        ProcessGrid(32, 32), config.parent, list(config.siblings)
+    )
+    rep = benchmark(simulate_iteration, plan, BLUE_GENE_L)
+    assert len(rep.siblings) == 4

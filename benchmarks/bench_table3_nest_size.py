@@ -1,0 +1,32 @@
+"""Table 3 — improvement shrinks as the maximum nest size grows.
+
+Paper: 25.62% (205x223) / 21.87% (394x418) / 10.11% (925x820) on up to
+8192 BG/P cores.
+"""
+
+import pytest
+
+from conftest import record
+from repro.analysis.experiments import compare_strategies, table3_nest_size_effect
+from repro.topology.machines import BLUE_GENE_P
+from repro.workloads.paper_configs import table3_configurations
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table3_nest_size_effect()
+
+
+def test_table3_regenerate(result, benchmark):
+    """Emit Table 3 and assert the monotone size effect."""
+    record("table3_nest_size", benchmark(result.render))
+    imps = list(result.improvements)
+    assert imps[0] > imps[1] > imps[2], "bigger nests must benefit less"
+    assert all(i > 0 for i in imps)
+
+
+def test_table3_kernel_benchmark(benchmark):
+    """Time the small-nest configuration at 2048 ranks."""
+    config = table3_configurations()[0]
+    cmp = benchmark(compare_strategies, config, 2048, BLUE_GENE_P)
+    assert cmp.improvement > 0

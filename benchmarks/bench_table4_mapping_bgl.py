@@ -1,0 +1,74 @@
+"""Table 4 / Fig 11 — mapping comparison on 1024 BG/L cores.
+
+Paper: default > topology-oblivious > partition >= multi-level, with the
+topology-aware mappings also beating the stock TXYZ mapping, up to 7%
+additional gain over oblivious, and 50%+ MPI_Wait improvements.
+"""
+
+import pytest
+
+from conftest import record
+from repro.analysis.experiments import table4_fig11_mappings_bgl
+from repro.core.mapping.base import SlotSpace
+from repro.core.mapping.partition_map import PartitionMapping
+from repro.runtime.process_grid import GridRect, ProcessGrid
+from repro.topology.torus import Torus3D
+from repro.workloads.paper_configs import table2_rects
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table4_fig11_mappings_bgl()
+
+
+def test_table4_regenerate(result, benchmark):
+    """Emit the Table 4 grid plus the Fig 11 improvement tables."""
+    record("table4_fig11_mapping_bgl", benchmark(result.render))
+    for i in range(len(result.config_names)):
+        default = result.times["default"][i]
+        oblivious = result.times["oblivious"][i]
+        partition = result.times["partition"][i]
+        multilevel = result.times["multilevel"][i]
+        assert oblivious < default
+        assert partition < oblivious
+        assert multilevel <= oblivious
+
+
+def test_topology_aware_beats_txyz(result, benchmark):
+    """Paper: 'our mappings outperform the existing TXYZ mapping'."""
+    def count():
+        better = 0
+        for i in range(len(result.config_names)):
+            best_ours = min(result.times["partition"][i], result.times["multilevel"][i])
+            if best_ours <= result.times["txyz"][i] * 1.005:
+                better += 1
+        return better
+
+    assert benchmark(count) >= len(result.config_names) - 1
+
+
+def test_additional_gain_over_oblivious(result, benchmark):
+    """Paper: up to ~7% additional improvement from topology awareness."""
+    gains = benchmark(lambda: [
+        100 * (1 - result.times["partition"][i] / result.times["oblivious"][i])
+        for i in range(len(result.config_names))
+    ])
+    assert max(gains) > 4.0
+    assert all(g > 0 for g in gains)
+
+
+def test_wait_improvements_in_paper_range(result, benchmark):
+    """Fig 11(b): topology-aware waits improve by roughly 40-70%."""
+    benchmark(lambda: result.wait_improvement_over_default("partition"))
+    for col in ("partition", "multilevel"):
+        imps = result.wait_improvement_over_default(col)
+        assert max(imps) > 45.0
+        assert min(imps) > 20.0
+
+
+def test_table4_kernel_benchmark(benchmark):
+    """Time a partition-mapping placement at BG/L rack scale."""
+    grid = ProcessGrid(32, 32)
+    space = SlotSpace(Torus3D((8, 8, 8)), 2)
+    placement = benchmark(PartitionMapping().place, grid, space, table2_rects())
+    assert len(placement.slots) == 1024

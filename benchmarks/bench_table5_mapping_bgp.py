@@ -1,0 +1,58 @@
+"""Table 5 / Fig 12 — mapping comparison on 4096 BG/P cores.
+
+Paper: large default -> oblivious gain (5.43 -> 3.94 s), small further
+gain from topology awareness, >50% MPI_Wait improvements, and ~50%
+average-hop reduction for the topology-aware mappings.
+"""
+
+import pytest
+
+from conftest import record
+from repro.analysis.experiments import table5_fig12_mappings_bgp
+from repro.core.mapping.base import SlotSpace
+from repro.core.mapping.multilevel import MultiLevelMapping
+from repro.runtime.process_grid import GridRect, ProcessGrid
+from repro.topology.torus import Torus3D
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table5_fig12_mappings_bgp()
+
+
+def test_table5_regenerate(result, benchmark):
+    """Emit the Table 5 grid plus the Fig 12 tables."""
+    record("table5_fig12_mapping_bgp", benchmark(result.render))
+    for i in range(len(result.config_names)):
+        assert result.times["oblivious"][i] < result.times["default"][i]
+        assert result.times["partition"][i] <= result.times["oblivious"][i] * 1.01
+        assert result.times["multilevel"][i] <= result.times["oblivious"][i] * 1.01
+
+
+def test_fig12_wait_improvements(result, benchmark):
+    """Fig 12(a): MPI_Wait decreases by more than 50% on average for the
+    oblivious and topology-aware parallel mappings."""
+    from repro.util.stats import mean
+
+    benchmark(lambda: result.wait_improvement_over_default("partition"))
+    for col in ("partition", "multilevel"):
+        assert mean(result.wait_improvement_over_default(col)) > 40.0
+
+
+def test_fig12_hop_reduction(result, benchmark):
+    """Fig 12(b): topology-aware mappings cut average hops (~50% in the
+    paper) relative to the default placement."""
+    from repro.util.stats import mean
+
+    benchmark(lambda: result.hop_reduction_over_default("partition"))
+    for col in ("partition", "multilevel"):
+        assert mean(result.hop_reduction_over_default(col)) > 20.0
+
+
+def test_table5_kernel_benchmark(benchmark):
+    """Time a multi-level placement at 4096 BG/P ranks."""
+    grid = ProcessGrid(64, 64)
+    space = SlotSpace(Torus3D((8, 8, 16)), 4)
+    rects = [GridRect(0, 0, 32, 64), GridRect(32, 0, 32, 64)]
+    placement = benchmark(MultiLevelMapping().place, grid, space, rects)
+    assert len(placement.slots) == 4096

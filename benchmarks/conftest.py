@@ -1,0 +1,43 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+the experiment driver runs once (module-scoped fixture), its rendered
+rows/series are written to ``benchmarks/results/<name>.txt`` and echoed
+to the terminal section, and a representative kernel of the experiment
+is timed with pytest-benchmark.
+
+Set ``REPRO_FULL=1`` to run the paper-sized configuration counts (85
+Pacific configurations etc.); defaults are scaled down so the whole
+benchmark suite completes in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Paper-size vs quick configuration counts.
+FULL = bool(int(os.environ.get("REPRO_FULL", "0")))
+
+
+def config_count(full_size: int, quick_size: int) -> int:
+    """Number of random configurations to sweep."""
+    return full_size if FULL else quick_size
+
+
+def record(name: str, text: str) -> None:
+    """Persist a rendered table/figure and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Beyond weather: the paper's Sec 5 generality claim, executed.
+
+"The algorithms developed in this work can improve the throughput of
+applications with multiple simultaneous simulations within a main
+simulation, for example crack propagation in a solid using LAMMPS ...
+[or] nested high-resolution coastal circulation modeling using ROMS."
+
+This script runs the identical predict/allocate/map/simulate pipeline on
+both analogies with their own cost structures.
+
+Run: ``python examples/beyond_weather.py``
+"""
+
+from repro.analysis.experiments.common import grid_for
+from repro.analysis.tables import Table
+from repro.core.mapping.multilevel import MultiLevelMapping
+from repro.core.scheduler.strategies import (
+    ParallelSiblingsStrategy,
+    SequentialStrategy,
+)
+from repro.perfsim.simulate import simulate_iteration
+from repro.topology import BLUE_GENE_P
+from repro.workloads.scenarios import (
+    coastal_circulation_configuration,
+    coastal_circulation_workload,
+    crack_propagation_configuration,
+    crack_propagation_workload,
+)
+
+table = Table(
+    ["application", "regions", "ranks", "sequential (s)", "parallel (s)",
+     "improvement %"],
+    title="Sec 5 — the same divide-and-conquer machinery beyond weather",
+)
+
+for config, workload, ranks in (
+    (crack_propagation_configuration(), crack_propagation_workload(), 4096),
+    (coastal_circulation_configuration(), coastal_circulation_workload(), 1024),
+):
+    grid = grid_for(ranks)
+    siblings = list(config.siblings)
+    seq = simulate_iteration(
+        SequentialStrategy().plan(grid, config.parent, siblings),
+        BLUE_GENE_P, workload=workload,
+    )
+    par = simulate_iteration(
+        ParallelSiblingsStrategy().plan(
+            grid, config.parent, siblings,
+            ratios=[s.points * s.steps_per_parent_step for s in siblings],
+        ),
+        BLUE_GENE_P, workload=workload, mapping=MultiLevelMapping(),
+    )
+    table.add_row([
+        config.name, len(siblings), ranks,
+        seq.integration_time, par.integration_time,
+        100 * (1 - par.integration_time / seq.integration_time),
+    ])
+
+print(table.render())
+print()
+print("Crack regions sub-cycle 10 MD steps per continuum step, so the")
+print("sequential strategy pays the per-step fixed cost 10x per crack —")
+print("the same structural waste the paper identified in nested WRF.")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Topology-mapping study on a Blue Gene/L rack.
+
+Places the Table 2 four-sibling configuration under every available
+mapping and reports iteration time, average torus hops, MPI_Wait, and
+the per-link congestion the network simulator sees — the Sec 3.3 / Sec
+4.4 story in one script.
+
+Run: ``python examples/mapping_study.py``
+"""
+
+from repro import (
+    BLUE_GENE_L,
+    MultiLevelMapping,
+    ObliviousMapping,
+    ParallelSiblingsStrategy,
+    PartitionMapping,
+    ProcessGrid,
+    SequentialStrategy,
+    TxyzMapping,
+    simulate_iteration,
+)
+from repro.analysis.tables import Table
+from repro.workloads.paper_configs import table2_domains
+
+config = table2_domains()
+grid = ProcessGrid(32, 32)
+siblings = list(config.siblings)
+
+seq_plan = SequentialStrategy().plan(grid, config.parent, siblings)
+par_plan = ParallelSiblingsStrategy().plan(
+    grid, config.parent, siblings, ratios=[s.points for s in siblings]
+)
+
+table = Table(
+    ["schedule", "mapping", "s/iteration", "avg hops", "MPI_Wait (s/rank)"],
+    title="Table 2 configuration, 1024 BG/L cores (VN mode)",
+)
+
+default = simulate_iteration(seq_plan, BLUE_GENE_L)
+table.add_row(["sequential", "XYZT (default)", default.integration_time,
+               default.average_hops, default.mpi_wait])
+
+for mapping in (ObliviousMapping(), TxyzMapping(), PartitionMapping(), MultiLevelMapping()):
+    rep = simulate_iteration(par_plan, BLUE_GENE_L, mapping=mapping)
+    table.add_row(["parallel", mapping.name, rep.integration_time,
+                   rep.average_hops, rep.mpi_wait])
+
+print(table.render())
+print()
+
+# Show where each sibling landed on the torus under the multi-level map.
+from repro.core.mapping.base import SlotSpace
+
+space = SlotSpace(BLUE_GENE_L.torus_for_ranks(1024), 2)
+placement = MultiLevelMapping().place(grid, space, list(par_plan.rects))
+print("multi-level placement footprints (torus node bounding boxes):")
+for assignment in par_plan.assignments:
+    nodes = [placement.node_of(r) for r in grid.ranks_in(assignment.rect)]
+    lo = tuple(min(n[i] for n in nodes) for i in range(3))
+    hi = tuple(max(n[i] for n in nodes) for i in range(3))
+    print(f"  {assignment.domain.name} ({assignment.rect.width}x"
+          f"{assignment.rect.height} ranks): nodes {lo} .. {hi}")

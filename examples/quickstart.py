@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: schedule two nested regions of interest on Blue Gene/L.
+
+The minimal end-to-end use of the library:
+
+1. describe a parent domain and two sibling nests,
+2. plan the default (sequential) and the paper's (parallel) schedules,
+3. price both on the Blue Gene/L machine model,
+4. print the improvement.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import (
+    BLUE_GENE_L,
+    DomainSpec,
+    MultiLevelMapping,
+    ParallelSiblingsStrategy,
+    ProcessGrid,
+    SequentialStrategy,
+    simulate_iteration,
+)
+
+# 1. The domains: a coarse parent and two high-resolution nests tracking
+#    two different weather systems (sizes in grid points).
+parent = DomainSpec("d01", nx=286, ny=307, dx_km=24.0)
+nests = [
+    DomainSpec("d02", nx=394, ny=418, dx_km=8.0, parent="d01",
+               parent_start=(10, 10), refinement=3, level=1),
+    DomainSpec("d03", nx=313, ny=337, dx_km=8.0, parent="d01",
+               parent_start=(160, 160), refinement=3, level=1),
+]
+
+# 2. 1024 MPI ranks as a 32x32 virtual process grid (a BG/L rack in VN mode).
+grid = ProcessGrid(32, 32)
+
+sequential = SequentialStrategy().plan(grid, parent, nests)
+parallel = ParallelSiblingsStrategy().plan(
+    grid, parent, nests,
+    # Relative execution-time ratios; normally predicted by the fitted
+    # PerformanceModel — point counts are a reasonable first guess.
+    ratios=[n.points for n in nests],
+)
+print(parallel.describe())
+print()
+
+# 3. Price one outer iteration of each plan.
+default = simulate_iteration(sequential, BLUE_GENE_L)
+oblivious = simulate_iteration(parallel, BLUE_GENE_L)
+topo_aware = simulate_iteration(parallel, BLUE_GENE_L, mapping=MultiLevelMapping())
+
+# 4. Report.
+print(f"default sequential   : {default.integration_time:.3f} s/iteration")
+print(f"parallel (oblivious) : {oblivious.integration_time:.3f} s/iteration "
+      f"({100 * (1 - oblivious.integration_time / default.integration_time):.1f}% faster)")
+print(f"parallel (multilevel): {topo_aware.integration_time:.3f} s/iteration "
+      f"({100 * (1 - topo_aware.integration_time / default.integration_time):.1f}% faster)")
+print(f"MPI_Wait             : {default.mpi_wait:.3f} -> {topo_aware.mpi_wait:.3f} "
+      f"s/rank/iteration "
+      f"({100 * (1 - topo_aware.mpi_wait / default.mpi_wait):.1f}% less waiting)")
+print(f"average torus hops   : {default.average_hops:.2f} -> {topo_aware.average_hops:.2f}")

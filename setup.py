@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `python setup.py develop` on toolchains
+without PEP 660 support (no `wheel` package available offline)."""
+from setuptools import setup
+
+setup()

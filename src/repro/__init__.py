@@ -1,0 +1,120 @@
+"""repro — divide-and-conquer scheduling of nested weather simulations.
+
+A full reimplementation of Malakar et al., *"A divide and conquer
+strategy for scaling weather simulations with multiple regions of
+interest"* (SC 2012): performance prediction by Delaunay/barycentric
+interpolation, Huffman-tree processor allocation, topology-aware 2D->3D
+torus mapping — plus every substrate the evaluation needs (a WRF-like
+nested shallow-water model, Blue Gene/L and /P machine models with a
+contention-aware torus network simulator, and parallel-I/O cost models).
+
+Quickstart::
+
+    from repro import (
+        BLUE_GENE_L, DomainSpec, ProcessGrid,
+        SequentialStrategy, ParallelSiblingsStrategy, simulate_iteration,
+    )
+
+    parent = DomainSpec("d01", 286, 307, dx_km=24.0)
+    nests = [
+        DomainSpec("d02", 394, 418, 8.0, parent="d01", parent_start=(10, 10), level=1),
+        DomainSpec("d03", 313, 337, 8.0, parent="d01", parent_start=(160, 160), level=1),
+    ]
+    grid = ProcessGrid(32, 32)  # 1024 ranks
+
+    default = simulate_iteration(
+        SequentialStrategy().plan(grid, parent, nests), BLUE_GENE_L)
+    ours = simulate_iteration(
+        ParallelSiblingsStrategy().plan(grid, parent, nests,
+                                        ratios=[s.points for s in nests]),
+        BLUE_GENE_L)
+    print(default.integration_time, "->", ours.integration_time)
+"""
+
+from repro.errors import (
+    ReproError,
+    ConfigurationError,
+    GeometryError,
+    PredictionError,
+    AllocationError,
+    MappingError,
+    TopologyError,
+    SimulationError,
+)
+from repro.topology import (
+    Torus3D,
+    Machine,
+    BLUE_GENE_L,
+    BLUE_GENE_P,
+    blue_gene_l,
+    blue_gene_p,
+)
+from repro.runtime import ProcessGrid, GridRect, Communicator
+from repro.wrf import DomainSpec, NestedModel, ModelState, ShallowWaterSolver
+from repro.core import (
+    PerformanceModel,
+    NaivePointsModel,
+    partition_grid,
+    naive_strip_partition,
+    equal_partition,
+    ObliviousMapping,
+    TxyzMapping,
+    PartitionMapping,
+    MultiLevelMapping,
+    SlotSpace,
+    ExecutionPlan,
+    SequentialStrategy,
+    ParallelSiblingsStrategy,
+)
+from repro.perfsim import simulate_iteration, WorkloadParams, IterationReport
+from repro.iosim import IoModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "GeometryError",
+    "PredictionError",
+    "AllocationError",
+    "MappingError",
+    "TopologyError",
+    "SimulationError",
+    # machines and topology
+    "Torus3D",
+    "Machine",
+    "BLUE_GENE_L",
+    "BLUE_GENE_P",
+    "blue_gene_l",
+    "blue_gene_p",
+    # runtime
+    "ProcessGrid",
+    "GridRect",
+    "Communicator",
+    # wrf proxy
+    "DomainSpec",
+    "NestedModel",
+    "ModelState",
+    "ShallowWaterSolver",
+    # core contribution
+    "PerformanceModel",
+    "NaivePointsModel",
+    "partition_grid",
+    "naive_strip_partition",
+    "equal_partition",
+    "ObliviousMapping",
+    "TxyzMapping",
+    "PartitionMapping",
+    "MultiLevelMapping",
+    "SlotSpace",
+    "ExecutionPlan",
+    "SequentialStrategy",
+    "ParallelSiblingsStrategy",
+    # simulation
+    "simulate_iteration",
+    "WorkloadParams",
+    "IterationReport",
+    "IoModel",
+]

@@ -1,0 +1,13 @@
+"""Experiment drivers and reporting.
+
+One function per paper table/figure lives under
+:mod:`repro.analysis.experiments`; :mod:`repro.analysis.tables` renders
+ASCII tables and :mod:`repro.analysis.ascii_plot` renders series the way
+the paper's figures do, so every benchmark can print the rows/series the
+paper reports.
+"""
+
+from repro.analysis.tables import Table
+from repro.analysis.ascii_plot import ascii_series
+
+__all__ = ["Table", "ascii_series"]

@@ -1,0 +1,60 @@
+"""Tiny ASCII line plots for figure-style experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+__all__ = ["ascii_series"]
+
+
+def ascii_series(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more y-series over shared x values as an ASCII chart.
+
+    Each series gets a marker character; points are plotted on a
+    ``width x height`` canvas with linear axes. Good enough to eyeball
+    the *shape* of a figure in a terminal or a test log.
+    """
+    if not x or not series:
+        raise ValueError("need at least one x value and one series")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} has {len(ys)} values for {len(x)} xs")
+
+    markers = "*o+x#@%&"
+    xs = [float(v) for v in x]
+    all_y = [float(v) for ys in series.values() for v in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        mark = markers[si % len(markers)]
+        for xv, yv in zip(xs, ys):
+            col = round((float(xv) - x_lo) / x_span * (width - 1))
+            row = round((float(yv) - y_lo) / y_span * (height - 1))
+            canvas[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    lines.append(f"{y_hi:.4g} ({y_label})")
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{y_lo:.4g}  {x_label}: {x_lo:.4g} .. {x_hi:.4g}")
+    return "\n".join(lines)

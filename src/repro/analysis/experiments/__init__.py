@@ -1,0 +1,59 @@
+"""One driver per paper table/figure.
+
+Every driver returns a small result dataclass carrying both the raw
+numbers and a ``render()`` method that prints the same rows/series the
+paper reports. The benchmarks under ``benchmarks/`` call these drivers.
+"""
+
+from repro.analysis.experiments.common import (
+    fitted_model,
+    compare_strategies,
+    StrategyComparison,
+)
+from repro.analysis.experiments.exp_scaling import fig2_scaling, fig15_speedup
+from repro.analysis.experiments.exp_prediction import (
+    fig3a_triangulation,
+    prediction_error_study,
+)
+from repro.analysis.experiments.exp_allocation import (
+    fig3b_partition,
+    fig4_split_direction,
+    sec46_allocation_quality,
+)
+from repro.analysis.experiments.exp_improvement import (
+    fig8_improvement_with_io,
+    table1_wait_improvement,
+    table2_fig9_siblings,
+    fig10_large_siblings,
+    sibling_count_effect,
+    table3_nest_size_effect,
+)
+from repro.analysis.experiments.exp_mapping import (
+    fig5_fig6_mapping_example,
+    table4_fig11_mappings_bgl,
+    table5_fig12_mappings_bgp,
+)
+from repro.analysis.experiments.exp_io import fig13_fig14_io_scaling
+
+__all__ = [
+    "fitted_model",
+    "compare_strategies",
+    "StrategyComparison",
+    "fig2_scaling",
+    "fig15_speedup",
+    "fig3a_triangulation",
+    "prediction_error_study",
+    "fig3b_partition",
+    "fig4_split_direction",
+    "sec46_allocation_quality",
+    "fig8_improvement_with_io",
+    "table1_wait_improvement",
+    "table2_fig9_siblings",
+    "fig10_large_siblings",
+    "sibling_count_effect",
+    "table3_nest_size_effect",
+    "fig5_fig6_mapping_example",
+    "table4_fig11_mappings_bgl",
+    "table5_fig12_mappings_bgp",
+    "fig13_fig14_io_scaling",
+]

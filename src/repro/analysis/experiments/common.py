@@ -1,0 +1,167 @@
+"""Shared machinery for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+from repro.core.mapping.base import Mapping, Placement, SlotSpace
+from repro.core.mapping.oblivious import ObliviousMapping
+from repro.core.prediction.basis import generate_candidates, select_basis
+from repro.core.prediction.model import PerformanceModel
+from repro.core.scheduler.plan import ExecutionPlan
+from repro.core.scheduler.strategies import ParallelSiblingsStrategy, SequentialStrategy
+from repro.iosim.model import IoModel
+from repro.perfsim.params import WorkloadParams
+from repro.perfsim.profiling import profile_step_time
+from repro.perfsim.simulate import IterationReport, simulate_iteration
+from repro.runtime.decomposition import choose_process_grid
+from repro.runtime.process_grid import ProcessGrid
+from repro.topology.machines import BLUE_GENE_L, BLUE_GENE_P, Machine
+from repro.util.stats import percent_improvement
+from repro.workloads.regions import Configuration
+
+__all__ = [
+    "fitted_model",
+    "grid_for",
+    "oblivious_placement",
+    "compare_strategies",
+    "StrategyComparison",
+]
+
+#: Profiling runs use a fixed processor count, as in the paper (Sec 3.1).
+PROFILE_RANKS = 512
+
+
+def _machine_by_name(name: str) -> Machine:
+    if name == BLUE_GENE_L.name:
+        return BLUE_GENE_L
+    if name == BLUE_GENE_P.name:
+        return BLUE_GENE_P
+    raise ValueError(f"unknown machine {name!r} for cached model")
+
+
+@lru_cache(maxsize=8)
+def _fitted_model_cached(machine_name: str, seed: int) -> PerformanceModel:
+    machine = _machine_by_name(machine_name)
+    candidates = generate_candidates(400, seed=seed)
+    basis = select_basis(candidates)
+    times = [profile_step_time(b, PROFILE_RANKS, machine) for b in basis]
+    return PerformanceModel.from_measurements(basis, times)
+
+
+def fitted_model(machine: Machine, *, seed: int = 7) -> PerformanceModel:
+    """The Delaunay performance model fitted from 13 profiling runs.
+
+    Cached per machine: fitting needs 13 cost-model evaluations, and every
+    experiment shares the same model, as the paper's pipeline does.
+    """
+    return _fitted_model_cached(machine.name, seed)
+
+
+def grid_for(num_ranks: int) -> ProcessGrid:
+    """The near-square virtual process grid WRF would pick for *num_ranks*."""
+    px, py = choose_process_grid(num_ranks)
+    return ProcessGrid(px, py)
+
+
+@lru_cache(maxsize=32)
+def _oblivious_placement_cached(
+    machine_name: str, num_ranks: int, mode: Optional[str]
+) -> Placement:
+    machine = _machine_by_name(machine_name)
+    grid = grid_for(num_ranks)
+    rpn = machine.mode(mode).ranks_per_node
+    space = SlotSpace(machine.torus_for_ranks(num_ranks, mode), rpn)
+    return ObliviousMapping().place(grid, space)
+
+
+def oblivious_placement(
+    machine: Machine, num_ranks: int, mode: Optional[str] = None
+) -> Placement:
+    """Shared default placement (it ignores partition rectangles)."""
+    return _oblivious_placement_cached(machine.name, num_ranks, mode)
+
+
+@dataclass(frozen=True)
+class StrategyComparison:
+    """Default-vs-parallel comparison of one configuration at one scale."""
+
+    config: Configuration
+    ranks: int
+    sequential: IterationReport
+    parallel: IterationReport
+
+    @property
+    def improvement(self) -> float:
+        """% improvement in integration time (the paper's headline metric)."""
+        return percent_improvement(
+            self.sequential.integration_time, self.parallel.integration_time
+        )
+
+    @property
+    def improvement_with_io(self) -> float:
+        """% improvement including history I/O."""
+        return percent_improvement(
+            self.sequential.total_time, self.parallel.total_time
+        )
+
+    @property
+    def wait_improvement(self) -> float:
+        """% improvement in average per-rank MPI_Wait."""
+        if self.sequential.mpi_wait <= 0:
+            return 0.0
+        return percent_improvement(self.sequential.mpi_wait, self.parallel.mpi_wait)
+
+
+def compare_strategies(
+    config: Configuration,
+    num_ranks: int,
+    machine: Machine,
+    *,
+    mapping: Optional[Mapping] = None,
+    workload: Optional[WorkloadParams] = None,
+    io_model: Optional[IoModel] = None,
+    mode: Optional[str] = None,
+) -> StrategyComparison:
+    """Run the default and the parallel strategy on one configuration.
+
+    The parallel plan's ratios come from the fitted Delaunay model —
+    the complete paper pipeline (predict -> allocate -> map -> run).
+    """
+    grid = grid_for(num_ranks)
+    model = fitted_model(machine)
+
+    seq_plan = SequentialStrategy().plan(grid, config.parent, list(config.siblings))
+    par_plan = ParallelSiblingsStrategy(model).plan(
+        grid, config.parent, list(config.siblings)
+    )
+
+    seq_placement = None
+    if mapping is None:
+        # The sequential baseline always uses the machine default mapping;
+        # share the cached placement across configurations.
+        seq_placement = oblivious_placement(machine, num_ranks, mode)
+
+    seq = simulate_iteration(
+        seq_plan,
+        machine,
+        mapping=mapping,
+        mode=mode,
+        workload=workload,
+        io_model=io_model,
+        placement=seq_placement,
+    )
+    par = simulate_iteration(
+        par_plan,
+        machine,
+        mapping=mapping,
+        mode=mode,
+        workload=workload,
+        io_model=io_model,
+        placement=seq_placement if mapping is None else None,
+    )
+    return StrategyComparison(
+        config=config, ranks=num_ranks, sequential=seq, parallel=par
+    )

@@ -1,0 +1,103 @@
+"""High-frequency output experiments: Figs 13 and 14."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.ascii_plot import ascii_series
+from repro.analysis.experiments.common import compare_strategies
+from repro.analysis.tables import Table
+from repro.iosim.model import IoModel
+from repro.perfsim.params import OutputParams, WorkloadParams
+from repro.topology.machines import BLUE_GENE_P, Machine
+from repro.util.stats import mean
+from repro.workloads.regions import pacific_configurations
+
+__all__ = ["fig13_fig14_io_scaling", "IoScalingResult"]
+
+
+@dataclass(frozen=True)
+class IoScalingResult:
+    """Per-iteration integration/I/O/total times vs processors (Fig 13)
+    and the integration-vs-I/O fraction (Fig 14)."""
+
+    ranks: Tuple[int, ...]
+    #: strategy name -> per-rank-count mean time per iteration.
+    integration: Dict[str, Tuple[float, ...]]
+    io: Dict[str, Tuple[float, ...]]
+    total: Dict[str, Tuple[float, ...]]
+
+    def io_fraction(self, strategy: str) -> Tuple[float, ...]:
+        """Fig 14's I/O fraction of total time per rank count."""
+        return tuple(
+            i / t if t > 0 else 0.0
+            for i, t in zip(self.io[strategy], self.total[strategy])
+        )
+
+    def render(self) -> str:
+        """Fig 13(a-c) tables plus the Fig 14 fractions."""
+        parts: List[str] = []
+        for metric, data in (("integration", self.integration),
+                             ("I/O", self.io), ("total", self.total)):
+            t = Table(["BG/P cores", "sequential (s)", "parallel siblings (s)"],
+                      title=f"Fig 13 — {metric} time per iteration")
+            for i, r in enumerate(self.ranks):
+                t.add_row([r, data["sequential"][i], data["parallel"][i]])
+            parts.append(t.render())
+        f = Table(["BG/P cores", "seq I/O fraction", "parallel I/O fraction"],
+                  title="Fig 14 — I/O fraction of total time")
+        seq_frac = self.io_fraction("sequential")
+        par_frac = self.io_fraction("parallel")
+        for i, r in enumerate(self.ranks):
+            f.add_row([r, seq_frac[i], par_frac[i]])
+        parts.append(f.render())
+        parts.append(ascii_series(
+            list(self.ranks),
+            {"seq io": list(self.io["sequential"]),
+             "par io": list(self.io["parallel"])},
+            title="per-iteration I/O time vs processors",
+            x_label="processors", y_label="s",
+        ))
+        return "\n\n".join(parts)
+
+
+def fig13_fig14_io_scaling(
+    machine: Machine = BLUE_GENE_P,
+    ranks: Sequence[int] = (512, 1024, 2048, 4096, 8192),
+    *,
+    num_configs: int = 8,
+    seed: int = 2010,
+) -> IoScalingResult:
+    """Reproduce Figs 13/14: high-frequency (10-minute) output runs.
+
+    Ten-minute output at the paper's nest time steps means a history
+    write every ~4 outer iterations; PnetCDF collective writes are used
+    as on BG/P.
+    """
+    workload = WorkloadParams(
+        output=OutputParams(interval_steps=4, enabled=True, include_parent=False)
+    )
+    io = IoModel("pnetcdf")
+    configs = pacific_configurations(num_configs, seed=seed)
+
+    integration: Dict[str, List[float]] = {"sequential": [], "parallel": []}
+    io_times: Dict[str, List[float]] = {"sequential": [], "parallel": []}
+    totals: Dict[str, List[float]] = {"sequential": [], "parallel": []}
+    for r in ranks:
+        comps = [
+            compare_strategies(c, r, machine, workload=workload, io_model=io)
+            for c in configs
+        ]
+        for key, pick in (("sequential", lambda c: c.sequential),
+                          ("parallel", lambda c: c.parallel)):
+            integration[key].append(mean(pick(c).integration_time for c in comps))
+            io_times[key].append(mean(pick(c).io_time for c in comps))
+            totals[key].append(mean(pick(c).total_time for c in comps))
+
+    return IoScalingResult(
+        ranks=tuple(ranks),
+        integration={k: tuple(v) for k, v in integration.items()},
+        io={k: tuple(v) for k, v in io_times.items()},
+        total={k: tuple(v) for k, v in totals.items()},
+    )

@@ -1,0 +1,195 @@
+"""Mapping experiments: Fig 5/6, Tables 4 and 5, Figs 11 and 12."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.experiments.common import fitted_model, grid_for
+from repro.analysis.tables import Table
+from repro.core.mapping.base import Mapping, SlotSpace
+from repro.core.mapping.metrics import nest_and_parent_metrics
+from repro.core.mapping.multilevel import MultiLevelMapping
+from repro.core.mapping.oblivious import ObliviousMapping
+from repro.core.mapping.partition_map import PartitionMapping
+from repro.core.mapping.txyz import TxyzMapping
+from repro.core.scheduler.strategies import ParallelSiblingsStrategy, SequentialStrategy
+from repro.perfsim.simulate import simulate_iteration
+from repro.runtime.halo import HaloSpec
+from repro.runtime.process_grid import GridRect, ProcessGrid
+from repro.topology.machines import BLUE_GENE_L, BLUE_GENE_P, Machine
+from repro.topology.torus import Torus3D
+from repro.util.stats import mean, percent_improvement
+from repro.workloads.paper_configs import table4_configurations, table5_configurations
+from repro.workloads.regions import Configuration
+
+__all__ = [
+    "fig5_fig6_mapping_example",
+    "MappingExampleResult",
+    "mapping_comparison",
+    "MappingComparisonResult",
+    "table4_fig11_mappings_bgl",
+    "table5_fig12_mappings_bgp",
+]
+
+
+# ------------------------------------------------------------- Fig 5 / 6
+@dataclass(frozen=True)
+class MappingExampleResult:
+    """Hop counts of the paper's 32-process example (Figs 5 and 6)."""
+
+    #: mapping name -> {"parent": hops, "nest0": hops, "nest1": hops}
+    average_hops: Dict[str, Dict[str, float]]
+    #: Key single-pair distances the paper calls out.
+    oblivious_0_to_8: int
+    oblivious_8_to_16: int
+    multilevel_3_to_4: int
+
+    def render(self) -> str:
+        """Figs 5/6-style hop summary."""
+        t = Table(["mapping", "parent avg hops", "nest avg hops"],
+                  title="Figs 5/6 — 32 processes, two equal siblings, 4x4x2 torus")
+        for name, hops in self.average_hops.items():
+            nest = mean([hops["nest0"], hops["nest1"]])
+            t.add_row([name, hops["parent"], nest])
+        return (
+            f"{t.render()}\n"
+            f"oblivious: rank 0->8 is {self.oblivious_0_to_8} hops (paper: 2), "
+            f"8->16 is {self.oblivious_8_to_16} hops (paper: 3); "
+            f"multi-level: parent seam 3->4 is {self.multilevel_3_to_4} hop (paper: 1)"
+        )
+
+
+def fig5_fig6_mapping_example() -> MappingExampleResult:
+    """Reproduce the Figs 5/6 worked example exactly."""
+    grid = ProcessGrid(8, 4)
+    space = SlotSpace(Torus3D((4, 4, 2)), 1)
+    rects = [GridRect(0, 0, 4, 4), GridRect(4, 0, 4, 4)]
+    spec = HaloSpec(width=1, levels=1, rounds_per_step=1)
+    hops: Dict[str, Dict[str, float]] = {}
+    placements = {}
+    for mapping in (ObliviousMapping(), TxyzMapping(), PartitionMapping(), MultiLevelMapping()):
+        p = mapping.place(grid, space, rects)
+        placements[mapping.name] = p
+        metrics = nest_and_parent_metrics(p, (80, 40), [(40, 40), (40, 40)], rects, spec)
+        hops[mapping.name] = {k: m.average_hops for k, m in metrics.items()}
+    return MappingExampleResult(
+        average_hops=hops,
+        oblivious_0_to_8=placements["oblivious"].hops_between(0, 8),
+        oblivious_8_to_16=placements["oblivious"].hops_between(8, 16),
+        multilevel_3_to_4=placements["multilevel"].hops_between(3, 4),
+    )
+
+
+# -------------------------------------------------------- Tables 4 and 5
+@dataclass(frozen=True)
+class MappingComparisonResult:
+    """Per-configuration iteration times under every mapping (Table 4/5)."""
+
+    machine: str
+    ranks: int
+    config_names: Tuple[str, ...]
+    #: column name -> per-configuration iteration times.
+    times: Dict[str, Tuple[float, ...]]
+    #: column name -> per-configuration average per-rank MPI_Wait.
+    waits: Dict[str, Tuple[float, ...]]
+    #: column name -> per-configuration message-weighted average hops.
+    hops: Dict[str, Tuple[float, ...]]
+
+    def improvement_over_default(self, column: str) -> Tuple[float, ...]:
+        """% execution-time improvement of *column* vs the default strategy."""
+        return tuple(
+            percent_improvement(d, v)
+            for d, v in zip(self.times["default"], self.times[column])
+        )
+
+    def wait_improvement_over_default(self, column: str) -> Tuple[float, ...]:
+        """% MPI_Wait improvement of *column* vs the default strategy."""
+        return tuple(
+            percent_improvement(d, v) if d > 0 else 0.0
+            for d, v in zip(self.waits["default"], self.waits[column])
+        )
+
+    def hop_reduction_over_default(self, column: str) -> Tuple[float, ...]:
+        """% reduction in average hops of *column* vs the default."""
+        return tuple(
+            percent_improvement(d, v) if d > 0 else 0.0
+            for d, v in zip(self.hops["default"], self.hops[column])
+        )
+
+    def render(self) -> str:
+        """Table 4/5-style rows plus Fig 11/12-style improvements."""
+        columns = list(self.times)
+        t = Table(["config"] + columns,
+                  title=f"Execution times (s/iteration) on {self.ranks} {self.machine} cores")
+        for i, name in enumerate(self.config_names):
+            t.add_row([name] + [self.times[c][i] for c in columns])
+        w = Table(["config"] + columns[1:],
+                  title="MPI_Wait improvement % over default")
+        for i, name in enumerate(self.config_names):
+            w.add_row([name] + [self.wait_improvement_over_default(c)[i]
+                                for c in columns[1:]])
+        h = Table(["config"] + columns[1:],
+                  title="Average-hop reduction % over default")
+        for i, name in enumerate(self.config_names):
+            h.add_row([name] + [self.hop_reduction_over_default(c)[i]
+                                for c in columns[1:]])
+        return "\n\n".join([t.render(), w.render(), h.render()])
+
+
+def mapping_comparison(
+    configs: Sequence[Configuration],
+    num_ranks: int,
+    machine: Machine,
+) -> MappingComparisonResult:
+    """Compare default vs oblivious/partition/multilevel/TXYZ mappings."""
+    grid = grid_for(num_ranks)
+    model = fitted_model(machine)
+    columns: Dict[str, List[float]] = {
+        "default": [], "oblivious": [], "partition": [], "multilevel": [], "txyz": [],
+    }
+    waits: Dict[str, List[float]] = {k: [] for k in columns}
+    hops: Dict[str, List[float]] = {k: [] for k in columns}
+    names: List[str] = []
+
+    mappings: Dict[str, Optional[Mapping]] = {
+        "oblivious": None,  # defaults to ObliviousMapping inside simulate
+        "partition": PartitionMapping(),
+        "multilevel": MultiLevelMapping(),
+        "txyz": TxyzMapping(),
+    }
+
+    for config in configs:
+        names.append(config.name)
+        siblings = list(config.siblings)
+        seq_plan = SequentialStrategy().plan(grid, config.parent, siblings)
+        rep = simulate_iteration(seq_plan, machine)
+        columns["default"].append(rep.integration_time)
+        waits["default"].append(rep.mpi_wait)
+        hops["default"].append(rep.average_hops)
+
+        par_plan = ParallelSiblingsStrategy(model).plan(grid, config.parent, siblings)
+        for name, mapping in mappings.items():
+            rep = simulate_iteration(par_plan, machine, mapping=mapping)
+            columns[name].append(rep.integration_time)
+            waits[name].append(rep.mpi_wait)
+            hops[name].append(rep.average_hops)
+
+    return MappingComparisonResult(
+        machine=machine.name,
+        ranks=num_ranks,
+        config_names=tuple(names),
+        times={k: tuple(v) for k, v in columns.items()},
+        waits={k: tuple(v) for k, v in waits.items()},
+        hops={k: tuple(v) for k, v in hops.items()},
+    )
+
+
+def table4_fig11_mappings_bgl(machine: Machine = BLUE_GENE_L) -> MappingComparisonResult:
+    """Reproduce Table 4 / Fig 11: five configurations on 1024 BG/L cores."""
+    return mapping_comparison(table4_configurations(), 1024, machine)
+
+
+def table5_fig12_mappings_bgp(machine: Machine = BLUE_GENE_P) -> MappingComparisonResult:
+    """Reproduce Table 5 / Fig 12: three configurations on 4096 BG/P cores."""
+    return mapping_comparison(table5_configurations(), 4096, machine)

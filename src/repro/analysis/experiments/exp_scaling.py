@@ -1,0 +1,134 @@
+"""Scaling experiments: Fig 2 (single-nest scaling) and Fig 15 (speedup)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.ascii_plot import ascii_series
+from repro.analysis.experiments.common import compare_strategies, grid_for, fitted_model
+from repro.analysis.tables import Table
+from repro.core.scheduler.strategies import SequentialStrategy
+from repro.iosim.model import IoModel
+from repro.perfsim.simulate import simulate_iteration
+from repro.topology.machines import BLUE_GENE_L, Machine
+from repro.workloads.paper_configs import fig2_domains, fig15_domains
+
+__all__ = ["fig2_scaling", "Fig2Result", "fig15_speedup", "Fig15Result"]
+
+DEFAULT_RANKS = (32, 64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Execution time of the parent+nest simulation vs processor count."""
+
+    ranks: Tuple[int, ...]
+    integration_times: Tuple[float, ...]
+    total_times: Tuple[float, ...]
+    #: First rank count beyond which doubling gains < 10% (the "knee").
+    saturation_ranks: int
+
+    def render(self) -> str:
+        """Fig 2-style table + chart."""
+        t = Table(["processors", "integration (s/iter)", "total incl I/O (s/iter)"],
+                  title="Fig 2 — WRF-like simulation scaling with one 415x445 nest (BG/L)")
+        for r, ti, tt in zip(self.ranks, self.integration_times, self.total_times):
+            t.add_row([r, ti, tt])
+        chart = ascii_series(
+            list(self.ranks),
+            {"total": list(self.total_times)},
+            title="execution time vs processors",
+            x_label="processors",
+            y_label="s/iteration",
+        )
+        return (
+            f"{t.render()}\n\nsaturates around {self.saturation_ranks} "
+            f"processors (paper: ~512)\n\n{chart}"
+        )
+
+
+def fig2_scaling(
+    machine: Machine = BLUE_GENE_L,
+    ranks: Sequence[int] = DEFAULT_RANKS,
+) -> Fig2Result:
+    """Reproduce Fig 2: scaling of the 286x307 parent + 415x445 nest run."""
+    config = fig2_domains()
+    io = IoModel("split")  # BG/L runs used WRF split I/O (Sec 4.2.3)
+    integration: List[float] = []
+    totals: List[float] = []
+    for r in ranks:
+        plan = SequentialStrategy().plan(grid_for(r), config.parent, list(config.siblings))
+        rep = simulate_iteration(plan, machine, io_model=io)
+        integration.append(rep.integration_time)
+        totals.append(rep.total_time)
+
+    # "Saturation": where parallel efficiency relative to the smallest run
+    # falls below 50% — scaling beyond this point wastes half the cores.
+    saturation = ranks[-1]
+    base_work = totals[0] * ranks[0]
+    for r, t in zip(ranks[1:], totals[1:]):
+        if base_work / (t * r) < 0.5:
+            saturation = r
+            break
+    return Fig2Result(
+        ranks=tuple(ranks),
+        integration_times=tuple(integration),
+        total_times=tuple(totals),
+        saturation_ranks=saturation,
+    )
+
+
+@dataclass(frozen=True)
+class Fig15Result:
+    """Scalability and speedup of both strategies (2x 259x229 siblings)."""
+
+    ranks: Tuple[int, ...]
+    sequential_times: Tuple[float, ...]
+    parallel_times: Tuple[float, ...]
+
+    def speedups(self) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        """Speedups relative to the sequential run on the fewest processors."""
+        base = self.sequential_times[0]
+        seq = tuple(base / t for t in self.sequential_times)
+        par = tuple(base / t for t in self.parallel_times)
+        return seq, par
+
+    def render(self) -> str:
+        """Fig 15-style table + chart."""
+        seq_s, par_s = self.speedups()
+        t = Table(
+            ["processors", "sequential (s)", "concurrent (s)",
+             "seq speedup", "conc speedup"],
+            title="Fig 15 — scalability and speedup, two 259x229 siblings (BG/L)",
+        )
+        for row in zip(self.ranks, self.sequential_times, self.parallel_times, seq_s, par_s):
+            t.add_row(list(row))
+        chart = ascii_series(
+            list(self.ranks),
+            {"sequential": list(self.sequential_times),
+             "concurrent": list(self.parallel_times)},
+            title="execution time vs processors",
+            x_label="processors",
+            y_label="s/iteration",
+        )
+        return f"{t.render()}\n\n{chart}"
+
+
+def fig15_speedup(
+    machine: Machine = BLUE_GENE_L,
+    ranks: Sequence[int] = DEFAULT_RANKS,
+) -> Fig15Result:
+    """Reproduce Fig 15: both strategies from 32 to 1024 processors."""
+    config = fig15_domains()
+    seq_times: List[float] = []
+    par_times: List[float] = []
+    for r in ranks:
+        cmp = compare_strategies(config, r, machine)
+        seq_times.append(cmp.sequential.integration_time)
+        par_times.append(cmp.parallel.integration_time)
+    return Fig15Result(
+        ranks=tuple(ranks),
+        sequential_times=tuple(seq_times),
+        parallel_times=tuple(par_times),
+    )

@@ -1,0 +1,58 @@
+"""Minimal ASCII table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A fixed-column ASCII table.
+
+    >>> t = Table(["P", "time (s)"], title="Scaling")
+    >>> t.add_row([512, 0.654])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], *, title: str | None = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Sequence[Any]) -> None:
+        """Append a row; values are formatted (floats to 4 significant digits)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append([self._fmt(v) for v in values])
+
+    @staticmethod
+    def _fmt(v: Any) -> str:
+        if isinstance(v, bool):
+            return str(v)
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    def render(self) -> str:
+        """Render to a string."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

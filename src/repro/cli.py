@@ -1,0 +1,294 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``
+    Price one iteration of a nested configuration (from a WRF-style
+    namelist or a built-in paper configuration) under both strategies.
+``plan``
+    Print the parallel-siblings execution plan for a configuration.
+``profile``
+    Step-time breakdown of a single domain on a rank count.
+``experiment``
+    Run one of the paper's table/figure drivers and print its output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.mapping.base import Mapping
+from repro.core.mapping.multilevel import MultiLevelMapping
+from repro.core.mapping.oblivious import ObliviousMapping
+from repro.core.mapping.partition_map import PartitionMapping
+from repro.core.mapping.txyz import TxyzMapping
+from repro.core.scheduler.strategies import ParallelSiblingsStrategy, SequentialStrategy
+from repro.errors import ReproError
+from repro.iosim.model import IoModel
+from repro.perfsim.profiling import profile_step
+from repro.perfsim.simulate import simulate_iteration
+from repro.perfsim.timeline import build_timeline, render_gantt
+from repro.runtime.decomposition import choose_process_grid
+from repro.runtime.process_grid import ProcessGrid
+from repro.topology.machines import BLUE_GENE_L, BLUE_GENE_P, Machine
+from repro.wrf.grid import DomainSpec
+from repro.wrf.namelist import domains_from_namelist, parse_namelist
+
+__all__ = ["main"]
+
+_MACHINES = {"bgl": BLUE_GENE_L, "bgp": BLUE_GENE_P}
+_MAPPINGS = {
+    "oblivious": ObliviousMapping,
+    "txyz": TxyzMapping,
+    "partition": PartitionMapping,
+    "multilevel": MultiLevelMapping,
+}
+
+_EXPERIMENTS = {
+    "fig2": ("fig2_scaling", {}),
+    "fig3a": ("fig3a_triangulation", {}),
+    "fig3b": ("fig3b_partition", {}),
+    "fig4": ("fig4_split_direction", {}),
+    "fig5": ("fig5_fig6_mapping_example", {}),
+    "fig8": ("fig8_improvement_with_io", {"num_configs": 6}),
+    "fig10": ("fig10_large_siblings", {}),
+    "fig13": ("fig13_fig14_io_scaling", {"num_configs": 3}),
+    "fig15": ("fig15_speedup", {}),
+    "table1": ("table1_wait_improvement", {"num_configs": 6}),
+    "table2": ("table2_fig9_siblings", {}),
+    "table3": ("table3_nest_size_effect", {}),
+    "table4": ("table4_fig11_mappings_bgl", {}),
+    "table5": ("table5_fig12_mappings_bgp", {}),
+    "sec46": ("sec46_allocation_quality", {}),
+    "prediction": ("prediction_error_study", {"num_tests": 30}),
+    "siblings": ("sibling_count_effect", {"configs_per_count": 6}),
+}
+
+
+def _load_domains(args) -> tuple[DomainSpec, List[DomainSpec]]:
+    if args.namelist:
+        with open(args.namelist) as fh:
+            specs = domains_from_namelist(parse_namelist(fh.read()))
+    else:
+        from repro.workloads.paper_configs import (
+            fig2_domains,
+            fig10_domains,
+            fig15_domains,
+            table2_domains,
+        )
+
+        builtins = {
+            "fig2": fig2_domains,
+            "fig10": fig10_domains,
+            "fig15": fig15_domains,
+            "table2": table2_domains,
+        }
+        config = builtins[args.config]()
+        specs = [config.parent, *config.siblings]
+    parent, *nests = specs
+    if not nests:
+        raise ReproError("configuration has no nests")
+    return parent, nests
+
+
+def _grid_for(ranks: int) -> ProcessGrid:
+    px, py = choose_process_grid(ranks)
+    return ProcessGrid(px, py)
+
+
+def _add_domain_source(p: argparse.ArgumentParser) -> None:
+    src = p.add_mutually_exclusive_group()
+    src.add_argument("--namelist", help="WRF-style namelist.input file")
+    src.add_argument(
+        "--config", default="table2",
+        choices=["fig2", "fig10", "fig15", "table2"],
+        help="built-in paper configuration (default: table2)",
+    )
+
+
+def _cmd_simulate(args) -> int:
+    parent, nests = _load_domains(args)
+    machine = _MACHINES[args.machine]
+    grid = _grid_for(args.ranks)
+    io = None if args.io == "none" else IoModel(args.io)
+    mapping: Optional[Mapping] = (
+        None if args.mapping == "oblivious" else _MAPPINGS[args.mapping]()
+    )
+
+    seq_plan = SequentialStrategy().plan(grid, parent, nests)
+    par_plan = ParallelSiblingsStrategy().plan(
+        grid, parent, nests, ratios=[n.points for n in nests]
+    )
+    seq = simulate_iteration(seq_plan, machine, io_model=io)
+    par = simulate_iteration(par_plan, machine, mapping=mapping, io_model=io)
+
+    print(f"machine {machine.name}, {args.ranks} ranks "
+          f"({grid.px}x{grid.py} grid), mapping {args.mapping}")
+    print(f"  sequential : {seq.total_time:.3f} s/iteration "
+          f"(integration {seq.integration_time:.3f}, I/O {seq.io_time:.3f})")
+    print(f"  parallel   : {par.total_time:.3f} s/iteration "
+          f"(integration {par.integration_time:.3f}, I/O {par.io_time:.3f})")
+    gain = 100 * (1 - par.total_time / seq.total_time)
+    print(f"  improvement: {gain:.1f}%   "
+          f"MPI_Wait {seq.mpi_wait:.3f} -> {par.mpi_wait:.3f} s/rank "
+          f"({100 * (1 - par.mpi_wait / seq.mpi_wait):.1f}% less)")
+    if args.timeline:
+        print()
+        print("sequential iteration:")
+        print(render_gantt(build_timeline(seq)))
+        print()
+        print("parallel iteration:")
+        print(render_gantt(build_timeline(par)))
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    parent, nests = _load_domains(args)
+    grid = _grid_for(args.ranks)
+    plan = ParallelSiblingsStrategy().plan(
+        grid, parent, nests, ratios=[n.points for n in nests]
+    )
+    print(plan.describe())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    machine = _MACHINES[args.machine]
+    spec = DomainSpec("query", nx=args.nx, ny=args.ny, dx_km=8.0,
+                      parent="cli", parent_start=(0, 0), level=1)
+    grid = _grid_for(args.ranks)
+    sc = profile_step(spec, grid, machine)
+    print(f"{args.nx}x{args.ny} on {args.ranks} {machine.name} ranks "
+          f"({grid.px}x{grid.py} grid):")
+    print(f"  compute    : {sc.compute.time * 1e3:8.2f} ms "
+          f"(max tile {sc.compute.max_tile[0]}x{sc.compute.max_tile[1]})")
+    print(f"  comm       : {sc.comm.time * 1e3:8.2f} ms "
+          f"(avg hops {sc.comm.average_hops:.2f})")
+    print(f"  fixed      : {(sc.overhead + sc.skew + sc.collectives) * 1e3:8.2f} ms")
+    print(f"  total step : {sc.total * 1e3:8.2f} ms   "
+          f"MPI_Wait {sc.wait * 1e3:.2f} ms")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import repro.analysis.experiments as exp
+
+    func_name, kwargs = _EXPERIMENTS[args.name]
+    result = getattr(exp, func_name)(**kwargs)
+    print(result.render())
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    from repro.analysis.planner import recommend
+    from repro.workloads.regions import Configuration
+
+    parent, nests = _load_domains(args)
+    config = Configuration(args.config or "namelist", parent, tuple(nests))
+    io = None if args.io == "none" else IoModel(args.io)
+    plan = recommend(
+        config,
+        _MACHINES[args.machine],
+        max_ranks=args.max_ranks,
+        min_ranks=args.min_ranks,
+        efficiency_floor=args.efficiency_floor,
+        io_model=io,
+    )
+    print(plan.render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import repro.analysis.experiments as exp
+
+    names = sorted(_EXPERIMENTS) if "all" in args.names else args.names
+    sections: List[str] = []
+    for name in names:
+        func_name, kwargs = _EXPERIMENTS[name]
+        result = getattr(exp, func_name)(**kwargs)
+        sections.append(f"## {name}\n\n```\n{result.render()}\n```")
+    text = "# Reproduction report\n\n" + "\n\n".join(sections) + "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} ({len(names)} experiments)")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Divide-and-conquer scheduling of nested weather simulations "
+                    "(Malakar et al., SC 2012 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="price one iteration under both strategies")
+    _add_domain_source(p)
+    p.add_argument("--ranks", type=int, default=1024)
+    p.add_argument("--machine", choices=sorted(_MACHINES), default="bgl")
+    p.add_argument("--mapping", choices=sorted(_MAPPINGS), default="oblivious")
+    p.add_argument("--io", choices=["none", "pnetcdf", "split"], default="none")
+    p.add_argument("--timeline", action="store_true",
+                   help="print per-group Gantt charts")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("plan", help="print the parallel execution plan")
+    _add_domain_source(p)
+    p.add_argument("--ranks", type=int, default=1024)
+    p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser("profile", help="step-time breakdown of one domain")
+    p.add_argument("--nx", type=int, required=True)
+    p.add_argument("--ny", type=int, required=True)
+    p.add_argument("--ranks", type=int, default=512)
+    p.add_argument("--machine", choices=sorted(_MACHINES), default="bgl")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("experiment", help="run a paper table/figure driver")
+    p.add_argument("name", choices=sorted(_EXPERIMENTS))
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("recommend",
+                       help="sweep scales/strategies and recommend a setup")
+    _add_domain_source(p)
+    p.add_argument("--machine", choices=sorted(_MACHINES), default="bgl")
+    p.add_argument("--min-ranks", type=int, default=64, dest="min_ranks")
+    p.add_argument("--max-ranks", type=int, default=1024, dest="max_ranks")
+    p.add_argument("--efficiency-floor", type=float, default=0.5,
+                   dest="efficiency_floor")
+    p.add_argument("--io", choices=["none", "pnetcdf", "split"], default="none")
+    p.set_defaults(func=_cmd_recommend)
+
+    p = sub.add_parser("report",
+                       help="run experiment drivers and write a markdown report")
+    p.add_argument("names", nargs="+",
+                   choices=sorted(_EXPERIMENTS) + ["all"],
+                   help="experiment names, or 'all'")
+    p.add_argument("--output", "-o", help="output file (default: stdout)")
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

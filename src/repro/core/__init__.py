@@ -1,0 +1,52 @@
+"""The paper's primary contribution.
+
+Three cooperating pieces (paper Sec 3):
+
+* :mod:`repro.core.prediction` — Delaunay/barycentric performance model
+  predicting relative nest execution times from (aspect ratio, points).
+* :mod:`repro.core.allocation` — Huffman-tree-driven recursive bisection of
+  the 2-D processor grid into per-sibling rectangles (Algorithm 1).
+* :mod:`repro.core.mapping` — 2D->3D torus mapping heuristics
+  (topology-oblivious, TXYZ, partition mapping, multi-level folding).
+* :mod:`repro.core.scheduler` — strategies tying it together: the WRF
+  default sequential execution and the paper's parallel-siblings plan.
+"""
+
+from repro.core.prediction import PerformanceModel, NaivePointsModel
+from repro.core.allocation import (
+    HuffmanTree,
+    partition_grid,
+    naive_strip_partition,
+    equal_partition,
+)
+from repro.core.mapping import (
+    Mapping,
+    SlotSpace,
+    ObliviousMapping,
+    TxyzMapping,
+    PartitionMapping,
+    MultiLevelMapping,
+)
+from repro.core.scheduler import (
+    ExecutionPlan,
+    SequentialStrategy,
+    ParallelSiblingsStrategy,
+)
+
+__all__ = [
+    "PerformanceModel",
+    "NaivePointsModel",
+    "HuffmanTree",
+    "partition_grid",
+    "naive_strip_partition",
+    "equal_partition",
+    "Mapping",
+    "SlotSpace",
+    "ObliviousMapping",
+    "TxyzMapping",
+    "PartitionMapping",
+    "MultiLevelMapping",
+    "ExecutionPlan",
+    "SequentialStrategy",
+    "ParallelSiblingsStrategy",
+]

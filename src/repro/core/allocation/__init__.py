@@ -1,0 +1,37 @@
+"""Processor allocation: partitioning the 2-D processor grid (Sec 3.2).
+
+Given predicted execution-time ratios of ``k`` sibling nests, Algorithm 1
+of the paper carves the ``Px x Py`` virtual processor grid into ``k``
+disjoint rectangles whose areas are proportional to the ratios, keeping
+every rectangle as square-like as possible:
+
+1. build a Huffman tree over the ratios (:mod:`~repro.core.allocation.huffman`),
+2. traverse its internal nodes breadth-first, splitting the current
+   rectangle along its *longer* dimension in the ratio of the left/right
+   subtree weights (:mod:`~repro.core.allocation.splittree`).
+
+Two baselines the paper compares against are provided:
+:func:`naive_strip_partition` (consecutive strips proportional to point
+counts — Sec 4.6) and :func:`equal_partition` (equal areas — Sec 3.2's
+"simple strategy").
+"""
+
+from repro.core.allocation.huffman import HuffmanNode, HuffmanTree
+from repro.core.allocation.splittree import split_tree_partition
+from repro.core.allocation.partition import (
+    Allocation,
+    partition_grid,
+    allocation_error,
+)
+from repro.core.allocation.baselines import naive_strip_partition, equal_partition
+
+__all__ = [
+    "HuffmanNode",
+    "HuffmanTree",
+    "split_tree_partition",
+    "Allocation",
+    "partition_grid",
+    "allocation_error",
+    "naive_strip_partition",
+    "equal_partition",
+]

@@ -1,0 +1,85 @@
+"""Baseline allocation policies the paper compares against.
+
+* :func:`naive_strip_partition` — "a naive strategy of subdividing the
+  processor space into consecutive rectangular chunks based on the total
+  number of points in the sibling" (Sec 4.6). Vertical strips of full
+  grid height, widths proportional to the weights.
+* :func:`equal_partition` — "a simple processor allocation strategy is to
+  equally subdivide the total number of processors among the nested
+  simulations" (Sec 3.2), here as equal-width strips.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import AllocationError
+from repro.core.allocation.partition import Allocation, validate_tiling
+from repro.runtime.process_grid import GridRect, ProcessGrid
+
+__all__ = ["naive_strip_partition", "equal_partition", "strip_partition"]
+
+
+def strip_partition(
+    grid: ProcessGrid, weights: Sequence[float], *, validate: bool = True
+) -> Allocation:
+    """Full-height vertical strips with widths proportional to *weights*.
+
+    The last strip absorbs rounding remainders. Every strip must end up
+    at least one column wide.
+    """
+    if not weights:
+        raise AllocationError("need at least one weight")
+    total = float(sum(weights))
+    if total <= 0:
+        raise AllocationError("weights must sum to a positive value")
+    k = len(weights)
+    if k > grid.px:
+        raise AllocationError(
+            f"{k} strips cannot fit in {grid.px} processor columns"
+        )
+    norm = [float(w) / total for w in weights]
+
+    widths: List[int] = []
+    remaining_cols = grid.px
+    remaining_weight = 1.0
+    for i, w in enumerate(norm):
+        strips_left = k - i
+        if i == k - 1:
+            width = remaining_cols
+        else:
+            width = round(remaining_cols * (w / remaining_weight))
+            width = max(1, min(width, remaining_cols - (strips_left - 1)))
+        widths.append(width)
+        remaining_cols -= width
+        remaining_weight -= w
+    if remaining_cols != 0:  # pragma: no cover - defensive
+        raise AllocationError("strip widths failed to consume the grid")
+
+    rects: List[GridRect] = []
+    x = 0
+    for width in widths:
+        rects.append(GridRect(x, 0, width, grid.py))
+        x += width
+    if validate:
+        validate_tiling(grid, rects)
+    return Allocation(grid=grid, rects=tuple(rects), ratios=tuple(norm))
+
+
+def naive_strip_partition(
+    grid: ProcessGrid, points: Sequence[int], *, validate: bool = True
+) -> Allocation:
+    """The Sec 4.6 baseline: strips proportional to sibling *point counts*."""
+    for i, p in enumerate(points):
+        if p <= 0:
+            raise AllocationError(f"points[{i}] must be positive, got {p}")
+    return strip_partition(grid, [float(p) for p in points], validate=validate)
+
+
+def equal_partition(
+    grid: ProcessGrid, num_siblings: int, *, validate: bool = True
+) -> Allocation:
+    """The Sec 3.2 baseline: equal shares regardless of workload."""
+    if num_siblings <= 0:
+        raise AllocationError(f"num_siblings must be positive, got {num_siblings}")
+    return strip_partition(grid, [1.0] * num_siblings, validate=validate)

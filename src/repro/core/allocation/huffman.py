@@ -1,0 +1,130 @@
+"""Huffman trees over execution-time ratios.
+
+Algorithm 1 (line 1) builds a Huffman tree with the sibling execution-time
+ratios as weights. The classic greedy construction — repeatedly merge the
+two lightest subtrees — yields a binary tree in which, at every internal
+node, the left and right subtrees carry fairly balanced total weight; the
+split-tree walks this structure to cut the processor grid.
+
+Determinism: ties are broken by insertion order (earlier-created subtrees
+first), so two runs over the same ratios produce identical trees and
+therefore identical partitions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.errors import AllocationError
+
+__all__ = ["HuffmanNode", "HuffmanTree"]
+
+
+@dataclass
+class HuffmanNode:
+    """A node of the Huffman tree.
+
+    Leaves carry ``item`` (the sibling index) and its weight; internal
+    nodes carry the sum of their children's weights.
+    """
+
+    weight: float
+    item: Optional[int] = None
+    left: Optional["HuffmanNode"] = None
+    right: Optional["HuffmanNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node is a leaf (i.e. a sibling domain)."""
+        return self.item is not None
+
+    def leaves(self) -> List[int]:
+        """Sibling indices under this node, left to right."""
+        if self.is_leaf:
+            assert self.item is not None
+            return [self.item]
+        out: List[int] = []
+        if self.left is not None:
+            out.extend(self.left.leaves())
+        if self.right is not None:
+            out.extend(self.right.leaves())
+        return out
+
+    def depth(self) -> int:
+        """Height of the subtree (a leaf has depth 0)."""
+        if self.is_leaf:
+            return 0
+        depths = [c.depth() for c in (self.left, self.right) if c is not None]
+        return 1 + max(depths, default=0)
+
+
+class HuffmanTree:
+    """A Huffman tree over non-negative weights.
+
+    Parameters
+    ----------
+    weights:
+        One weight per sibling (the predicted execution-time ratios).
+        All must be positive — a sibling predicted to take zero time
+        would receive zero processors, which WRF cannot run with.
+    """
+
+    def __init__(self, weights: Sequence[float]):
+        if not weights:
+            raise AllocationError("HuffmanTree needs at least one weight")
+        for i, w in enumerate(weights):
+            if not (w > 0):
+                raise AllocationError(f"weight[{i}] must be positive, got {w}")
+        self._weights = [float(w) for w in weights]
+        self._root = self._build(self._weights)
+
+    @staticmethod
+    def _build(weights: Sequence[float]) -> HuffmanNode:
+        counter = itertools.count()
+        heap: List[tuple[float, int, HuffmanNode]] = [
+            (w, next(counter), HuffmanNode(weight=w, item=i))
+            for i, w in enumerate(weights)
+        ]
+        heapq.heapify(heap)
+        while len(heap) > 1:
+            wl, _, left = heapq.heappop(heap)
+            wr, _, right = heapq.heappop(heap)
+            node = HuffmanNode(weight=wl + wr, left=left, right=right)
+            heapq.heappush(heap, (node.weight, next(counter), node))
+        return heap[0][2]
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> HuffmanNode:
+        """The tree root (a leaf when there is a single sibling)."""
+        return self._root
+
+    @property
+    def weights(self) -> List[float]:
+        """The input weights (a copy)."""
+        return list(self._weights)
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of siblings."""
+        return len(self._weights)
+
+    def internal_nodes_bfs(self) -> Iterator[HuffmanNode]:
+        """Internal nodes in breadth-first order (Algorithm 1, line 2)."""
+        queue = [self._root]
+        while queue:
+            node = queue.pop(0)
+            if node.is_leaf:
+                continue
+            yield node
+            if node.left is not None:
+                queue.append(node.left)
+            if node.right is not None:
+                queue.append(node.right)
+
+    def subtree_weight(self, node: HuffmanNode) -> float:
+        """Total leaf weight under *node* (equals ``node.weight``)."""
+        return sum(self._weights[i] for i in node.leaves())

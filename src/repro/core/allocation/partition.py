@@ -1,0 +1,99 @@
+"""The public allocation entry point and allocation quality metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import AllocationError
+from repro.core.allocation.huffman import HuffmanTree
+from repro.core.allocation.splittree import split_tree_partition
+from repro.runtime.process_grid import GridRect, ProcessGrid
+
+__all__ = ["Allocation", "partition_grid", "allocation_error", "validate_tiling"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """The result of partitioning a processor grid among siblings.
+
+    Attributes
+    ----------
+    grid:
+        The full virtual processor grid.
+    rects:
+        One rectangle per sibling, indexed like the input ratios.
+    ratios:
+        The (normalised) execution-time ratios that drove the partition.
+    """
+
+    grid: ProcessGrid
+    rects: tuple[GridRect, ...]
+    ratios: tuple[float, ...]
+
+    @property
+    def num_siblings(self) -> int:
+        """Number of sibling allocations."""
+        return len(self.rects)
+
+    def processors_for(self, sibling: int) -> int:
+        """Processor count allocated to *sibling*."""
+        return self.rects[sibling].area
+
+    def share_of(self, sibling: int) -> float:
+        """Fraction of the grid allocated to *sibling*."""
+        return self.rects[sibling].area / self.grid.size
+
+
+def validate_tiling(grid: ProcessGrid, rects: Sequence[GridRect]) -> None:
+    """Assert that *rects* exactly tile *grid* (disjoint + full cover)."""
+    total = 0
+    for i, r in enumerate(rects):
+        if r.x1 > grid.px or r.y1 > grid.py:
+            raise AllocationError(f"rect {i} {r} exceeds grid {grid.shape}")
+        total += r.area
+        for j in range(i + 1, len(rects)):
+            if r.overlaps(rects[j]):
+                raise AllocationError(f"rects {i} and {j} overlap: {r} vs {rects[j]}")
+    if total != grid.size:
+        raise AllocationError(
+            f"rectangles cover {total} processors, grid has {grid.size}"
+        )
+
+
+def partition_grid(
+    grid: ProcessGrid, ratios: Sequence[float], *, validate: bool = True
+) -> Allocation:
+    """Partition *grid* among siblings in proportion to *ratios*.
+
+    This is the paper's allocation method: Huffman tree over the ratios,
+    then the balanced split-tree of Algorithm 1. Ratios are normalised
+    internally; their absolute scale is irrelevant (only *relative*
+    execution times matter — paper Sec 3.1).
+    """
+    if not ratios:
+        raise AllocationError("need at least one sibling ratio")
+    total = float(sum(ratios))
+    if total <= 0:
+        raise AllocationError(f"ratios must sum to a positive value, got {total}")
+    norm = tuple(float(r) / total for r in ratios)
+
+    tree = HuffmanTree(norm)
+    rect_map: Dict[int, GridRect] = split_tree_partition(tree, grid.full_rect())
+    rects = tuple(rect_map[i] for i in range(len(norm)))
+    if validate:
+        validate_tiling(grid, rects)
+    return Allocation(grid=grid, rects=rects, ratios=norm)
+
+
+def allocation_error(alloc: Allocation) -> float:
+    """Worst relative deviation of processor share from the ideal ratio.
+
+    0.0 means every sibling got exactly its proportional share; integer
+    rounding makes small deviations unavoidable.
+    """
+    worst = 0.0
+    for i, ratio in enumerate(alloc.ratios):
+        share = alloc.share_of(i)
+        worst = max(worst, abs(share - ratio) / ratio)
+    return worst

@@ -1,0 +1,152 @@
+"""Algorithm 1: the balanced split-tree over the processor grid.
+
+The Huffman tree's internal nodes are visited breadth-first; each node
+owns a rectangle of the processor grid (the root owns all of it) and cuts
+it **along the longer dimension** in the ratio of the left/right subtree
+weights (paper lines 5-18). Cutting the longer dimension keeps the leaf
+rectangles as square-like as possible, minimising the difference between
+x- and y-direction communication volumes (Fig 4).
+
+Integer rounding: the cut position is the nearest integer to the exact
+proportional split, clamped so each side keeps at least one processor
+row/column *and* enough area for every sibling in its subtree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import AllocationError
+from repro.core.allocation.huffman import HuffmanNode, HuffmanTree
+from repro.runtime.process_grid import GridRect
+
+__all__ = ["split_tree_partition", "proportional_split"]
+
+
+def proportional_split(
+    length: int, w_left: float, w_right: float, min_left: int = 1, min_right: int = 1
+) -> int:
+    """Integer size of the left part when cutting *length* in ratio Wl:Wr.
+
+    Rounds to nearest; clamps to ``[min_left, length - min_right]``.
+    """
+    if length < min_left + min_right:
+        raise AllocationError(
+            f"cannot split extent {length} into parts of at least "
+            f"{min_left} and {min_right}"
+        )
+    total = w_left + w_right
+    if total <= 0:
+        raise AllocationError("split weights must sum to a positive value")
+    exact = length * (w_left / total)
+    left = int(round(exact))
+    return max(min_left, min(left, length - min_right))
+
+
+def _min_extent_for(node: HuffmanNode, other_extent: int) -> int:
+    """Minimum extent along the cut dimension so *node*'s leaves fit.
+
+    Each sibling needs at least one processor, so a subtree with ``m``
+    leaves needs area ``>= m``: extent ``>= ceil(m / other_extent)``.
+    """
+    m = len(node.leaves())
+    return max(1, -(-m // other_extent))
+
+
+def _try_cut(
+    rect: GridRect, wl: float, wr: float, leaves_l: int, leaves_r: int
+) -> tuple[GridRect, GridRect] | None:
+    """Cut *rect* proportionally, preferring the longer dimension.
+
+    Falls back to the shorter dimension when the longer one cannot host
+    both subtrees' leaf counts; returns ``None`` when neither can.
+    """
+    horizontal_first = rect.width >= rect.height
+    for cut_x in ((True, False) if horizontal_first else (False, True)):
+        if cut_x:
+            extent, cross = rect.width, rect.height
+        else:
+            extent, cross = rect.height, rect.width
+        min_l = max(1, -(-leaves_l // cross))
+        min_r = max(1, -(-leaves_r // cross))
+        if min_l + min_r > extent:
+            continue
+        cut = proportional_split(extent, wl, wr, min_l, min_r)
+        return rect.split_horizontal(cut) if cut_x else rect.split_vertical(cut)
+    return None
+
+
+def _partition_items(
+    items: List[tuple[int, float]], rect: GridRect, out: Dict[int, GridRect]
+) -> None:
+    """Recursive bisection of an item list, robust to extreme leaf counts.
+
+    Used when the Huffman-guided cut is infeasible (many siblings on a
+    tiny grid): items are rebalanced into count-halves, which is always
+    cuttable when the rectangle has enough area.
+    """
+    if len(items) == 1:
+        out[items[0][0]] = rect
+        return
+    half = len(items) // 2
+    left, right = items[:half], items[half:]
+    wl = sum(w for _, w in left)
+    wr = sum(w for _, w in right)
+    cut = _try_cut(rect, wl, wr, len(left), len(right))
+    if cut is None:
+        raise AllocationError(
+            f"cannot tile {rect.width}x{rect.height} among {len(items)} siblings"
+        )
+    _partition_items(left, cut[0], out)
+    _partition_items(right, cut[1], out)
+
+
+def split_tree_partition(tree: HuffmanTree, grid_rect: GridRect) -> Dict[int, GridRect]:
+    """Partition *grid_rect* among the tree's leaves (Algorithm 1).
+
+    Returns a mapping from sibling index (the Huffman leaf item) to its
+    allocated :class:`~repro.runtime.process_grid.GridRect`. The
+    rectangles exactly tile *grid_rect*.
+
+    When a Huffman-guided cut is geometrically infeasible (the subtree
+    leaf counts cannot fit either cut direction — only possible with
+    nearly as many siblings as processors), that subtree degrades to a
+    count-balanced recursive bisection so every sibling still receives a
+    non-empty rectangle.
+    """
+    if tree.num_leaves > grid_rect.area:
+        raise AllocationError(
+            f"{tree.num_leaves} siblings cannot share {grid_rect.area} processors"
+        )
+    rects: Dict[int, GridRect] = {}
+
+    def assign(node: HuffmanNode, rect: GridRect) -> None:
+        if node.is_leaf:
+            assert node.item is not None
+            rects[node.item] = rect
+            return
+        left, right = node.left, node.right
+        assert left is not None and right is not None
+        wl = tree.subtree_weight(left)
+        wr = tree.subtree_weight(right)
+        cut = _try_cut(rect, wl, wr, len(left.leaves()), len(right.leaves()))
+        if cut is None:
+            items = [(i, tree.weights[i]) for i in node.leaves()]
+            _partition_items(items, rect, rects)
+            return
+        assign(left, cut[0])
+        assign(right, cut[1])
+
+    assign(tree.root, grid_rect)
+
+    missing = set(range(tree.num_leaves)) - set(rects)
+    if missing:  # pragma: no cover - defensive
+        raise AllocationError(f"siblings {sorted(missing)} received no rectangle")
+    return rects
+
+
+def partition_squareness(rects: List[GridRect]) -> float:
+    """Mean squareness of a partition — the Fig 4 quality metric."""
+    if not rects:
+        raise AllocationError("no rectangles to score")
+    return sum(r.squareness() for r in rects) / len(rects)

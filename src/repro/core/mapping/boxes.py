@@ -1,0 +1,165 @@
+"""Assignment of slot-space sub-boxes to processor-grid rectangles.
+
+The partition-aware mappings need each sibling's rectangle to land on a
+*contiguous* region of the torus. Rectangles produced by Algorithm 1 form
+a guillotine tiling of the processor grid, so we can recover the cut tree
+(every guillotine tiling has a full-width or full-height cut separating
+the rectangles into two groups) and mirror it in slot space: each cut
+splits the current slot box perpendicular to one of its axes such that the
+two sides' volumes equal the two groups' rank counts exactly.
+
+When no axis admits an exact integer split (volumes not divisible by the
+cross-section), the affected group keeps the whole box and its rectangles
+are later filled via contiguous snake segments — locality degrades but the
+mapping stays valid. The same applies to non-guillotine inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mapping.base import Box
+from repro.errors import MappingError
+from repro.runtime.process_grid import GridRect
+
+__all__ = ["find_guillotine_cut", "assign_boxes", "BoxAssignment"]
+
+#: rect index -> (its own Box, fold orientation), or a shared Box for a
+#: group that could not be split exactly (the group's rects take snake
+#: segments of the shared box).
+BoxAssignment = Tuple[Dict[int, Tuple[Box, int]], Dict[int, Tuple[Box, Sequence[int]]]]
+
+
+def find_guillotine_cut(
+    rects: Sequence[GridRect], indices: Sequence[int]
+) -> Optional[Tuple[str, int]]:
+    """Find a full cut line separating *indices* into two non-empty groups.
+
+    Returns ``("x", c)`` for a vertical line at ``x = c`` or ``("y", c)``
+    for a horizontal line, or ``None`` when the sub-tiling is not
+    guillotine-separable. Cuts are searched at every rectangle boundary.
+    """
+    xs = sorted({rects[i].x1 for i in indices})
+    ys = sorted({rects[i].y1 for i in indices})
+    max_x = max(rects[i].x1 for i in indices)
+    max_y = max(rects[i].y1 for i in indices)
+    for c in xs:
+        if c == max_x:
+            continue
+        if all(rects[i].x1 <= c or rects[i].x0 >= c for i in indices):
+            return ("x", c)
+    for c in ys:
+        if c == max_y:
+            continue
+        if all(rects[i].y1 <= c or rects[i].y0 >= c for i in indices):
+            return ("y", c)
+    return None
+
+
+def _split_box_exact(
+    box: Box, vol_left: int, axis_order: Sequence[int]
+) -> Optional[Tuple[Box, Box]]:
+    """Split *box* perpendicular to some axis into exact volumes.
+
+    *axis_order* lists the axes (0=x, 1=y, 2=s) in preference order —
+    partition mapping prefers slicing depth planes (Fig 6(a)) while the
+    multi-level mapping prefers keeping boxes deep so folds have layers
+    to work with (Fig 6(b)). Returns ``None`` when no axis gives an
+    integer cut.
+    """
+    for ax in axis_order:
+        extent = box.extents[ax]
+        cross = box.volume // extent
+        if vol_left % cross:
+            continue
+        cut = vol_left // cross
+        if not (0 < cut < extent):
+            continue
+        if ax == 0:
+            return (
+                Box(box.x0, box.y0, box.s0, cut, box.h, box.d),
+                Box(box.x0 + cut, box.y0, box.s0, box.w - cut, box.h, box.d),
+            )
+        if ax == 1:
+            return (
+                Box(box.x0, box.y0, box.s0, box.w, cut, box.d),
+                Box(box.x0, box.y0 + cut, box.s0, box.w, box.h - cut, box.d),
+            )
+        return (
+            Box(box.x0, box.y0, box.s0, box.w, box.h, cut),
+            Box(box.x0, box.y0, box.s0 + cut, box.w, box.h, box.d - cut),
+        )
+    return None
+
+
+def _axis_order(box: Box, prefer_depth_cut: bool) -> List[int]:
+    """Axis preference for exact splits.
+
+    ``prefer_depth_cut=True`` (partition mapping) slices depth planes
+    first, then the longer horizontal axis. ``False`` (multi-level)
+    cuts horizontal axes first (longest first), keeping depth for folds.
+    """
+    horiz = sorted((0, 1), key=lambda ax: -box.extents[ax])
+    if prefer_depth_cut:
+        return [2, *horiz]
+    return [*horiz, 2]
+
+
+def assign_boxes(
+    rects: Sequence[GridRect], box: Box, *, prefer_depth_cut: bool = True
+) -> BoxAssignment:
+    """Assign every rectangle a contiguous slot region inside *box*.
+
+    Returns ``(own, shared)``: ``own[i]`` is ``(rect i's private box,
+    fold orientation)`` — orientations alternate across every guillotine
+    cut so neighbouring partitions fold in opposite directions (the
+    Fig 6(b) seam trick); ``shared[i] = (group_box, group_indices)``
+    marks rect *i* as part of a group sharing ``group_box`` via snake
+    segments (ordered by rectangle position).
+    """
+    total = sum(r.area for r in rects)
+    if total != box.volume:
+        raise MappingError(
+            f"rectangles cover {total} ranks, box holds {box.volume} slots"
+        )
+    own: Dict[int, Tuple[Box, int]] = {}
+    shared: Dict[int, Tuple[Box, Sequence[int]]] = {}
+    _assign(rects, list(range(len(rects))), box, own, shared, prefer_depth_cut, 0)
+    return own, shared
+
+
+def _assign(
+    rects: Sequence[GridRect],
+    indices: List[int],
+    box: Box,
+    own: Dict[int, Tuple[Box, int]],
+    shared: Dict[int, Tuple[Box, Sequence[int]]],
+    prefer_depth_cut: bool,
+    orientation: int,
+) -> None:
+    if len(indices) == 1:
+        own[indices[0]] = (box, orientation)
+        return
+    cut = find_guillotine_cut(rects, indices)
+    if cut is not None:
+        axis, c = cut
+        if axis == "x":
+            left = [i for i in indices if rects[i].x1 <= c]
+            right = [i for i in indices if rects[i].x0 >= c]
+        else:
+            left = [i for i in indices if rects[i].y1 <= c]
+            right = [i for i in indices if rects[i].y0 >= c]
+        vol_left = sum(rects[i].area for i in left)
+        halves = _split_box_exact(box, vol_left, _axis_order(box, prefer_depth_cut))
+        if halves is not None:
+            _assign(rects, left, halves[0], own, shared, prefer_depth_cut, orientation)
+            _assign(
+                rects, right, halves[1], own, shared, prefer_depth_cut, orientation ^ 1
+            )
+            return
+    # No guillotine cut or no exact box split: the whole group shares the
+    # box via contiguous snake segments, ordered by grid position so
+    # neighbouring rectangles get neighbouring segments.
+    order = sorted(indices, key=lambda i: (rects[i].y0, rects[i].x0))
+    for i in order:
+        shared[i] = (box, tuple(order))

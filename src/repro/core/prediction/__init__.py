@@ -1,0 +1,37 @@
+"""Performance prediction of nested simulations (paper Sec 3.1).
+
+Execution time of a nest is predicted by piecewise-linear interpolation
+over the 2-D feature space *(aspect ratio, total points)*:
+
+1. a small basis set (13 domains in the paper) is profiled once,
+2. the basis points are Delaunay-triangulated
+   (:mod:`~repro.core.prediction.delaunay`, a from-scratch Bowyer-Watson
+   implementation),
+3. a query domain falls inside one triangle and its time is the
+   barycentric combination of the triangle's vertex times
+   (:mod:`~repro.core.prediction.barycentric`),
+4. queries outside the basis hull are scaled down into the covered
+   region; the result scales back, preserving *relative* times, which is
+   all the allocator needs.
+
+The naive baseline the paper reports >19% error for — time proportional
+to the point count alone — is in :mod:`~repro.core.prediction.naive`.
+"""
+
+from repro.core.prediction.delaunay import Triangulation, delaunay_triangulation
+from repro.core.prediction.barycentric import barycentric_coordinates, interpolate
+from repro.core.prediction.model import PerformanceModel, ProfiledDomain
+from repro.core.prediction.naive import NaivePointsModel
+from repro.core.prediction.basis import select_basis, generate_candidates
+
+__all__ = [
+    "Triangulation",
+    "delaunay_triangulation",
+    "barycentric_coordinates",
+    "interpolate",
+    "PerformanceModel",
+    "ProfiledDomain",
+    "NaivePointsModel",
+    "select_basis",
+    "generate_candidates",
+]

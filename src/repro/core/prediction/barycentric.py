@@ -1,0 +1,68 @@
+"""Barycentric interpolation inside a triangle (paper Eqs 1-4).
+
+Given a triangle with vertices :math:`A(x_1,y_1), B(x_2,y_2), C(x_3,y_3)`
+and a point :math:`P(x,y)` inside it, the barycentric coordinates are
+
+.. math::
+
+    \\lambda_1 = \\frac{(y_2-y_3)(x-x_3) + (x_3-x_2)(y-y_3)}{D}, \\quad
+    \\lambda_2 = \\frac{(y_3-y_1)(x-x_3) + (x_1-x_3)(y-y_3)}{D}
+
+with :math:`D = (y_2-y_3)(x_1-x_3) + (x_3-x_2)(y_1-y_3)`, and
+
+.. math:: \\lambda_3 = 1 - \\lambda_1 - \\lambda_2.
+
+Note: the paper's Eq (3) prints ":math:`\\lambda_3 = \\lambda_1 -
+\\lambda_2`", a typo — barycentric coordinates must sum to one (that is
+what makes the interpolant reproduce linear functions exactly, which the
+property tests verify). We implement the correct identity.
+
+The predicted time is :math:`T_D = \\lambda_1 T_A + \\lambda_2 T_B +
+\\lambda_3 T_C` (Eq 4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import GeometryError
+
+__all__ = ["barycentric_coordinates", "interpolate"]
+
+Point = Tuple[float, float]
+
+
+def barycentric_coordinates(
+    p: Point, a: Point, b: Point, c: Point
+) -> Tuple[float, float, float]:
+    """Barycentric coordinates of *p* with respect to triangle *abc*.
+
+    Raises :class:`~repro.errors.GeometryError` for a degenerate
+    (zero-area) triangle. Coordinates may be negative when *p* lies
+    outside the triangle; they always sum to exactly 1 up to rounding.
+    """
+    x, y = p
+    x1, y1 = a
+    x2, y2 = b
+    x3, y3 = c
+    denom = (y2 - y3) * (x1 - x3) + (x3 - x2) * (y1 - y3)
+    if denom == 0.0:
+        raise GeometryError(f"degenerate triangle {a}, {b}, {c}")
+    l1 = ((y2 - y3) * (x - x3) + (x3 - x2) * (y - y3)) / denom
+    l2 = ((y3 - y1) * (x - x3) + (x1 - x3) * (y - y3)) / denom
+    l3 = 1.0 - l1 - l2  # the corrected Eq (3)
+    return (l1, l2, l3)
+
+
+def interpolate(
+    p: Point,
+    vertices: Sequence[Point],
+    values: Sequence[float],
+) -> float:
+    """Eq (4): interpolate *values* given at triangle *vertices* to *p*."""
+    if len(vertices) != 3 or len(values) != 3:
+        raise GeometryError(
+            f"need exactly 3 vertices and values, got {len(vertices)}/{len(values)}"
+        )
+    l1, l2, l3 = barycentric_coordinates(p, vertices[0], vertices[1], vertices[2])
+    return l1 * values[0] + l2 * values[1] + l3 * values[2]

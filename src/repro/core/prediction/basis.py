@@ -1,0 +1,128 @@
+"""Basis-set selection for the performance model.
+
+The paper randomly generated "a large number" of candidate domains with
+sizes 94x124 .. 415x445 and aspect ratios 0.5-1.5, then manually selected
+13 that "nicely cover the rectangular region" spanned by the extremes and
+"could be triangulated well". We automate the manual step with a greedy
+maximin-dispersion pick over the *normalised* feature rectangle, seeded
+with the four corners of the candidate cloud so the convex hull covers as
+much of the query region as possible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import PredictionError
+from repro.util.rng import SeedLike, make_rng
+from repro.wrf.grid import DomainSpec
+
+__all__ = ["generate_candidates", "select_basis"]
+
+#: The paper's candidate ranges (Sec 3.1 / 4.1.2).
+MIN_SIZE = (94, 124)
+MAX_SIZE = (415, 445)
+ASPECT_RANGE = (0.5, 1.5)
+BASIS_SIZE = 13
+
+
+def generate_candidates(
+    count: int,
+    *,
+    seed: SeedLike = None,
+    min_points: int | None = None,
+    max_points: int | None = None,
+    aspect_range: Tuple[float, float] = ASPECT_RANGE,
+) -> List[DomainSpec]:
+    """Random nest-domain candidates in the paper's ranges.
+
+    Each candidate draws an aspect ratio and a point count uniformly and
+    solves for ``nx = sqrt(points * aspect)``, ``ny = nx / aspect``.
+    """
+    if count <= 0:
+        raise PredictionError(f"count must be positive, got {count}")
+    rng = make_rng(seed)
+    lo = min_points if min_points is not None else MIN_SIZE[0] * MIN_SIZE[1]
+    hi = max_points if max_points is not None else MAX_SIZE[0] * MAX_SIZE[1]
+    a_lo, a_hi = aspect_range
+    out: List[DomainSpec] = []
+    for i in range(count):
+        aspect = rng.uniform(a_lo, a_hi)
+        points = rng.uniform(lo, hi)
+        nx = max(4, round((points * aspect) ** 0.5))
+        ny = max(4, round(nx / aspect))
+        out.append(
+            DomainSpec(
+                name=f"cand{i:04d}",
+                nx=nx,
+                ny=ny,
+                dx_km=8.0,
+                parent="synthetic",
+                parent_start=(0, 0),
+                refinement=3,
+                level=1,
+            )
+        )
+    return out
+
+
+def _normalised_features(domains: Sequence[DomainSpec]) -> List[Tuple[float, float]]:
+    aspects = [d.aspect_ratio for d in domains]
+    points = [float(d.points) for d in domains]
+    a_lo, a_hi = min(aspects), max(aspects)
+    p_lo, p_hi = min(points), max(points)
+    a_span = max(a_hi - a_lo, 1e-12)
+    p_span = max(p_hi - p_lo, 1e-12)
+    return [
+        ((a - a_lo) / a_span, (p - p_lo) / p_span)
+        for a, p in zip(aspects, points)
+    ]
+
+
+def select_basis(
+    candidates: Sequence[DomainSpec], size: int = BASIS_SIZE
+) -> List[DomainSpec]:
+    """Pick *size* well-spread candidates (greedy maximin dispersion).
+
+    Seeds the selection with the candidates nearest the four corners of
+    the normalised feature rectangle, then repeatedly adds the candidate
+    farthest from the current set. The result covers the feature region
+    and triangulates without slivers.
+    """
+    if size < 3:
+        raise PredictionError(f"basis needs at least 3 domains, got {size}")
+    if len(candidates) < size:
+        raise PredictionError(
+            f"need at least {size} candidates, got {len(candidates)}"
+        )
+    feats = _normalised_features(candidates)
+
+    chosen: List[int] = []
+
+    def add_nearest_to(target: Tuple[float, float]) -> None:
+        best, best_d = -1, float("inf")
+        for i, f in enumerate(feats):
+            if i in chosen:
+                continue
+            d = (f[0] - target[0]) ** 2 + (f[1] - target[1]) ** 2
+            if d < best_d:
+                best, best_d = i, d
+        chosen.append(best)
+
+    for corner in ((0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)):
+        add_nearest_to(corner)
+
+    while len(chosen) < size:
+        best, best_d = -1, -1.0
+        for i, f in enumerate(feats):
+            if i in chosen:
+                continue
+            d = min(
+                (f[0] - feats[j][0]) ** 2 + (f[1] - feats[j][1]) ** 2
+                for j in chosen
+            )
+            if d > best_d:
+                best, best_d = i, d
+        chosen.append(best)
+
+    return [candidates[i] for i in chosen]

@@ -1,0 +1,227 @@
+"""Delaunay triangulation from scratch (Bowyer-Watson).
+
+The paper triangulates the convex hull of its 13 profiled basis points
+with a Delaunay triangulation (Fig 3(a)) — the triangulation maximising
+the minimum angle, which keeps the piecewise-linear interpolant
+well-conditioned. We implement the incremental Bowyer-Watson algorithm:
+
+1. start from a "super-triangle" enclosing all points,
+2. insert points one at a time; collect the triangles whose circumcircle
+   contains the new point (the *cavity*), remove them, and re-triangulate
+   the cavity boundary against the new point,
+3. finally drop every triangle touching the super-triangle.
+
+The empty-circumcircle invariant is property-tested against
+``scipy.spatial.Delaunay`` in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from repro.errors import GeometryError
+
+__all__ = ["Triangle", "Triangulation", "delaunay_triangulation"]
+
+Point = Tuple[float, float]
+
+#: Relative threshold below which float predicates fall back to exact
+#: rational arithmetic (floats convert to Fraction losslessly).
+_EXACT_THRESHOLD = 1e-10
+
+
+def _orient2d(a: Point, b: Point, c: Point) -> float:
+    """Twice the signed area of triangle abc (positive = counter-clockwise).
+
+    Near-degenerate cases are resolved with exact rational arithmetic so
+    the incremental construction never mis-classifies a sliver — the
+    failure mode that leaves holes in the triangulation.
+    """
+    det = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+    scale = (
+        abs(b[0] - a[0]) + abs(c[1] - a[1]) + abs(b[1] - a[1]) + abs(c[0] - a[0])
+    )
+    if abs(det) > _EXACT_THRESHOLD * max(scale * scale, 1e-300):
+        return det
+    ax, ay = Fraction(a[0]), Fraction(a[1])
+    bx, by = Fraction(b[0]), Fraction(b[1])
+    cx, cy = Fraction(c[0]), Fraction(c[1])
+    exact = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    if exact > 0:
+        return 1.0
+    if exact < 0:
+        return -1.0
+    return 0.0
+
+
+@dataclass(frozen=True)
+class Triangle:
+    """A triangle as indices into the point list, stored CCW."""
+
+    a: int
+    b: int
+    c: int
+
+    def vertices(self) -> Tuple[int, int, int]:
+        """The three vertex indices."""
+        return (self.a, self.b, self.c)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """The three edges with canonically ordered endpoints."""
+        pairs = [(self.a, self.b), (self.b, self.c), (self.c, self.a)]
+        return [(min(u, v), max(u, v)) for u, v in pairs]
+
+
+def _circumcircle_contains(pts: Sequence[Point], tri: Triangle, p: Point) -> bool:
+    """In-circle predicate: is *p* strictly inside tri's circumcircle?
+
+    Uses the standard 3x3 determinant with the lifted coordinates (the
+    triangle must be counter-clockwise for the sign convention), falling
+    back to exact rational arithmetic for near-cocircular cases.
+    """
+    ax, ay = pts[tri.a]
+    bx, by = pts[tri.b]
+    cx, cy = pts[tri.c]
+    dx, dy = p
+    adx, ady = ax - dx, ay - dy
+    bdx, bdy = bx - dx, by - dy
+    cdx, cdy = cx - dx, cy - dy
+    det = (
+        (adx * adx + ady * ady) * (bdx * cdy - cdx * bdy)
+        - (bdx * bdx + bdy * bdy) * (adx * cdy - cdx * ady)
+        + (cdx * cdx + cdy * cdy) * (adx * bdy - bdx * ady)
+    )
+    scale = (
+        (adx * adx + ady * ady)
+        + (bdx * bdx + bdy * bdy)
+        + (cdx * cdx + cdy * cdy)
+    )
+    if abs(det) > _EXACT_THRESHOLD * max(scale * scale, 1e-300):
+        return det > 0.0
+    fadx, fady = Fraction(ax) - Fraction(dx), Fraction(ay) - Fraction(dy)
+    fbdx, fbdy = Fraction(bx) - Fraction(dx), Fraction(by) - Fraction(dy)
+    fcdx, fcdy = Fraction(cx) - Fraction(dx), Fraction(cy) - Fraction(dy)
+    exact = (
+        (fadx * fadx + fady * fady) * (fbdx * fcdy - fcdx * fbdy)
+        - (fbdx * fbdx + fbdy * fbdy) * (fadx * fcdy - fcdx * fady)
+        + (fcdx * fcdx + fcdy * fcdy) * (fadx * fbdy - fbdx * fady)
+    )
+    return exact > 0
+
+
+@dataclass
+class Triangulation:
+    """The result: the input points and the triangle list."""
+
+    points: List[Point]
+    triangles: List[Triangle]
+
+    def locate(self, p: Point, *, eps: float = 1e-9) -> Triangle | None:
+        """The triangle containing *p* (inclusive of edges), or None.
+
+        Brute force over triangles — the basis sets here are tiny (13
+        points, ~16 triangles), so a point-location structure would be
+        pure overhead.
+        """
+        for tri in self.triangles:
+            a, b, c = (self.points[i] for i in tri.vertices())
+            d1 = _orient2d(a, b, p)
+            d2 = _orient2d(b, c, p)
+            d3 = _orient2d(c, a, p)
+            if d1 >= -eps and d2 >= -eps and d3 >= -eps:
+                return tri
+        return None
+
+    def contains(self, p: Point) -> bool:
+        """Whether *p* lies in the triangulated region (the convex hull)."""
+        return self.locate(p) is not None
+
+    def edge_set(self) -> set[Tuple[int, int]]:
+        """All undirected edges."""
+        out: set[Tuple[int, int]] = set()
+        for t in self.triangles:
+            out.update(t.edges())
+        return out
+
+
+def delaunay_triangulation(points: Sequence[Point]) -> Triangulation:
+    """Bowyer-Watson Delaunay triangulation of *points*.
+
+    Requires at least 3 points not all collinear; duplicate points are
+    rejected (the basis selector never produces them).
+    """
+    pts = [(float(x), float(y)) for x, y in points]
+    if len(pts) < 3:
+        raise GeometryError(f"need at least 3 points, got {len(pts)}")
+    if len(set(pts)) != len(pts):
+        raise GeometryError("duplicate points in triangulation input")
+
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    span = max(max(xs) - min(xs), max(ys) - min(ys), 1e-12)
+    cx = (max(xs) + min(xs)) / 2.0
+    cy = (max(ys) + min(ys)) / 2.0
+    # The super-triangle must lie outside the circumcircle of every real
+    # triangle, whose radius blows up as 1/sin(min angle) for
+    # near-collinear hull triples. A 1e9-span margin covers hull triples
+    # collinear to one part in ~1e9; the exact rational predicates keep
+    # the arithmetic robust at this scale. (Points *more* collinear than
+    # that could still produce boundary slivers — far beyond anything the
+    # dispersion-selected basis sets can contain.)
+    m = 1e9 * span
+    # Super-triangle vertices appended after the real points.
+    n = len(pts)
+    work = pts + [(cx - m, cy - m), (cx + m, cy - m), (cx, cy + m)]
+    sa, sb, sc = n, n + 1, n + 2
+
+    def ccw(i: int, j: int, k: int) -> Triangle:
+        if _orient2d(work[i], work[j], work[k]) < 0.0:
+            j, k = k, j
+        return Triangle(i, j, k)
+
+    triangles: List[Triangle] = [ccw(sa, sb, sc)]
+
+    for idx in range(n):
+        p = work[idx]
+        bad = [t for t in triangles if _circumcircle_contains(work, t, p)]
+        if not bad:
+            # Point exactly on an edge/cocircular boundary: fall back to
+            # the containing triangle so insertion still proceeds.
+            container = None
+            for t in triangles:
+                a, b, c = (work[i] for i in t.vertices())
+                if (
+                    _orient2d(a, b, p) >= 0
+                    and _orient2d(b, c, p) >= 0
+                    and _orient2d(c, a, p) >= 0
+                ):
+                    container = t
+                    break
+            if container is None:
+                raise GeometryError(f"failed to locate cavity for point {p}")
+            bad = [container]
+        # Cavity boundary: edges appearing in exactly one bad triangle.
+        edge_count: dict[Tuple[int, int], int] = {}
+        for t in bad:
+            for e in t.edges():
+                edge_count[e] = edge_count.get(e, 0) + 1
+        boundary = [e for e, cnt in edge_count.items() if cnt == 1]
+        triangles = [t for t in triangles if t not in bad]
+        for u, v in boundary:
+            if _orient2d(work[u], work[v], p) == 0.0:
+                continue  # collinear sliver; skip
+            triangles.append(ccw(u, v, idx))
+
+    # Remove triangles that touch the super-triangle.
+    result = [
+        t
+        for t in triangles
+        if all(v < n for v in t.vertices())
+    ]
+    if not result:
+        raise GeometryError(
+            "triangulation is empty — input points are collinear"
+        )
+    return Triangulation(points=pts, triangles=result)

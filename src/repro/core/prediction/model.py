@@ -1,0 +1,150 @@
+"""The Delaunay/barycentric performance model (paper Sec 3.1).
+
+Fit once from a small set of profiled domains (13 in the paper), then
+predict the execution time of any nest from its *(aspect ratio, points)*
+features. Features are normalised to the unit square before triangulation
+— aspect ratios span ~1 unit while point counts span ~10^5, so
+triangulating raw features would produce degenerate slivers.
+
+Out-of-hull queries are **scaled down into the covered region** along the
+point axis (the paper: "for larger domains ... we scale down to the region
+of coverage and then interpolate"; time scales back linearly with the
+point ratio, preserving relative times) and clamped along the aspect axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.prediction.barycentric import interpolate
+from repro.core.prediction.delaunay import Triangulation, delaunay_triangulation
+from repro.errors import PredictionError
+from repro.wrf.grid import DomainSpec
+
+__all__ = ["ProfiledDomain", "PerformanceModel"]
+
+
+@dataclass(frozen=True)
+class ProfiledDomain:
+    """One profiling observation: a domain and its measured step time."""
+
+    aspect: float
+    points: float
+    time: float
+
+    @classmethod
+    def from_domain(cls, spec: DomainSpec, time: float) -> "ProfiledDomain":
+        """Build from a :class:`~repro.wrf.grid.DomainSpec` and a time."""
+        if time <= 0:
+            raise PredictionError(f"profiled time must be positive, got {time}")
+        return cls(aspect=spec.aspect_ratio, points=float(spec.points), time=time)
+
+
+class PerformanceModel:
+    """Piecewise-linear interpolation over (aspect ratio, points)."""
+
+    def __init__(self, profiled: Sequence[ProfiledDomain]):
+        if len(profiled) < 3:
+            raise PredictionError(
+                f"need at least 3 profiled domains, got {len(profiled)}"
+            )
+        self._profiled = list(profiled)
+        aspects = [p.aspect for p in profiled]
+        points = [p.points for p in profiled]
+        self._a_lo, self._a_hi = min(aspects), max(aspects)
+        self._p_lo, self._p_hi = min(points), max(points)
+        if self._a_hi <= self._a_lo or self._p_hi <= self._p_lo:
+            raise PredictionError("profiled domains are degenerate in a feature")
+        self._tri: Triangulation = delaunay_triangulation(
+            [self._normalise(p.aspect, p.points) for p in profiled]
+        )
+        self._times = [p.time for p in profiled]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_measurements(
+        cls, domains: Sequence[DomainSpec], times: Sequence[float]
+    ) -> "PerformanceModel":
+        """Fit from parallel sequences of domains and measured times."""
+        if len(domains) != len(times):
+            raise PredictionError(
+                f"{len(domains)} domains but {len(times)} times"
+            )
+        return cls([ProfiledDomain.from_domain(d, t) for d, t in zip(domains, times)])
+
+    # ------------------------------------------------------------------
+    def _normalise(self, aspect: float, points: float) -> Tuple[float, float]:
+        return (
+            (aspect - self._a_lo) / (self._a_hi - self._a_lo),
+            (points - self._p_lo) / (self._p_hi - self._p_lo),
+        )
+
+    @property
+    def triangulation(self) -> Triangulation:
+        """The underlying normalised-feature triangulation (Fig 3(a))."""
+        return self._tri
+
+    @property
+    def num_basis(self) -> int:
+        """Number of profiled basis domains."""
+        return len(self._profiled)
+
+    # ------------------------------------------------------------------
+    def predict_features(self, aspect: float, points: float) -> float:
+        """Predict the step time for raw features."""
+        if aspect <= 0 or points <= 0:
+            raise PredictionError(
+                f"features must be positive, got aspect={aspect}, points={points}"
+            )
+        # Clamp aspect into the covered band (aspect extrapolation is
+        # second-order; the paper's queries stay within 0.5-1.5).
+        a = min(max(aspect, self._a_lo), self._a_hi)
+
+        # Scale the point count into coverage, remembering the factor.
+        scale = 1.0
+        pts = points
+        if pts > self._p_hi:
+            scale = pts / self._p_hi
+            pts = self._p_hi
+        elif pts < self._p_lo:
+            scale = pts / self._p_lo
+            pts = self._p_lo
+
+        p = self._normalise(a, pts)
+        tri = self._tri.locate(p)
+        if tri is None:
+            # Inside the bounding box but outside the hull: nudge toward
+            # the basis centroid until covered (bounded iterations).
+            cx = sum(q[0] for q in self._tri.points) / len(self._tri.points)
+            cy = sum(q[1] for q in self._tri.points) / len(self._tri.points)
+            q = p
+            for _ in range(60):
+                q = (0.9 * q[0] + 0.1 * cx, 0.9 * q[1] + 0.1 * cy)
+                tri = self._tri.locate(q)
+                if tri is not None:
+                    break
+            if tri is None:
+                raise PredictionError(
+                    f"query features {aspect, points} outside model coverage"
+                )
+            p = q
+        verts = [self._tri.points[i] for i in tri.vertices()]
+        vals = [self._times[i] for i in tri.vertices()]
+        return scale * interpolate(p, verts, vals)
+
+    def predict(self, spec: DomainSpec) -> float:
+        """Predict the step time of a domain."""
+        return self.predict_features(spec.aspect_ratio, float(spec.points))
+
+    def predict_ratios(self, specs: Sequence[DomainSpec]) -> List[float]:
+        """Normalised relative execution times — the allocator's input.
+
+        Matches the paper's observation that only *relative* times matter
+        for processor allocation (Sec 3.1).
+        """
+        times = [self.predict(s) for s in specs]
+        total = sum(times)
+        if total <= 0:
+            raise PredictionError("predicted times sum to a non-positive value")
+        return [t / total for t in times]

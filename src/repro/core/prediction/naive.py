@@ -1,0 +1,67 @@
+"""The naive univariate baseline model.
+
+"A naive approach is to assume that execution times are proportional to
+the number of points in the domain. However, our experiments indicate
+that a simple univariate linear model based on this feature results in
+more than 19% prediction errors." (paper Sec 3.1)
+
+The model is ``time = c * points`` with *c* fitted by least squares
+through the origin. It cannot distinguish a 200x400 domain from a 400x200
+one even though their x/y communication volumes differ — the failure mode
+the paper's aspect-ratio feature fixes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.prediction.model import ProfiledDomain
+from repro.errors import PredictionError
+from repro.wrf.grid import DomainSpec
+
+__all__ = ["NaivePointsModel"]
+
+
+class NaivePointsModel:
+    """``time = c * points`` fitted through the origin."""
+
+    def __init__(self, profiled: Sequence[ProfiledDomain]):
+        if not profiled:
+            raise PredictionError("need at least one profiled domain")
+        num = sum(p.points * p.time for p in profiled)
+        den = sum(p.points * p.points for p in profiled)
+        if den <= 0:
+            raise PredictionError("profiled domains have no points")
+        self._coeff = num / den
+
+    @classmethod
+    def from_measurements(
+        cls, domains: Sequence[DomainSpec], times: Sequence[float]
+    ) -> "NaivePointsModel":
+        """Fit from parallel sequences of domains and measured times."""
+        if len(domains) != len(times):
+            raise PredictionError(f"{len(domains)} domains but {len(times)} times")
+        return cls(
+            [ProfiledDomain.from_domain(d, t) for d, t in zip(domains, times)]
+        )
+
+    @property
+    def coefficient(self) -> float:
+        """Seconds per domain point."""
+        return self._coeff
+
+    def predict_features(self, aspect: float, points: float) -> float:
+        """Predict from features (*aspect* is ignored — that is the point)."""
+        if points <= 0:
+            raise PredictionError(f"points must be positive, got {points}")
+        return self._coeff * points
+
+    def predict(self, spec: DomainSpec) -> float:
+        """Predict the step time of a domain."""
+        return self.predict_features(spec.aspect_ratio, float(spec.points))
+
+    def predict_ratios(self, specs: Sequence[DomainSpec]) -> List[float]:
+        """Normalised relative times (proportional to point counts)."""
+        times = [self.predict(s) for s in specs]
+        total = sum(times)
+        return [t / total for t in times]

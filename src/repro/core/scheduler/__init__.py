@@ -1,0 +1,30 @@
+"""Execution strategies: the WRF default vs the paper's approach.
+
+A *strategy* turns (parent domain, sibling nests, processor grid) into an
+:class:`~repro.core.scheduler.plan.ExecutionPlan` describing which ranks
+run which nest:
+
+* :class:`SequentialStrategy` — the WRF default: every nest runs on the
+  full processor set, one after another.
+* :class:`ParallelSiblingsStrategy` — the paper's divide-and-conquer:
+  predict relative nest times, partition the grid proportionally
+  (Algorithm 1), and run all siblings concurrently on their rectangles.
+
+Plans are pure descriptions; :mod:`repro.perfsim` prices them on a
+machine model.
+"""
+
+from repro.core.scheduler.plan import ExecutionPlan, SiblingAssignment
+from repro.core.scheduler.strategies import (
+    Strategy,
+    SequentialStrategy,
+    ParallelSiblingsStrategy,
+)
+
+__all__ = [
+    "ExecutionPlan",
+    "SiblingAssignment",
+    "Strategy",
+    "SequentialStrategy",
+    "ParallelSiblingsStrategy",
+]

@@ -1,0 +1,128 @@
+"""Grouped execution: the spectrum between sequential and fully parallel.
+
+An extension of the paper's binary choice: split the ``k`` siblings into
+``g`` *groups*; groups run one after another, siblings *within* a group
+run concurrently on a partition of the grid. ``g = k`` recovers the
+sequential strategy (each group is one sibling on the full grid — the
+degenerate partition); ``g = 1`` recovers the fully parallel strategy.
+
+Intermediate ``g`` is interesting when nests are so large that a ``1/k``
+slice of the machine puts them deep into their scaling regime's steep
+part — the regime of the paper's Fig 10 at low processor counts, where
+full parallelism gains little.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.allocation.partition import partition_grid
+from repro.core.scheduler.plan import ExecutionPlan, SiblingAssignment
+from repro.core.scheduler.strategies import Predictor, Strategy
+from repro.errors import ConfigurationError
+from repro.runtime.process_grid import ProcessGrid
+from repro.wrf.grid import DomainSpec
+
+__all__ = ["GroupedStrategy", "balance_groups"]
+
+
+def balance_groups(
+    weights: Sequence[float], num_groups: int
+) -> List[List[int]]:
+    """Partition item indices into *num_groups* weight-balanced groups.
+
+    Greedy LPT (longest processing time first): heaviest item to the
+    lightest group. Groups are returned with their items in input order;
+    empty groups are dropped (fewer items than groups).
+    """
+    if num_groups < 1:
+        raise ConfigurationError("num_groups must be >= 1")
+    loads = [0.0] * num_groups
+    members: List[List[int]] = [[] for _ in range(num_groups)]
+    for idx in sorted(range(len(weights)), key=lambda i: -weights[i]):
+        g = loads.index(min(loads))
+        loads[g] += weights[idx]
+        members[g].append(idx)
+    out = [sorted(m) for m in members if m]
+    out.sort(key=lambda m: m[0])
+    return out
+
+
+class GroupedStrategy(Strategy):
+    """Run sibling groups sequentially, siblings within a group in parallel.
+
+    The produced :class:`~repro.core.scheduler.plan.ExecutionPlan` list
+    is one plan *per group*; the caller prices them independently and
+    sums the nest phases (plus a single parent step). Use
+    :func:`simulate_grouped_iteration` for that bookkeeping.
+    """
+
+    name = "grouped"
+
+    def __init__(self, num_groups: int, predictor: Optional[Predictor] = None):
+        if num_groups < 1:
+            raise ConfigurationError("num_groups must be >= 1")
+        self.num_groups = num_groups
+        self.predictor = predictor
+
+    def plan_groups(
+        self,
+        grid: ProcessGrid,
+        parent: DomainSpec,
+        siblings: Sequence[DomainSpec],
+        *,
+        ratios: Optional[Sequence[float]] = None,
+    ) -> List[ExecutionPlan]:
+        """One concurrent plan per sibling group."""
+        self._check(parent, siblings)
+        if ratios is None:
+            if self.predictor is not None:
+                ratios = self.predictor.predict_ratios(siblings)
+            else:
+                ratios = [float(s.points) for s in siblings]
+        weights = [
+            r * s.steps_per_parent_step for r, s in zip(ratios, siblings)
+        ]
+        groups = balance_groups(weights, self.num_groups)
+
+        plans: List[ExecutionPlan] = []
+        for members in groups:
+            group_sibs = [siblings[i] for i in members]
+            group_ratios = [weights[i] for i in members]
+            alloc = partition_grid(grid, group_ratios)
+            plans.append(ExecutionPlan(
+                grid=grid,
+                parent=parent,
+                assignments=tuple(
+                    SiblingAssignment(s, alloc.rects[j])
+                    for j, s in enumerate(group_sibs)
+                ),
+                concurrent=True,
+                strategy=f"{self.name}[{len(groups)}]",
+                ratios=tuple(alloc.ratios),
+            ))
+        return plans
+
+
+def simulate_grouped_iteration(
+    plans: Sequence[ExecutionPlan],
+    machine,
+    **kwargs,
+) -> Tuple[float, float]:
+    """Price a grouped iteration: ``(integration_time, mpi_wait)``.
+
+    One parent step plus the sum of each group's nest phase; waits are
+    rank-share weighted within each group and summed across groups.
+    """
+    from repro.perfsim.simulate import simulate_iteration
+
+    if not plans:
+        raise ConfigurationError("need at least one group plan")
+    reports = [simulate_iteration(p, machine, **kwargs) for p in plans]
+    integration = reports[0].parent.total + sum(
+        r.nest_phase_time for r in reports
+    )
+    wait = reports[0].waits.parent + sum(
+        r.waits.nests + r.waits.sync for r in reports
+    )
+    return integration, wait

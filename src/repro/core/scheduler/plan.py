@@ -1,0 +1,105 @@
+"""Execution plans: the schedulable description of a nested run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runtime.process_grid import GridRect, ProcessGrid
+from repro.wrf.grid import DomainSpec
+
+__all__ = ["SiblingAssignment", "ExecutionPlan"]
+
+
+@dataclass(frozen=True)
+class SiblingAssignment:
+    """One sibling nest and the processor rectangle it runs on."""
+
+    domain: DomainSpec
+    rect: GridRect
+
+    @property
+    def processors(self) -> int:
+        """Number of ranks allocated."""
+        return self.rect.area
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A complete schedule of one outer iteration.
+
+    Attributes
+    ----------
+    grid:
+        The virtual processor grid (the parent always uses all of it).
+    parent:
+        The coarse parent domain.
+    assignments:
+        Per-sibling processor rectangles. Under the sequential strategy
+        every rectangle is the full grid and siblings run one after
+        another; under the parallel strategy the rectangles are disjoint
+        and siblings run concurrently.
+    concurrent:
+        Whether sibling nest phases overlap in time.
+    strategy:
+        Producing strategy's name, for reports.
+    ratios:
+        The predicted execution-time ratios that drove the allocation
+        (``None`` for the sequential plan).
+    """
+
+    grid: ProcessGrid
+    parent: DomainSpec
+    assignments: Tuple[SiblingAssignment, ...]
+    concurrent: bool
+    strategy: str
+    ratios: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.parent.is_nest:
+            raise ConfigurationError("plan parent must be a top-level domain")
+        for a in self.assignments:
+            if a.rect.x1 > self.grid.px or a.rect.y1 > self.grid.py:
+                raise ConfigurationError(
+                    f"assignment rect {a.rect} exceeds grid {self.grid.shape}"
+                )
+        if self.concurrent:
+            rects = [a.rect for a in self.assignments]
+            for i, r in enumerate(rects):
+                for s in rects[i + 1 :]:
+                    if r.overlaps(s):
+                        raise ConfigurationError(
+                            "concurrent plan has overlapping rectangles"
+                        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_siblings(self) -> int:
+        """Number of sibling nests."""
+        return len(self.assignments)
+
+    @property
+    def sibling_domains(self) -> Tuple[DomainSpec, ...]:
+        """The sibling nest specs in plan order."""
+        return tuple(a.domain for a in self.assignments)
+
+    @property
+    def rects(self) -> Tuple[GridRect, ...]:
+        """The per-sibling rectangles in plan order."""
+        return tuple(a.rect for a in self.assignments)
+
+    def describe(self) -> str:
+        """Human-readable one-plan summary."""
+        lines = [
+            f"plan[{self.strategy}] grid={self.grid.px}x{self.grid.py} "
+            f"parent={self.parent.nx}x{self.parent.ny} "
+            f"({'concurrent' if self.concurrent else 'sequential'})"
+        ]
+        for a in self.assignments:
+            lines.append(
+                f"  {a.domain.name}: {a.domain.nx}x{a.domain.ny} "
+                f"-> {a.rect.width}x{a.rect.height} @ ({a.rect.x0},{a.rect.y0}) "
+                f"[{a.processors} procs]"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""The two scheduling strategies compared throughout the paper."""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence
+
+from repro.core.allocation.partition import partition_grid
+from repro.core.scheduler.plan import ExecutionPlan, SiblingAssignment
+from repro.errors import ConfigurationError
+from repro.runtime.process_grid import ProcessGrid
+from repro.wrf.grid import DomainSpec
+
+__all__ = ["Strategy", "SequentialStrategy", "ParallelSiblingsStrategy", "Predictor"]
+
+
+class Predictor(Protocol):
+    """Anything that can rank sibling nests by relative execution time."""
+
+    def predict_ratios(self, specs: Sequence[DomainSpec]) -> Sequence[float]:
+        """Normalised relative execution times, one per sibling."""
+        ...
+
+
+class Strategy:
+    """Base class of scheduling strategies."""
+
+    name: str = "abstract"
+
+    def plan(
+        self,
+        grid: ProcessGrid,
+        parent: DomainSpec,
+        siblings: Sequence[DomainSpec],
+    ) -> ExecutionPlan:
+        """Produce an execution plan for one outer iteration."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(parent: DomainSpec, siblings: Sequence[DomainSpec]) -> None:
+        if parent.is_nest:
+            raise ConfigurationError("parent must be a top-level domain")
+        if not siblings:
+            raise ConfigurationError("need at least one sibling nest")
+        for s in siblings:
+            if not s.is_nest:
+                raise ConfigurationError(f"{s.name!r} is not a nest")
+
+
+class SequentialStrategy(Strategy):
+    """The WRF default: each nest on the full processor set, in turn."""
+
+    name = "sequential"
+
+    def plan(
+        self,
+        grid: ProcessGrid,
+        parent: DomainSpec,
+        siblings: Sequence[DomainSpec],
+    ) -> ExecutionPlan:
+        """Every sibling is assigned the full grid; phases serialise."""
+        self._check(parent, siblings)
+        full = grid.full_rect()
+        return ExecutionPlan(
+            grid=grid,
+            parent=parent,
+            assignments=tuple(SiblingAssignment(s, full) for s in siblings),
+            concurrent=False,
+            strategy=self.name,
+        )
+
+
+class ParallelSiblingsStrategy(Strategy):
+    """The paper's approach: predict, partition, run siblings concurrently.
+
+    Parameters
+    ----------
+    predictor:
+        A fitted performance model (or anything with ``predict_ratios``).
+        When ``None``, explicit *ratios* must be passed to :meth:`plan`.
+    """
+
+    name = "parallel"
+
+    def __init__(self, predictor: Optional[Predictor] = None):
+        self.predictor = predictor
+
+    def plan(
+        self,
+        grid: ProcessGrid,
+        parent: DomainSpec,
+        siblings: Sequence[DomainSpec],
+        *,
+        ratios: Optional[Sequence[float]] = None,
+    ) -> ExecutionPlan:
+        """Partition *grid* proportionally to predicted sibling times.
+
+        A single sibling degenerates to the full grid (still "concurrent"
+        — there is nothing to serialise against).
+        """
+        self._check(parent, siblings)
+        if ratios is None:
+            if self.predictor is None:
+                raise ConfigurationError(
+                    "ParallelSiblingsStrategy needs a predictor or explicit ratios"
+                )
+            ratios = self.predictor.predict_ratios(siblings)
+        if len(ratios) != len(siblings):
+            raise ConfigurationError(
+                f"{len(ratios)} ratios for {len(siblings)} siblings"
+            )
+        # Deeper nests integrate more fine steps per outer iteration
+        # (r per level), so their *phase* weight is the per-step ratio
+        # scaled by the step count. For same-level siblings — every
+        # configuration in the paper — this changes nothing.
+        weights = [
+            float(r) * s.steps_per_parent_step
+            for r, s in zip(ratios, siblings)
+        ]
+        alloc = partition_grid(grid, weights)
+        return ExecutionPlan(
+            grid=grid,
+            parent=parent,
+            assignments=tuple(
+                SiblingAssignment(s, alloc.rects[i]) for i, s in enumerate(siblings)
+            ),
+            concurrent=True,
+            strategy=self.name,
+            ratios=tuple(alloc.ratios),
+        )

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by library code derive from :class:`ReproError` so a
+caller can catch everything coming from this package with a single handler
+while still distinguishing programmer errors (``TypeError``/``ValueError``
+raised eagerly during argument validation) from domain failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "GeometryError",
+    "PredictionError",
+    "AllocationError",
+    "MappingError",
+    "SimulationError",
+    "TopologyError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid domain / machine / run configuration was supplied."""
+
+
+class GeometryError(ReproError):
+    """A geometric operation failed (degenerate triangle, empty rectangle...)."""
+
+
+class PredictionError(ReproError):
+    """The performance-prediction model could not produce an estimate."""
+
+
+class AllocationError(ReproError):
+    """Processor allocation failed (e.g. more siblings than processors)."""
+
+
+class MappingError(ReproError):
+    """A process-to-torus mapping is infeasible or invalid."""
+
+
+class TopologyError(ReproError):
+    """A torus/machine topology was invalid for the requested operation."""
+
+
+class SimulationError(ReproError):
+    """The performance or numerical simulation entered an invalid state."""

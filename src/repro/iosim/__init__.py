@@ -1,0 +1,19 @@
+"""Parallel-I/O cost models.
+
+The paper observed that PnetCDF collective writes scale *badly* with rank
+count (per-iteration I/O time rises as processors are added — Fig 13(b))
+and that the parallel-siblings strategy relieves this because each
+sibling's history file is written by only its own sub-communicator.
+
+* :func:`pnetcdf_write_time` — collective write cost: per-writer metadata
+  and synchronisation cost (grows linearly with writers) plus data volume
+  over an aggregate bandwidth that saturates.
+* :func:`split_write_time` — WRF's BG/L "split I/O": every rank writes a
+  private file; no coordination cost, but fixed per-file overhead.
+"""
+
+from repro.iosim.pnetcdf import pnetcdf_write_time
+from repro.iosim.split_io import split_write_time
+from repro.iosim.model import IoModel, IoCost
+
+__all__ = ["pnetcdf_write_time", "split_write_time", "IoModel", "IoCost"]

@@ -1,0 +1,76 @@
+"""High-level I/O model used by the performance simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from repro.errors import ConfigurationError
+from repro.iosim.pnetcdf import pnetcdf_write_time
+from repro.iosim.split_io import split_write_time
+from repro.topology.machines import Machine
+
+__all__ = ["IoCost", "IoModel"]
+
+
+@dataclass(frozen=True)
+class IoCost:
+    """I/O cost of one history-write event."""
+
+    #: Wall time of the whole event.
+    time: float
+    #: Per-file times in domain order (parent first).
+    per_file: tuple[float, ...]
+
+
+class IoModel:
+    """History-output cost for a nested run.
+
+    Parameters
+    ----------
+    method:
+        ``"pnetcdf"`` (collective, the BG/P runs) or ``"split"``
+        (file-per-rank, the BG/L runs).
+    """
+
+    def __init__(self, method: Literal["pnetcdf", "split"] = "pnetcdf"):
+        if method not in ("pnetcdf", "split"):
+            raise ConfigurationError(f"unknown I/O method {method!r}")
+        self.method = method
+
+    def _write(self, writers: int, nbytes: float, machine: Machine) -> float:
+        if self.method == "pnetcdf":
+            return pnetcdf_write_time(writers, nbytes, machine)
+        return split_write_time(writers, nbytes, machine)
+
+    # ------------------------------------------------------------------
+    def event_cost(
+        self,
+        file_bytes: Sequence[float],
+        file_writers: Sequence[int],
+        *,
+        concurrent: bool,
+        machine: Machine,
+    ) -> IoCost:
+        """Cost of writing one history file per domain.
+
+        Under the sequential strategy every file is written by the full
+        rank set one after another (times add). Under the parallel
+        strategy each sibling's file is written by its own sub-communicator
+        concurrently (times max), except the parent file which always
+        involves everyone and is serialised before the sibling writes.
+        """
+        if len(file_bytes) != len(file_writers):
+            raise ConfigurationError(
+                f"{len(file_bytes)} byte counts vs {len(file_writers)} writer counts"
+            )
+        per_file = tuple(
+            self._write(w, b, machine) for b, w in zip(file_bytes, file_writers)
+        )
+        if concurrent:
+            parent = per_file[0] if per_file else 0.0
+            siblings = per_file[1:]
+            total = parent + (max(siblings) if siblings else 0.0)
+        else:
+            total = sum(per_file)
+        return IoCost(time=total, per_file=per_file)

@@ -1,0 +1,34 @@
+"""Collective (PnetCDF-style) write cost model.
+
+.. math::
+
+    t_{write}(W, B) = c_{meta} \\cdot W \\;+\\;
+        \\frac{B}{\\min(BW_{max},\\; bw_{writer} \\cdot W)}
+
+The first term models per-writer metadata exchange, offset negotiation
+and the two-phase-I/O synchronisation — it grows with the writer count
+and is what made the paper's per-iteration I/O time *increase* with
+processors. The second term is data movement against an aggregate
+file-system bandwidth that saturates once enough writers participate.
+"""
+
+from __future__ import annotations
+
+from repro.topology.machines import Machine
+from repro.util.validation import check_positive_float, check_positive_int
+
+__all__ = ["pnetcdf_write_time"]
+
+
+def pnetcdf_write_time(num_writers: int, nbytes: float, machine: Machine) -> float:
+    """Seconds to collectively write *nbytes* with *num_writers* ranks."""
+    check_positive_int(num_writers, "num_writers")
+    check_positive_float(nbytes, "nbytes", allow_zero=True)
+    meta = machine.io_meta_cost_per_writer * num_writers
+    if nbytes == 0.0:
+        return meta
+    bandwidth = min(
+        machine.io_bandwidth_max,
+        machine.io_per_writer_bandwidth * num_writers,
+    )
+    return meta + nbytes / bandwidth

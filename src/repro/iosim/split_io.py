@@ -1,0 +1,31 @@
+"""Split-I/O cost model (WRF ``io_form`` split output, used on BG/L).
+
+Every rank writes its own tile to a private file: no inter-rank
+coordination, so cost is the per-file open/close overhead plus the
+rank-local data over the per-writer bandwidth — but the file system still
+caps aggregate throughput when all ranks write at once.
+"""
+
+from __future__ import annotations
+
+from repro.topology.machines import Machine
+from repro.util.validation import check_positive_float, check_positive_int
+
+__all__ = ["split_write_time"]
+
+#: Fixed cost of creating/opening one file per rank per history write.
+FILE_OVERHEAD = 0.02
+
+
+def split_write_time(num_writers: int, nbytes: float, machine: Machine) -> float:
+    """Seconds for *num_writers* ranks to write *nbytes* total, one file each."""
+    check_positive_int(num_writers, "num_writers")
+    check_positive_float(nbytes, "nbytes", allow_zero=True)
+    if nbytes == 0.0:
+        return FILE_OVERHEAD
+    per_rank = nbytes / num_writers
+    effective_bw = min(
+        machine.io_per_writer_bandwidth,
+        machine.io_bandwidth_max / num_writers,
+    )
+    return FILE_OVERHEAD + per_rank / effective_bw

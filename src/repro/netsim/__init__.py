@@ -1,0 +1,24 @@
+"""Network simulation: routing, per-link traffic, contention.
+
+Every halo message of a simulated step is routed over the torus with
+dimension-ordered routing; bytes accumulate on each traversed link. The
+cost of a message is its serialisation time on the *most loaded* link of
+its route (bandwidth is shared), plus software and per-hop latencies —
+the standard max-link-contention estimate. A communication *round* (one
+of WRF's 36 per step) completes when its slowest message completes.
+"""
+
+from repro.netsim.traffic import LinkLoads, route_messages, RoutedMessage
+from repro.netsim.contention import round_time, message_time, CommEstimate
+from repro.netsim.metrics import traffic_metrics, TrafficMetrics
+
+__all__ = [
+    "LinkLoads",
+    "route_messages",
+    "RoutedMessage",
+    "round_time",
+    "message_time",
+    "CommEstimate",
+    "traffic_metrics",
+    "TrafficMetrics",
+]

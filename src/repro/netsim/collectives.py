@@ -1,0 +1,105 @@
+"""Collective-operation cost models on torus networks.
+
+WRF's integration step includes a handful of collectives (reductions for
+CFL/stability checks, broadcasts of boundary metadata). The iteration
+simulator charges a calibrated ``collective_cost * log2(P)`` for them;
+this module provides the first-principles estimates that constant
+abstracts, so the calibration can be sanity-checked and so studies that
+vary the network (e.g. the BG/Q prototype) can price collectives
+directly.
+
+Models (software-tree based, as MPI implementations of the era were):
+
+* **barrier** — a binary-tree gather + release: ``2 * ceil(log2 P)``
+  latency terms, each stretched by the mean per-hop distance of a tree
+  edge on the torus.
+* **broadcast** — binomial tree: ``ceil(log2 P)`` rounds, each paying
+  latency plus serialisation of the full payload.
+* **allreduce** — recursive doubling: ``ceil(log2 P)`` rounds of
+  exchange + local combine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.topology.machines import Machine
+from repro.topology.torus import Torus3D
+from repro.util.validation import check_positive_float, check_positive_int
+
+__all__ = ["tree_edge_hops", "barrier_time", "broadcast_time", "allreduce_time"]
+
+
+def tree_edge_hops(torus: Torus3D) -> float:
+    """Mean hop distance of a binomial-tree edge on *torus*.
+
+    In round *k* of a binomial tree over ranks in coordinate order,
+    partners are ``2**k`` ranks apart; averaged over rounds this works
+    out close to a quarter of the torus diameter, which we use directly
+    (the exact value depends on the rank ordering; this estimate is
+    within ~20% for the rack shapes used here).
+    """
+    diameter = sum(d // 2 for d in torus.dims)
+    return max(1.0, diameter / 4.0)
+
+
+def _rounds(participants: int) -> int:
+    check_positive_int(participants, "participants")
+    return max(1, math.ceil(math.log2(participants))) if participants > 1 else 0
+
+
+def barrier_time(torus: Torus3D, participants: int, machine: Machine) -> float:
+    """Software-tree barrier: gather up, release down."""
+    rounds = _rounds(participants)
+    per_round = machine.software_latency + tree_edge_hops(torus) * machine.per_hop_latency
+    return 2 * rounds * per_round
+
+
+def broadcast_time(
+    torus: Torus3D, participants: int, nbytes: float, machine: Machine
+) -> float:
+    """Binomial-tree broadcast of *nbytes*."""
+    check_positive_float(nbytes, "nbytes", allow_zero=True)
+    rounds = _rounds(participants)
+    per_round = (
+        machine.software_latency
+        + tree_edge_hops(torus) * machine.per_hop_latency
+        + nbytes / machine.link_bandwidth
+    )
+    return rounds * per_round
+
+
+def allreduce_time(
+    torus: Torus3D, participants: int, nbytes: float, machine: Machine
+) -> float:
+    """Recursive-doubling allreduce of *nbytes* (sum-combine)."""
+    check_positive_float(nbytes, "nbytes", allow_zero=True)
+    rounds = _rounds(participants)
+    per_round = (
+        machine.software_latency
+        + tree_edge_hops(torus) * machine.per_hop_latency
+        + nbytes / machine.link_bandwidth
+    )
+    return rounds * per_round
+
+
+def step_collectives_estimate(
+    torus: Torus3D,
+    participants: int,
+    machine: Machine,
+    *,
+    num_reductions: int = 2,
+    reduction_bytes: float = 64.0,
+) -> float:
+    """First-principles estimate of one step's collective cost.
+
+    WRF performs a couple of small allreduces per step (stability and
+    diagnostics). This is what ``machine.collective_cost * log2(P)``
+    calibrates; the two agree within an order of magnitude, which the
+    test suite checks.
+    """
+    return num_reductions * allreduce_time(
+        torus, participants, reduction_bytes, machine
+    )

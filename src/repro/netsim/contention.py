@@ -1,0 +1,78 @@
+"""Contention-aware communication time estimates.
+
+Model: the messages of one exchange round are in flight simultaneously.
+A directed link delivering ``L`` bytes of round traffic needs ``L / bw``
+seconds, so a message completes no sooner than the busiest link on its
+route allows. Message time:
+
+.. math::
+
+    t_{msg} = t_{sw} + hops \\cdot t_{hop} + \\max_{l \\in route}(L_l) / bw
+
+and the round completes at the max over messages — the value the
+bulk-synchronous halo exchange waits for. Intra-node messages cost the
+software latency only (memory copies are folded into the compute term).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.netsim.traffic import LinkLoads, RoutedMessage
+from repro.topology.machines import Machine
+
+__all__ = ["CommEstimate", "message_time", "round_time"]
+
+
+@dataclass(frozen=True)
+class CommEstimate:
+    """The cost breakdown of one exchange round."""
+
+    #: Wall time of the round (slowest message).
+    time: float
+    #: Round time in a contention- and hop-free network (latency + own
+    #: bytes at full bandwidth) — the lower bound actual waits compare to.
+    ideal_time: float
+    #: Mean hops over the round's messages.
+    average_hops: float
+    #: Max bytes accumulated on any one link.
+    max_link_bytes: int
+
+    @property
+    def contention_excess(self) -> float:
+        """Time lost to sharing links and hop latency (``time - ideal``)."""
+        return max(0.0, self.time - self.ideal_time)
+
+
+def message_time(msg: RoutedMessage, loads: LinkLoads, machine: Machine) -> float:
+    """Completion time of one routed message under *loads*."""
+    t = machine.software_latency + msg.hops * machine.per_hop_latency
+    if msg.links:
+        worst = max(loads.load(link) for link in msg.links)
+        t += worst / machine.link_bandwidth
+    return t
+
+
+def round_time(
+    routed: Sequence[RoutedMessage], loads: LinkLoads, machine: Machine
+) -> CommEstimate:
+    """Cost of one exchange round (all messages concurrent)."""
+    if not routed:
+        return CommEstimate(time=0.0, ideal_time=0.0, average_hops=0.0, max_link_bytes=0)
+    worst = 0.0
+    ideal = 0.0
+    hops_total = 0
+    for msg in routed:
+        worst = max(worst, message_time(msg, loads, machine))
+        ideal = max(
+            ideal,
+            machine.software_latency + msg.nbytes / machine.link_bandwidth,
+        )
+        hops_total += msg.hops
+    return CommEstimate(
+        time=worst,
+        ideal_time=ideal,
+        average_hops=hops_total / len(routed),
+        max_link_bytes=loads.max_load(),
+    )

@@ -1,0 +1,45 @@
+"""Aggregate traffic metrics for reports (Fig 12-style numbers)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.netsim.traffic import LinkLoads, RoutedMessage
+
+__all__ = ["TrafficMetrics", "traffic_metrics"]
+
+
+@dataclass(frozen=True)
+class TrafficMetrics:
+    """Summary of a routed message set."""
+
+    num_messages: int
+    total_bytes: int
+    average_hops: float
+    max_hops: int
+    hop_bytes: int
+    max_link_bytes: int
+    loaded_links: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"msgs={self.num_messages} avg_hops={self.average_hops:.3f} "
+            f"max_link={self.max_link_bytes}B links={self.loaded_links}"
+        )
+
+
+def traffic_metrics(routed: Sequence[RoutedMessage], loads: LinkLoads) -> TrafficMetrics:
+    """Summarise *routed* messages and their *loads*."""
+    if not routed:
+        return TrafficMetrics(0, 0, 0.0, 0, 0, 0, 0)
+    hops = [m.hops for m in routed]
+    return TrafficMetrics(
+        num_messages=len(routed),
+        total_bytes=sum(m.nbytes for m in routed),
+        average_hops=sum(hops) / len(hops),
+        max_hops=max(hops),
+        hop_bytes=sum(m.hops * m.nbytes for m in routed),
+        max_link_bytes=loads.max_load(),
+        loaded_links=loads.num_loaded_links(),
+    )

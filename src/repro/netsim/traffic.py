@@ -1,0 +1,101 @@
+"""Message routing and per-link traffic accumulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.runtime.halo import HaloMessage
+from repro.topology.routing import path_links
+from repro.topology.torus import Link, Torus3D, TorusCoord
+
+__all__ = ["RoutedMessage", "LinkLoads", "route_messages"]
+
+
+@dataclass(frozen=True)
+class RoutedMessage:
+    """A halo message with its torus route resolved."""
+
+    src_rank: int
+    dst_rank: int
+    nbytes: int
+    links: tuple[Link, ...]
+
+    @property
+    def hops(self) -> int:
+        """Number of torus links traversed (0 = intra-node)."""
+        return len(self.links)
+
+
+class LinkLoads:
+    """Accumulated bytes per directed torus link."""
+
+    __slots__ = ("_loads",)
+
+    def __init__(self) -> None:
+        self._loads: Dict[Link, int] = {}
+
+    def add(self, link: Link, nbytes: int) -> None:
+        """Charge *nbytes* against *link*."""
+        self._loads[link] = self._loads.get(link, 0) + nbytes
+
+    def load(self, link: Link) -> int:
+        """Bytes accumulated on *link*."""
+        return self._loads.get(link, 0)
+
+    def max_load(self) -> int:
+        """The heaviest link's byte count (0 when no traffic)."""
+        return max(self._loads.values(), default=0)
+
+    def total_bytes(self) -> int:
+        """Total link-byte volume (equals hop-bytes of the message set)."""
+        return sum(self._loads.values())
+
+    def num_loaded_links(self) -> int:
+        """Number of links that carried any traffic."""
+        return len(self._loads)
+
+    def items(self):
+        """Iterate ``(link, bytes)`` pairs."""
+        return self._loads.items()
+
+    def merge(self, other: "LinkLoads") -> None:
+        """Accumulate another load set into this one (concurrent traffic)."""
+        for link, nbytes in other.items():
+            self.add(link, nbytes)
+
+    def __len__(self) -> int:
+        return len(self._loads)
+
+
+def route_messages(
+    torus: Torus3D,
+    placement_nodes: Sequence[TorusCoord],
+    messages: Iterable[HaloMessage],
+) -> tuple[List[RoutedMessage], LinkLoads]:
+    """Route *messages* between ranks placed at *placement_nodes*.
+
+    Returns the routed messages and the per-link loads they induce.
+    Messages between co-located ranks produce no link traffic.
+    """
+    loads = LinkLoads()
+    routed: List[RoutedMessage] = []
+    # Route cache: many ranks share node pairs (co-located ranks), and the
+    # same exchange repeats every round — avoid recomputing paths.
+    cache: Dict[tuple[TorusCoord, TorusCoord], tuple[Link, ...]] = {}
+    for msg in messages:
+        src = placement_nodes[msg.src]
+        dst = placement_nodes[msg.dst]
+        key = (src, dst)
+        links = cache.get(key)
+        if links is None:
+            links = tuple(path_links(torus, src, dst))
+            cache[key] = links
+        for link in links:
+            loads.add(link, msg.nbytes)
+        routed.append(
+            RoutedMessage(
+                src_rank=msg.src, dst_rank=msg.dst, nbytes=msg.nbytes, links=links
+            )
+        )
+    return routed, loads

@@ -1,0 +1,66 @@
+"""Per-step compute cost of a domain on a processor rectangle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.perfsim.params import WorkloadParams
+from repro.runtime.decomposition import decompose
+from repro.topology.machines import Machine
+
+__all__ = ["ComputeCost", "compute_time"]
+
+
+@dataclass(frozen=True)
+class ComputeCost:
+    """Compute-phase breakdown of one integration step."""
+
+    #: Wall time of the compute phase (paced by the largest tile).
+    time: float
+    #: Mean per-rank compute time.
+    mean_time: float
+    #: Largest tile dimensions ``(w, h)``.
+    max_tile: tuple[int, int]
+    #: Time the average rank idles waiting for the slowest (imbalance).
+    imbalance_wait: float
+
+
+def compute_time(
+    nx: int,
+    ny: int,
+    px: int,
+    py: int,
+    machine: Machine,
+    workload: WorkloadParams,
+) -> ComputeCost:
+    """Compute cost of an ``nx x ny`` domain on a ``px x py`` sub-grid.
+
+    The bulk-synchronous step is paced by the largest tile; each tile
+    additionally computes a redundant stencil-overlap frame of
+    ``halo_compute_overlap`` points, which is what bends strong scaling
+    when tiles shrink toward the halo width.
+    """
+    if px * py > nx * ny:
+        raise SimulationError(
+            f"{px * py} ranks exceed the {nx * ny} points of a {nx}x{ny} domain"
+        )
+    dec = decompose(nx, ny, px, py)
+    ov = 2 * workload.halo_compute_overlap
+    spp = workload.seconds_per_point(machine.sustained_flops_per_core)
+
+    mw, mh = dec.max_tile
+    t_max = (mw + ov) * (mh + ov) * spp
+
+    # Mean over ranks (for imbalance wait): E[(w+ov)(h+ov)] factorises
+    # because widths and heights are independent across the grid.
+    mean_w = sum(dec.col_widths) / px
+    mean_h = sum(dec.row_heights) / py
+    t_mean = (mean_w + ov) * (mean_h + ov) * spp
+
+    return ComputeCost(
+        time=t_max,
+        mean_time=t_mean,
+        max_tile=(mw, mh),
+        imbalance_wait=max(0.0, t_max - t_mean),
+    )

@@ -1,0 +1,76 @@
+"""Assembly of one domain's full integration-step cost."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.perfsim.commcost import CommCost
+from repro.perfsim.compute import ComputeCost
+from repro.perfsim.params import WorkloadParams
+from repro.topology.machines import Machine
+
+__all__ = ["StepCost", "step_cost"]
+
+
+@dataclass(frozen=True)
+class StepCost:
+    """Complete cost of one integration step of one domain.
+
+    ``total = compute + comm + overhead + skew + collectives``. The last
+    three are (nearly) independent of the processor count — the cost the
+    paper's parallel-siblings strategy stops paying once per nest.
+    """
+
+    compute: ComputeCost
+    comm: CommCost
+    #: Fixed runtime overhead (BC processing, control flow).
+    overhead: float
+    #: Accumulated per-round synchronisation skew.
+    skew: float
+    #: Collective-operation cost (grows with log2 of the rank count).
+    collectives: float
+    #: Ranks participating in the step.
+    ranks: int
+
+    @property
+    def total(self) -> float:
+        """Wall time of the step."""
+        return self.compute.time + self.comm.time + self.overhead + self.skew + self.collectives
+
+    @property
+    def wait(self) -> float:
+        """Per-rank MPI_Wait accrued during the step.
+
+        Round skew is spent inside ``MPI_Wait`` by definition; contention
+        excess is the time messages sit behind shared links; compute
+        imbalance parks the faster ranks in the next round's wait.
+        """
+        return self.skew + self.comm.contention_wait + self.compute.imbalance_wait
+
+
+def step_cost(
+    compute: ComputeCost,
+    comm: CommCost,
+    machine: Machine,
+    workload: WorkloadParams,
+    ranks: int,
+) -> StepCost:
+    """Combine phase costs with the machine's per-step fixed costs.
+
+    Single-rank domains skip skew and collectives (nothing to wait for).
+    """
+    if ranks <= 1:
+        skew = 0.0
+        collectives = 0.0
+    else:
+        skew = machine.round_skew * workload.halo.rounds_per_step
+        collectives = machine.collective_cost * math.log2(ranks)
+    return StepCost(
+        compute=compute,
+        comm=comm,
+        overhead=machine.step_overhead,
+        skew=skew,
+        collectives=collectives,
+        ranks=ranks,
+    )

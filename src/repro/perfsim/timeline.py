@@ -1,0 +1,158 @@
+"""Execution timelines: where an iteration's time goes, lane by lane.
+
+Builds a per-group Gantt chart from an
+:class:`~repro.perfsim.simulate.IterationReport`: one lane for the
+parent phase (all ranks) and one lane per sibling's rank group, with
+segments for compute, communication, fixed overhead/skew, the feedback
+synchronisation wait, and I/O. This turns the aggregate numbers into
+the picture the paper describes in prose — under the sequential strategy
+every lane stacks end to end; under the parallel strategy sibling lanes
+overlap and the fast ones visibly idle at the sync point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import SimulationError
+from repro.perfsim.simulate import IterationReport
+
+__all__ = ["Segment", "Lane", "IterationTimeline", "build_timeline", "render_gantt"]
+
+#: Segment kinds and their Gantt glyphs.
+GLYPHS = {
+    "compute": "#",
+    "comm": "~",
+    "overhead": "o",
+    "wait": ".",
+    "io": "I",
+}
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A half-open activity interval ``[start, start + duration)``."""
+
+    kind: str
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in GLYPHS:
+            raise SimulationError(f"unknown segment kind {self.kind!r}")
+        if self.duration < 0 or self.start < 0:
+            raise SimulationError(f"invalid segment {self}")
+
+    @property
+    def end(self) -> float:
+        """``start + duration``."""
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class Lane:
+    """One rank group's activity over the iteration."""
+
+    label: str
+    ranks: int
+    segments: Tuple[Segment, ...]
+
+    @property
+    def end(self) -> float:
+        """Completion time of the last segment."""
+        return max((s.end for s in self.segments), default=0.0)
+
+    def time_in(self, kind: str) -> float:
+        """Total time spent in segments of *kind*."""
+        return sum(s.duration for s in self.segments if s.kind == kind)
+
+
+@dataclass(frozen=True)
+class IterationTimeline:
+    """All lanes of one iteration."""
+
+    lanes: Tuple[Lane, ...]
+    total_time: float
+
+
+def _step_segments(step, start: float) -> Tuple[List[Segment], float]:
+    """Segments of one integration step starting at *start*."""
+    out: List[Segment] = []
+    t = start
+    if step.compute.time > 0:
+        out.append(Segment("compute", t, step.compute.time))
+        t += step.compute.time
+    if step.comm.time > 0:
+        out.append(Segment("comm", t, step.comm.time))
+        t += step.comm.time
+    fixed = step.overhead + step.skew + step.collectives
+    if fixed > 0:
+        out.append(Segment("overhead", t, fixed))
+        t += fixed
+    return out, t
+
+
+def build_timeline(report: IterationReport) -> IterationTimeline:
+    """Build the Gantt lanes of one simulated iteration."""
+    lanes: List[Lane] = []
+
+    parent_segments, parent_end = _step_segments(report.parent, 0.0)
+    lanes.append(Lane("parent (all ranks)", report.ranks,
+                      tuple(parent_segments)))
+
+    sequential = report.strategy == "sequential"
+    cursor = parent_end
+    nest_phase_end = parent_end + report.nest_phase_time
+    for sib in report.siblings:
+        segments: List[Segment] = []
+        start = cursor if sequential else parent_end
+        t = start
+        for _ in range(sib.steps_per_iteration):
+            step_segs, t = _step_segments(sib.step, t)
+            segments.extend(step_segs)
+        if sequential:
+            cursor = t
+        elif sib.sync_wait > 0:
+            segments.append(Segment("wait", t, sib.sync_wait))
+            t += sib.sync_wait
+        lanes.append(Lane(f"{sib.name} ({sib.ranks} ranks)", sib.ranks,
+                          tuple(segments)))
+
+    end = max(lane.end for lane in lanes)
+    if report.io_time > 0:
+        lanes = [
+            Lane(lane.label, lane.ranks,
+                 lane.segments + ((Segment("io", end, report.io_time),)
+                                  if i == 0 else ()))
+            for i, lane in enumerate(lanes)
+        ]
+        end += report.io_time
+    return IterationTimeline(lanes=tuple(lanes), total_time=end)
+
+
+def render_gantt(timeline: IterationTimeline, *, width: int = 72) -> str:
+    """ASCII Gantt chart: one row per lane.
+
+    Glyphs: ``#`` compute, ``~`` communication, ``o`` overhead/skew,
+    ``.`` synchronisation wait, ``I`` I/O. Blank means the group is not
+    in this phase (e.g. siblings during the parent step).
+    """
+    if timeline.total_time <= 0:
+        raise SimulationError("timeline has no duration")
+    scale = (width - 1) / timeline.total_time
+    label_w = max(len(l.label) for l in timeline.lanes) + 1
+
+    rows = []
+    for lane in timeline.lanes:
+        canvas = [" "] * width
+        for seg in lane.segments:
+            a = round(seg.start * scale)
+            b = max(a + 1, round(seg.end * scale))
+            for i in range(a, min(b, width)):
+                canvas[i] = GLYPHS[seg.kind]
+        rows.append(f"{lane.label.ljust(label_w)}|{''.join(canvas)}|")
+    legend = "  ".join(f"{g} {k}" for k, g in GLYPHS.items())
+    ruler = f"0{' ' * (label_w + width - len(f'{timeline.total_time:.3g} s') - 1)}" \
+            f"{timeline.total_time:.3g} s"
+    return "\n".join(rows + [legend, ruler])

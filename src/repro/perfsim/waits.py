@@ -1,0 +1,30 @@
+"""MPI_Wait accounting across a full iteration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WaitBreakdown"]
+
+
+@dataclass(frozen=True)
+class WaitBreakdown:
+    """Average per-rank MPI_Wait of one outer iteration, by source.
+
+    * ``parent`` — waits during the parent's own step,
+    * ``nests`` — waits accumulated inside nest integration steps (skew,
+      contention, imbalance); under the sequential strategy every rank
+      pays this for *every* sibling,
+    * ``sync`` — time ranks of fast siblings idle at the feedback
+      synchronisation point waiting for the slowest sibling (parallel
+      strategy only).
+    """
+
+    parent: float
+    nests: float
+    sync: float
+
+    @property
+    def total(self) -> float:
+        """Total average per-rank wait per iteration."""
+        return self.parent + self.nests + self.sync

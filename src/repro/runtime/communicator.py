@@ -1,0 +1,118 @@
+"""Simulated MPI communicators over the virtual process grid.
+
+The default WRF strategy runs every nest on ``MPI_COMM_WORLD``; the paper's
+strategy creates one sub-communicator per sibling over the ranks of its
+allocated :class:`~repro.runtime.process_grid.GridRect`. This class captures
+just the part the schedulers and the cost simulator need: the member rank
+set and world <-> local rank translation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runtime.process_grid import GridRect, ProcessGrid
+
+__all__ = ["Communicator"]
+
+
+class Communicator:
+    """An ordered set of world ranks with local numbering.
+
+    Local ranks are assigned in the order *ranks* is given, mirroring
+    ``MPI_Comm_create`` over an ``MPI_Group`` built from a rank list.
+    """
+
+    __slots__ = ("_grid", "_ranks", "_index", "_rect", "_name")
+
+    def __init__(
+        self,
+        grid: ProcessGrid,
+        ranks: Sequence[int],
+        *,
+        rect: Optional[GridRect] = None,
+        name: str = "comm",
+    ):
+        if not ranks:
+            raise ConfigurationError("a communicator needs at least one rank")
+        seen = set()
+        for r in ranks:
+            if not (0 <= r < grid.size):
+                raise ConfigurationError(f"rank {r} outside grid of {grid.size} ranks")
+            if r in seen:
+                raise ConfigurationError(f"duplicate rank {r} in communicator")
+            seen.add(r)
+        self._grid = grid
+        self._ranks = list(ranks)
+        self._index = {r: i for i, r in enumerate(self._ranks)}
+        self._rect = rect
+        self._name = name
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def world(cls, grid: ProcessGrid) -> "Communicator":
+        """The analogue of ``MPI_COMM_WORLD`` for *grid*."""
+        return cls(grid, list(range(grid.size)), rect=grid.full_rect(), name="world")
+
+    @classmethod
+    def for_rect(cls, grid: ProcessGrid, rect: GridRect, *, name: str = "nest") -> "Communicator":
+        """Sub-communicator over the ranks of a rectangular allocation."""
+        return cls(grid, grid.ranks_in(rect), rect=rect, name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def grid(self) -> ProcessGrid:
+        """The underlying world process grid."""
+        return self._grid
+
+    @property
+    def size(self) -> int:
+        """Number of member ranks."""
+        return len(self._ranks)
+
+    @property
+    def name(self) -> str:
+        """Human-readable communicator label."""
+        return self._name
+
+    @property
+    def rect(self) -> Optional[GridRect]:
+        """The grid rectangle this communicator covers, if rectangular."""
+        return self._rect
+
+    @property
+    def world_ranks(self) -> List[int]:
+        """Member world ranks in local-rank order (a copy)."""
+        return list(self._ranks)
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self._index
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def __repr__(self) -> str:
+        return f"Communicator({self._name!r}, size={self.size})"
+
+    # ------------------------------------------------------------------
+    def local_rank(self, world_rank: int) -> int:
+        """Translate a world rank to this communicator's local rank."""
+        try:
+            return self._index[world_rank]
+        except KeyError:
+            raise ConfigurationError(
+                f"world rank {world_rank} is not a member of {self._name!r}"
+            ) from None
+
+    def world_rank(self, local_rank: int) -> int:
+        """Translate a local rank back to the world rank."""
+        if not (0 <= local_rank < self.size):
+            raise ConfigurationError(
+                f"local rank {local_rank} outside communicator of size {self.size}"
+            )
+        return self._ranks[local_rank]
+
+    def translate(self, world_ranks: Iterable[int]) -> List[int]:
+        """Vector form of :meth:`local_rank`."""
+        return [self.local_rank(r) for r in world_ranks]

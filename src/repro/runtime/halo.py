@@ -1,0 +1,110 @@
+"""Halo-exchange specification.
+
+Each WRF integration step performs many point-to-point halo exchanges: the
+paper reports 144 messages per step with the four neighbouring processes
+(Sec 3.3), i.e. 36 exchange *rounds* of 4 directional messages. A message
+to an east/west neighbour carries a strip of ``tile_height x halo_width``
+columns over all vertical levels and exchanged variables; north/south
+messages carry ``tile_width x halo_width`` rows.
+
+This module turns a (domain, sub-grid rectangle) pair into the explicit
+list of :class:`HaloMessage` objects of one exchange round. The network
+simulator routes each message over the torus and the cost model multiplies
+by the number of rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.runtime.decomposition import decompose
+from repro.runtime.process_grid import GridRect, ProcessGrid
+from repro.util.validation import check_positive_int
+
+__all__ = ["HaloSpec", "HaloMessage", "halo_messages"]
+
+#: Paper Sec 3.3: "each integration time-step involves 144 message
+#: exchanges with the four neighbouring processes".
+MESSAGES_PER_STEP = 144
+DIRECTIONS = 4
+ROUNDS_PER_STEP = MESSAGES_PER_STEP // DIRECTIONS  # 36 exchange rounds
+
+
+@dataclass(frozen=True)
+class HaloSpec:
+    """Shape parameters of the halo exchange of one simulated model.
+
+    Attributes
+    ----------
+    width:
+        Halo width in grid points. WRF's stencils exchange mostly 2- and
+        3-point halos (only a few fields need 5), so 3 is the effective
+        width of an average exchange round.
+    levels:
+        Number of vertical levels in the 3-D fields being exchanged.
+    bytes_per_value:
+        8 for double precision.
+    rounds_per_step:
+        Number of 4-message exchange rounds per integration step.
+    """
+
+    width: int = 3
+    levels: int = 35
+    bytes_per_value: int = 8
+    rounds_per_step: int = ROUNDS_PER_STEP
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.width, "width")
+        check_positive_int(self.levels, "levels")
+        check_positive_int(self.bytes_per_value, "bytes_per_value")
+        check_positive_int(self.rounds_per_step, "rounds_per_step")
+
+    def strip_bytes(self, edge_points: int) -> int:
+        """Bytes of one directional halo strip along an edge of *edge_points*."""
+        return edge_points * self.width * self.levels * self.bytes_per_value
+
+
+@dataclass(frozen=True)
+class HaloMessage:
+    """One directional halo message between world ranks in one round."""
+
+    src: int
+    dst: int
+    nbytes: int
+
+
+def halo_messages(
+    grid: ProcessGrid,
+    rect: GridRect,
+    nx: int,
+    ny: int,
+    spec: HaloSpec,
+) -> List[HaloMessage]:
+    """All messages of one halo-exchange round of a nest on *rect*.
+
+    The nest's ``nx x ny`` domain is block-decomposed over the rectangle's
+    ``width x height`` sub-grid. Every rank sends to each existing
+    neighbour (boundary tiles have fewer neighbours). Message sizes use
+    the *sender's* tile edge, matching how WRF packs its halo strips.
+    """
+    dec = decompose(nx, ny, rect.width, rect.height)
+    msgs: List[HaloMessage] = []
+    for py in range(rect.height):
+        for px in range(rect.width):
+            src = grid.rank_of(rect.x0 + px, rect.y0 + py)
+            w = dec.col_widths[px]
+            h = dec.row_heights[py]
+            # East/west messages carry a vertical strip of `h` points.
+            for dx in (-1, 1):
+                qx = px + dx
+                if 0 <= qx < rect.width:
+                    dst = grid.rank_of(rect.x0 + qx, rect.y0 + py)
+                    msgs.append(HaloMessage(src, dst, spec.strip_bytes(h)))
+            # North/south messages carry a horizontal strip of `w` points.
+            for dy in (-1, 1):
+                qy = py + dy
+                if 0 <= qy < rect.height:
+                    dst = grid.rank_of(rect.x0 + px, rect.y0 + qy)
+                    msgs.append(HaloMessage(src, dst, spec.strip_bytes(w)))
+    return msgs

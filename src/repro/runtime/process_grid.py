@@ -1,0 +1,195 @@
+"""The 2-D virtual process topology and rectangular sub-grids.
+
+Ranks are laid out row-major in the ``Px x Py`` grid: rank ``r`` sits at
+column ``px = r % Px`` and row ``py = r // Px``. This matches Fig 5(a) of
+the paper, where ranks 0..7 form the first row of a ``Px = 8`` grid.
+
+A :class:`GridRect` is an axis-aligned rectangle of grid positions — the
+unit of processor allocation: each sibling nest receives one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import GeometryError
+from repro.util.validation import check_positive_int
+
+__all__ = ["GridRect", "ProcessGrid"]
+
+
+@dataclass(frozen=True, order=True)
+class GridRect:
+    """A rectangle ``[x0, x0+w) x [y0, y0+h)`` of process-grid positions."""
+
+    x0: int
+    y0: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.x0 < 0 or self.y0 < 0:
+            raise GeometryError(f"rectangle origin must be non-negative: {self}")
+        check_positive_int(self.width, "width")
+        check_positive_int(self.height, "height")
+
+    # ------------------------------------------------------------------
+    @property
+    def area(self) -> int:
+        """Number of grid positions covered."""
+        return self.width * self.height
+
+    @property
+    def x1(self) -> int:
+        """One past the right edge."""
+        return self.x0 + self.width
+
+    @property
+    def y1(self) -> int:
+        """One past the bottom edge."""
+        return self.y0 + self.height
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(width, height)``."""
+        return (self.width, self.height)
+
+    def aspect_ratio(self) -> float:
+        """``width / height`` — used to judge square-likeness."""
+        return self.width / self.height
+
+    def squareness(self) -> float:
+        """``min(w, h) / max(w, h)`` in (0, 1]; 1.0 means a square."""
+        return min(self.width, self.height) / max(self.width, self.height)
+
+    def contains(self, px: int, py: int) -> bool:
+        """Whether grid position ``(px, py)`` lies inside this rectangle."""
+        return self.x0 <= px < self.x1 and self.y0 <= py < self.y1
+
+    def overlaps(self, other: "GridRect") -> bool:
+        """Whether two rectangles share any grid position."""
+        return not (
+            self.x1 <= other.x0
+            or other.x1 <= self.x0
+            or self.y1 <= other.y0
+            or other.y1 <= self.y0
+        )
+
+    def positions(self) -> Iterator[Tuple[int, int]]:
+        """All covered positions, row-major."""
+        for py in range(self.y0, self.y1):
+            for px in range(self.x0, self.x1):
+                yield (px, py)
+
+    def split_horizontal(self, left_width: int) -> Tuple["GridRect", "GridRect"]:
+        """Cut vertically into a left part of *left_width* columns and the rest."""
+        if not (0 < left_width < self.width):
+            raise GeometryError(
+                f"left_width {left_width} must be inside (0, {self.width})"
+            )
+        left = GridRect(self.x0, self.y0, left_width, self.height)
+        right = GridRect(self.x0 + left_width, self.y0, self.width - left_width, self.height)
+        return left, right
+
+    def split_vertical(self, top_height: int) -> Tuple["GridRect", "GridRect"]:
+        """Cut horizontally into a top part of *top_height* rows and the rest."""
+        if not (0 < top_height < self.height):
+            raise GeometryError(
+                f"top_height {top_height} must be inside (0, {self.height})"
+            )
+        top = GridRect(self.x0, self.y0, self.width, top_height)
+        bottom = GridRect(self.x0, self.y0 + top_height, self.width, self.height - top_height)
+        return top, bottom
+
+
+class ProcessGrid:
+    """A ``Px x Py`` virtual 2-D process topology.
+
+    Parameters
+    ----------
+    px, py:
+        Grid extents. The total rank count is ``px * py``.
+    """
+
+    __slots__ = ("_px", "_py")
+
+    def __init__(self, px: int, py: int):
+        self._px = check_positive_int(px, "px")
+        self._py = check_positive_int(py, "py")
+
+    @property
+    def px(self) -> int:
+        """Number of columns (x extent)."""
+        return self._px
+
+    @property
+    def py(self) -> int:
+        """Number of rows (y extent)."""
+        return self._py
+
+    @property
+    def size(self) -> int:
+        """Total number of ranks."""
+        return self._px * self._py
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(px, py)``."""
+        return (self._px, self._py)
+
+    def __repr__(self) -> str:
+        return f"ProcessGrid({self._px}x{self._py})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ProcessGrid) and other.shape == self.shape
+
+    def __hash__(self) -> int:
+        return hash(("ProcessGrid", self.shape))
+
+    # ------------------------------------------------------------------
+    # Rank <-> position
+    # ------------------------------------------------------------------
+    def rank_of(self, px: int, py: int) -> int:
+        """World rank at grid position ``(px, py)`` (row-major)."""
+        if not (0 <= px < self._px and 0 <= py < self._py):
+            raise GeometryError(f"position ({px}, {py}) outside grid {self.shape}")
+        return py * self._px + px
+
+    def position_of(self, rank: int) -> Tuple[int, int]:
+        """Grid position of *rank*."""
+        if not (0 <= rank < self.size):
+            raise GeometryError(f"rank {rank} outside grid of {self.size} ranks")
+        return (rank % self._px, rank // self._px)
+
+    def full_rect(self) -> GridRect:
+        """The rectangle covering the whole grid."""
+        return GridRect(0, 0, self._px, self._py)
+
+    # ------------------------------------------------------------------
+    # Neighbourhood
+    # ------------------------------------------------------------------
+    def neighbors_of(self, rank: int, within: GridRect | None = None) -> List[int]:
+        """The 4-neighbourhood of *rank* (W, E, N, S), optionally clipped.
+
+        When *within* is given, only neighbours inside that rectangle are
+        reported — this is the neighbourhood a rank sees through its nest
+        sub-communicator. Domain-boundary ranks simply have fewer
+        neighbours (WRF nests have open boundaries, not periodic ones).
+        """
+        px, py = self.position_of(rank)
+        rect = within if within is not None else self.full_rect()
+        if not rect.contains(px, py):
+            raise GeometryError(f"rank {rank} at ({px},{py}) not inside {rect}")
+        out: List[int] = []
+        for dx, dy in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            nx, ny = px + dx, py + dy
+            if rect.contains(nx, ny):
+                out.append(self.rank_of(nx, ny))
+        return out
+
+    def ranks_in(self, rect: GridRect) -> List[int]:
+        """World ranks covered by *rect*, row-major within the rectangle."""
+        if rect.x1 > self._px or rect.y1 > self._py:
+            raise GeometryError(f"{rect} exceeds grid {self.shape}")
+        return [self.rank_of(px, py) for (px, py) in rect.positions()]

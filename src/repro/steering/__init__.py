@@ -1,0 +1,28 @@
+"""Simulation steering: tracking features and moving nests (future work).
+
+The paper closes with "we also plan to simultaneously steer these
+multiple nested simulations". This package implements that extension on
+top of the existing machinery:
+
+* :mod:`~repro.steering.tracker` — find the depressions (local height
+  minima) in the parent state, the job of an operational vortex tracker.
+* :mod:`~repro.steering.mover` — recentre a nest's footprint over a
+  tracked feature, respecting parent bounds and sibling disjointness.
+* :mod:`~repro.steering.driver` — :class:`SteeredRun`: advance the
+  nested model, re-track every ``retrack_interval`` iterations, move
+  nests (re-spawning their state by parent interpolation), and replan
+  the processor allocation when the configuration changed.
+"""
+
+from repro.steering.tracker import TrackedFeature, find_depressions
+from repro.steering.mover import move_nest_over, plan_moves
+from repro.steering.driver import SteeredRun, SteeringEvent
+
+__all__ = [
+    "TrackedFeature",
+    "find_depressions",
+    "move_nest_over",
+    "plan_moves",
+    "SteeredRun",
+    "SteeringEvent",
+]

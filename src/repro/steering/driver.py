@@ -1,0 +1,151 @@
+"""The steered-run driver: integrate, track, move, replan.
+
+:class:`SteeredRun` couples the numerical model with the scheduler:
+
+* every iteration the nested model advances as usual,
+* every ``retrack_interval`` iterations the tracker relocates the
+  depressions; nests whose feature drifted are *moved* — their fine
+  state re-spawned by parent interpolation at the new position (what an
+  operational moving-nest WRF does),
+* whenever any nest moved, the processor allocation is *replanned* so
+  the simulated cost model keeps pricing the current configuration.
+
+This realises the paper's closing future-work item ("simultaneously
+steer these multiple nested simulations") within the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.scheduler.plan import ExecutionPlan
+from repro.core.scheduler.strategies import ParallelSiblingsStrategy, Predictor
+from repro.errors import ConfigurationError
+from repro.runtime.process_grid import ProcessGrid
+from repro.steering.mover import NestMove, plan_moves
+from repro.steering.tracker import TrackedFeature, find_depressions
+from repro.wrf.grid import DomainSpec
+from repro.wrf.model import NestedModel
+from repro.wrf.nest import Nest
+
+__all__ = ["SteeringEvent", "SteeredRun"]
+
+
+@dataclass(frozen=True)
+class SteeringEvent:
+    """Record of one steering decision."""
+
+    iteration: int
+    features: tuple[TrackedFeature, ...]
+    moves: tuple[NestMove, ...]
+    replanned: bool
+
+    @property
+    def num_moved(self) -> int:
+        """Number of nests that changed position."""
+        return sum(1 for m in self.moves if m.moved)
+
+
+class SteeredRun:
+    """A nested run with feature tracking, nest motion, and replanning.
+
+    Parameters
+    ----------
+    model:
+        The running :class:`~repro.wrf.model.NestedModel`.
+    grid:
+        Processor grid used for replanning (cost-model side).
+    predictor:
+        Performance model driving the re-allocation; when ``None`` the
+        point counts are used as ratios.
+    retrack_interval:
+        Iterations between tracker invocations.
+    """
+
+    def __init__(
+        self,
+        model: NestedModel,
+        grid: ProcessGrid,
+        *,
+        predictor: Optional[Predictor] = None,
+        retrack_interval: int = 5,
+        min_move_cells: int = 2,
+    ):
+        if retrack_interval < 1:
+            raise ConfigurationError("retrack_interval must be >= 1")
+        self.model = model
+        self.grid = grid
+        self.predictor = predictor
+        self.retrack_interval = retrack_interval
+        self.min_move_cells = min_move_cells
+        self.events: List[SteeringEvent] = []
+        self.plan: ExecutionPlan = self._replan()
+
+    # ------------------------------------------------------------------
+    def _current_specs(self) -> List[DomainSpec]:
+        return [self.model.nests[name].spec for name in self.model.sibling_names]
+
+    def _replan(self) -> ExecutionPlan:
+        specs = self._current_specs()
+        if self.predictor is not None:
+            return ParallelSiblingsStrategy(self.predictor).plan(
+                self.grid, self.model.parent_spec, specs
+            )
+        return ParallelSiblingsStrategy().plan(
+            self.grid,
+            self.model.parent_spec,
+            specs,
+            ratios=[s.points for s in specs],
+        )
+
+    # ------------------------------------------------------------------
+    def _apply_moves(self, moved_specs: Sequence[DomainSpec]) -> int:
+        """Re-bind nests whose footprints changed; returns the count."""
+        changed = 0
+        for spec in moved_specs:
+            old = self.model.nests[spec.name]
+            dx = abs(spec.parent_start[0] - old.spec.parent_start[0])  # type: ignore[index]
+            dy = abs(spec.parent_start[1] - old.spec.parent_start[1])  # type: ignore[index]
+            if max(dx, dy) < self.min_move_cells:
+                continue
+            nest = Nest(
+                spec,
+                self.model.parent_spec,
+                solver_params=self.model.params,
+                physics=self.model.physics,
+            )
+            nest.spawn(self.model.state)
+            self.model.nests[spec.name] = nest
+            changed += 1
+        return changed
+
+    def steer(self) -> SteeringEvent:
+        """Run one tracking/moving/replanning pass right now."""
+        features = find_depressions(
+            self.model.state, max_count=len(self.model.sibling_names)
+        )
+        specs = self._current_specs()
+        moved_specs, moves = plan_moves(specs, self.model.parent_spec, features)
+        changed = self._apply_moves(moved_specs)
+        replanned = changed > 0
+        if replanned:
+            self.plan = self._replan()
+        event = SteeringEvent(
+            iteration=self.model.iteration,
+            features=tuple(features),
+            moves=tuple(moves),
+            replanned=replanned,
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def run(self, num_iterations: int, dt: Optional[float] = None) -> None:
+        """Advance the model, steering every ``retrack_interval`` steps."""
+        if num_iterations < 0:
+            raise ConfigurationError("num_iterations must be >= 0")
+        for _ in range(num_iterations):
+            self.model.advance(dt)
+            if self.model.iteration % self.retrack_interval == 0:
+                self.steer()

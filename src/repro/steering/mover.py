@@ -1,0 +1,117 @@
+"""Nest relocation: recentre footprints over tracked features."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.steering.tracker import TrackedFeature
+from repro.wrf.grid import DomainSpec
+
+__all__ = ["move_nest_over", "plan_moves", "NestMove"]
+
+
+@dataclass(frozen=True)
+class NestMove:
+    """A planned relocation of one nest."""
+
+    name: str
+    old_start: Tuple[int, int]
+    new_start: Tuple[int, int]
+
+    @property
+    def displacement(self) -> Tuple[int, int]:
+        """``(dx, dy)`` in parent cells."""
+        return (
+            self.new_start[0] - self.old_start[0],
+            self.new_start[1] - self.old_start[1],
+        )
+
+    @property
+    def moved(self) -> bool:
+        """Whether the nest actually changes position."""
+        return self.new_start != self.old_start
+
+
+def move_nest_over(
+    nest: DomainSpec, parent: DomainSpec, feature: TrackedFeature
+) -> DomainSpec:
+    """A copy of *nest* recentred on *feature*, clamped to the parent."""
+    if not nest.is_nest:
+        raise ConfigurationError(f"{nest.name!r} is not a nest")
+    w, h = nest.parent_extent()
+    i0 = max(0, min(parent.nx - w, feature.x - w // 2))
+    j0 = max(0, min(parent.ny - h, feature.y - h // 2))
+    return DomainSpec(
+        name=nest.name,
+        nx=nest.nx,
+        ny=nest.ny,
+        dx_km=nest.dx_km,
+        parent=nest.parent,
+        parent_start=(i0, j0),
+        refinement=nest.refinement,
+        level=nest.level,
+    )
+
+
+def _overlap(a: DomainSpec, b: DomainSpec) -> bool:
+    ai, aj = a.parent_start  # type: ignore[misc]
+    aw, ah = a.parent_extent()
+    bi, bj = b.parent_start  # type: ignore[misc]
+    bw, bh = b.parent_extent()
+    return not (ai + aw <= bi or bi + bw <= ai or aj + ah <= bj or bj + bh <= aj)
+
+
+def plan_moves(
+    nests: Sequence[DomainSpec],
+    parent: DomainSpec,
+    features: Sequence[TrackedFeature],
+) -> Tuple[List[DomainSpec], List[NestMove]]:
+    """Assign each nest to its nearest feature and plan the relocations.
+
+    Assignment is greedy by distance (strongest feature first claims its
+    nearest free nest). A relocation that would overlap an already-placed
+    sibling is cancelled (the nest stays put) — sibling footprints must
+    stay disjoint for concurrent execution to remain legal.
+
+    Returns the (possibly moved) nest specs in the original order plus
+    the per-nest move records.
+    """
+    remaining = {n.name for n in nests}
+    by_name: Dict[str, DomainSpec] = {n.name: n for n in nests}
+    target: Dict[str, TrackedFeature] = {}
+
+    for feature in features:
+        if not remaining:
+            break
+        nearest = min(
+            remaining,
+            key=lambda name: (
+                (by_name[name].parent_start[0] - feature.x) ** 2
+                + (by_name[name].parent_start[1] - feature.y) ** 2
+            ),
+        )
+        target[nearest] = feature
+        remaining.discard(nearest)
+
+    placed: List[DomainSpec] = []
+    moves: List[NestMove] = []
+    for nest in nests:
+        assert nest.parent_start is not None
+        if nest.name in target:
+            moved = move_nest_over(nest, parent, target[nest.name])
+            if any(_overlap(moved, other) for other in placed):
+                moved = nest  # cancelled: would collide with a sibling
+        else:
+            moved = nest
+        placed.append(moved)
+        assert moved.parent_start is not None
+        moves.append(
+            NestMove(
+                name=nest.name,
+                old_start=nest.parent_start,
+                new_start=moved.parent_start,
+            )
+        )
+    return placed, moves

@@ -1,0 +1,59 @@
+"""Blue Gene/Q: the 5-D torus target of the paper's future work.
+
+BG/Q nodes carry a 16-core 1.6 GHz A2 processor (up to 64 hardware
+threads) on a 5-D torus (dimensions conventionally labelled A, B, C, D,
+E with E fixed at 2) with 2 GB/s per link direction. The paper plans
+"novel schemes for the 5D torus topology of Blue Gene/Q"; this module
+provides the machine constants and partition shapes that the prototype
+5-D mapping (:mod:`repro.core.mapping.ndfold`) targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.topology.torusnd import TorusND, torus_dims_nd_for_nodes
+from repro.util.validation import check_positive_int
+
+__all__ = ["BlueGeneQ", "BLUE_GENE_Q"]
+
+
+@dataclass(frozen=True)
+class BlueGeneQ:
+    """Machine constants of Blue Gene/Q relevant to mapping studies."""
+
+    name: str = "BlueGene/Q"
+    clock_hz: float = 1.6e9
+    cores_per_node: int = 16
+    #: MPI ranks per node in the common c16 mode.
+    default_ranks_per_node: int = 16
+    #: Usable torus link bandwidth per direction.
+    link_bandwidth: float = 1.8e9
+    software_latency: float = 1.2e-6
+    per_hop_latency: float = 0.04e-6
+
+    def torus_for_nodes(self, num_nodes: int) -> TorusND:
+        """The 5-D torus backing *num_nodes* nodes (E dimension = 2)."""
+        check_positive_int(num_nodes, "num_nodes")
+        return TorusND(torus_dims_nd_for_nodes(num_nodes, ndim=5))
+
+    def nodes_for_ranks(self, num_ranks: int, ranks_per_node: int | None = None) -> int:
+        """Whole-node count for *num_ranks* MPI ranks."""
+        rpn = ranks_per_node or self.default_ranks_per_node
+        check_positive_int(num_ranks, "num_ranks")
+        check_positive_int(rpn, "ranks_per_node")
+        if rpn > self.cores_per_node * 4:  # 4 HW threads per core
+            raise ConfigurationError(
+                f"{rpn} ranks/node exceeds BG/Q's 64 hardware threads"
+            )
+        if num_ranks % rpn:
+            raise ConfigurationError(
+                f"{num_ranks} ranks do not fill whole nodes at {rpn} ranks/node"
+            )
+        return num_ranks // rpn
+
+
+#: Shared default instance.
+BLUE_GENE_Q = BlueGeneQ()

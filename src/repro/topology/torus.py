@@ -1,0 +1,199 @@
+"""A 3-D torus of compute nodes.
+
+The torus is the physical interconnect of IBM Blue Gene/L and Blue Gene/P
+(paper Sec 3.3): every node has six neighbours (+/- along x, y, z) and the
+links wrap around in each dimension. Processes of the 2-D virtual topology
+are *mapped* onto torus nodes; the quality of a mapping is judged by the
+number of torus hops between processes that are neighbours in the virtual
+topology.
+
+Coordinates are ``(x, y, z)`` tuples with ``0 <= x < X`` etc. Node ranks
+enumerate coordinates in x-fastest order (x varies fastest, then y, then z),
+matching the XYZ order Blue Gene's default mapping uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import TopologyError
+from repro.util.validation import check_positive_int
+
+__all__ = ["TorusCoord", "Link", "Torus3D"]
+
+TorusCoord = Tuple[int, int, int]
+
+
+@dataclass(frozen=True, order=True)
+class Link:
+    """A directed torus link from one node to an adjacent node.
+
+    ``dim`` is 0/1/2 for x/y/z and ``direction`` is +1 or -1. Links are
+    identified by their *source* coordinate plus direction, so each physical
+    wire corresponds to two :class:`Link` objects (one per direction), which
+    is how Blue Gene's bidirectional links are provisioned.
+    """
+
+    src: TorusCoord
+    dim: int
+    direction: int
+
+    def __post_init__(self) -> None:
+        if self.dim not in (0, 1, 2):
+            raise ValueError(f"dim must be 0, 1 or 2, got {self.dim}")
+        if self.direction not in (-1, 1):
+            raise ValueError(f"direction must be +1 or -1, got {self.direction}")
+
+
+class Torus3D:
+    """A 3-D torus with dimensions ``(X, Y, Z)``.
+
+    Parameters
+    ----------
+    dims:
+        Number of nodes along each of the three dimensions. A dimension of
+        size 1 or 2 has no meaningful wraparound benefit (with size 2 the
+        wrap link coincides with the direct link); distances account for
+        this automatically.
+    """
+
+    __slots__ = ("_dims",)
+
+    def __init__(self, dims: Tuple[int, int, int]):
+        if len(dims) != 3:
+            raise TopologyError(f"torus needs exactly 3 dimensions, got {len(dims)}")
+        self._dims = tuple(check_positive_int(d, "torus dimension") for d in dims)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def dims(self) -> Tuple[int, int, int]:
+        """The ``(X, Y, Z)`` extents."""
+        return self._dims  # type: ignore[return-value]
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes ``X * Y * Z``."""
+        x, y, z = self._dims
+        return x * y * z
+
+    def __repr__(self) -> str:
+        x, y, z = self._dims
+        return f"Torus3D({x}x{y}x{z})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Torus3D) and other._dims == self._dims
+
+    def __hash__(self) -> int:
+        return hash(("Torus3D", self._dims))
+
+    # ------------------------------------------------------------------
+    # Coordinates and ranks
+    # ------------------------------------------------------------------
+    def contains(self, coord: TorusCoord) -> bool:
+        """Whether *coord* is a valid node coordinate."""
+        return all(0 <= c < d for c, d in zip(coord, self._dims))
+
+    def _check_coord(self, coord: TorusCoord) -> None:
+        if len(coord) != 3:
+            raise TopologyError(f"coordinate must have 3 components, got {coord!r}")
+        if not self.contains(coord):
+            raise TopologyError(f"coordinate {coord} outside torus {self._dims}")
+
+    def rank_of(self, coord: TorusCoord) -> int:
+        """Linear node rank of *coord* in x-fastest (XYZ) order."""
+        self._check_coord(coord)
+        x, y, z = coord
+        X, Y, _ = self._dims
+        return x + X * (y + Y * z)
+
+    def coord_of(self, rank: int) -> TorusCoord:
+        """Inverse of :meth:`rank_of`."""
+        X, Y, Z = self._dims
+        n = X * Y * Z
+        if not (0 <= rank < n):
+            raise TopologyError(f"rank {rank} outside torus of {n} nodes")
+        x = rank % X
+        y = (rank // X) % Y
+        z = rank // (X * Y)
+        return (x, y, z)
+
+    def coords(self) -> Iterator[TorusCoord]:
+        """All coordinates in rank order."""
+        X, Y, Z = self._dims
+        for z in range(Z):
+            for y in range(Y):
+                for x in range(X):
+                    yield (x, y, z)
+
+    # ------------------------------------------------------------------
+    # Distances and neighbourhood
+    # ------------------------------------------------------------------
+    def dim_distance(self, a: int, b: int, dim: int) -> int:
+        """Hop distance between positions *a* and *b* along dimension *dim*,
+
+        taking the shorter way around the ring.
+        """
+        size = self._dims[dim]
+        d = abs(a - b) % size
+        return min(d, size - d)
+
+    def distance(self, a: TorusCoord, b: TorusCoord) -> int:
+        """Minimal hop count between nodes *a* and *b* (L1 on the torus)."""
+        self._check_coord(a)
+        self._check_coord(b)
+        return sum(self.dim_distance(a[i], b[i], i) for i in range(3))
+
+    def neighbors(self, coord: TorusCoord) -> list[TorusCoord]:
+        """The up-to-six distinct nearest neighbours of *coord*.
+
+        In a dimension of size 1 the node is its own neighbour along that
+        axis and is excluded; in a dimension of size 2 the +1 and -1
+        neighbours coincide and are reported once.
+        """
+        self._check_coord(coord)
+        out: list[TorusCoord] = []
+        seen = {coord}
+        for dim in range(3):
+            size = self._dims[dim]
+            for direction in (1, -1):
+                nbr = self.shift(coord, dim, direction)
+                if nbr not in seen:
+                    seen.add(nbr)
+                    out.append(nbr)
+            if size == 1:
+                continue
+        return out
+
+    def shift(self, coord: TorusCoord, dim: int, steps: int) -> TorusCoord:
+        """Move *steps* hops (may be negative) along *dim* with wraparound."""
+        self._check_coord(coord)
+        if dim not in (0, 1, 2):
+            raise TopologyError(f"dim must be 0, 1 or 2, got {dim}")
+        out = list(coord)
+        out[dim] = (out[dim] + steps) % self._dims[dim]
+        return (out[0], out[1], out[2])
+
+    # ------------------------------------------------------------------
+    # Links
+    # ------------------------------------------------------------------
+    def num_links(self) -> int:
+        """Count of directed links (6 per node, minus degenerate dims)."""
+        x, y, z = self._dims
+        per_node = sum(2 for d in self._dims if d > 1)
+        # A dim of size 2 still has two distinct directed links per node
+        # (they connect the same pair of nodes but are separate wires on BG).
+        return self.num_nodes * per_node
+
+    def link(self, src: TorusCoord, dim: int, direction: int) -> Link:
+        """The directed link leaving *src* along (*dim*, *direction*)."""
+        self._check_coord(src)
+        if self._dims[dim] == 1:
+            raise TopologyError(f"dimension {dim} has size 1: no links")
+        return Link(src=src, dim=dim, direction=direction)
+
+    def link_dest(self, link: Link) -> TorusCoord:
+        """The node a directed link points to."""
+        return self.shift(link.src, link.dim, link.direction)

@@ -1,0 +1,22 @@
+"""Small shared utilities: validation, RNG seeding, statistics helpers."""
+
+from repro.util.validation import (
+    check_positive_int,
+    check_positive_float,
+    check_in_range,
+    check_type,
+)
+from repro.util.stats import mean, percent_improvement, geometric_mean, summarize
+from repro.util.rng import make_rng
+
+__all__ = [
+    "check_positive_int",
+    "check_positive_float",
+    "check_in_range",
+    "check_type",
+    "mean",
+    "percent_improvement",
+    "geometric_mean",
+    "summarize",
+    "make_rng",
+]

@@ -1,0 +1,74 @@
+"""Tiny statistics helpers used by the experiment drivers.
+
+Kept dependency-light on purpose: these operate on plain sequences so the
+analysis layer never forces numpy arrays on callers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["mean", "geometric_mean", "percent_improvement", "summarize", "Summary"]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty input."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean() of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean() of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean() requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percent_improvement(baseline: float, improved: float) -> float:
+    """Percentage reduction of *improved* relative to *baseline*.
+
+    Positive means *improved* is faster (smaller). This matches the paper's
+    convention: a drop from 1.1 s to 0.7 s is a 36.4% improvement.
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return 100.0 * (baseline - improved) / baseline
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number style summary of a sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stdev: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.4g} "
+            f"min={self.minimum:.4g} max={self.maximum:.4g} sd={self.stdev:.4g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarise a non-empty sample of floats."""
+    if not values:
+        raise ValueError("summarize() of empty sequence")
+    m = mean(values)
+    var = sum((v - m) ** 2 for v in values) / len(values)
+    return Summary(
+        count=len(values),
+        mean=m,
+        minimum=min(values),
+        maximum=max(values),
+        stdev=math.sqrt(var),
+    )

@@ -1,0 +1,68 @@
+"""Eager argument validation helpers.
+
+These raise standard Python exceptions (``TypeError``/``ValueError``) rather
+than :class:`repro.errors.ReproError` because a failed check indicates a
+caller bug, not a domain condition the caller is expected to handle.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+from typing import Any
+
+__all__ = [
+    "check_positive_int",
+    "check_positive_float",
+    "check_in_range",
+    "check_type",
+]
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that *value* is a positive integer and return it as ``int``.
+
+    Booleans are rejected even though ``bool`` subclasses ``int`` — passing
+    ``True`` for a processor count is always a bug.
+    """
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_positive_float(value: Any, name: str, *, allow_zero: bool = False) -> float:
+    """Validate that *value* is a positive (or non-negative) real number."""
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if value != value:  # NaN
+        raise ValueError(f"{name} must not be NaN")
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_in_range(value: Any, name: str, lo: float, hi: float) -> float:
+    """Validate ``lo <= value <= hi`` and return the value as ``float``."""
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")
+    return value
+
+
+def check_type(value: Any, name: str, expected: type | tuple[type, ...]) -> Any:
+    """Validate ``isinstance(value, expected)`` and return the value."""
+    if not isinstance(value, expected):
+        if isinstance(expected, tuple):
+            names = ", ".join(t.__name__ for t in expected)
+        else:
+            names = expected.__name__
+        raise TypeError(f"{name} must be {names}, got {type(value).__name__}")
+    return value

@@ -1,0 +1,110 @@
+"""Random sibling-configuration sampling.
+
+The paper's Pacific experiments used 85 randomly generated configurations
+with nest sizes from 94x124 to 415x445 and aspect ratios 0.5-1.5, with
+2-4 siblings per configuration. Footprints must be disjoint (each sibling
+tracks a different depression), which we enforce by rejection sampling of
+placements inside the parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.util.rng import SeedLike, make_rng
+from repro.wrf.grid import DomainSpec
+
+__all__ = ["NestSizeRange", "random_siblings"]
+
+
+@dataclass(frozen=True)
+class NestSizeRange:
+    """Sampling ranges for random nests (paper Sec 4.1.2 defaults)."""
+
+    min_points: int = 94 * 124
+    max_points: int = 415 * 445
+    min_aspect: float = 0.5
+    max_aspect: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.min_points <= 0 or self.max_points < self.min_points:
+            raise ConfigurationError("invalid point range")
+        if self.min_aspect <= 0 or self.max_aspect < self.min_aspect:
+            raise ConfigurationError("invalid aspect range")
+
+
+def _sample_size(rng, size_range: NestSizeRange) -> Tuple[int, int]:
+    aspect = rng.uniform(size_range.min_aspect, size_range.max_aspect)
+    points = rng.uniform(size_range.min_points, size_range.max_points)
+    nx = max(8, round((points * aspect) ** 0.5))
+    ny = max(8, round(nx / aspect))
+    return nx, ny
+
+
+def _overlaps(a: Tuple[int, int, int, int], b: Tuple[int, int, int, int]) -> bool:
+    ax, ay, aw, ah = a
+    bx, by, bw, bh = b
+    return not (ax + aw <= bx or bx + bw <= ax or ay + ah <= by or by + bh <= ay)
+
+
+def random_siblings(
+    parent: DomainSpec,
+    num_siblings: int,
+    *,
+    seed: SeedLike = None,
+    size_range: Optional[NestSizeRange] = None,
+    refinement: int = 3,
+    max_attempts: int = 2000,
+) -> List[DomainSpec]:
+    """Sample *num_siblings* disjoint nests inside *parent*.
+
+    Nest sizes/aspects follow *size_range*; sizes are clipped so each
+    footprint fits the parent. Raises after *max_attempts* rejected
+    placements (parent too small for the requested configuration).
+    """
+    if num_siblings < 1:
+        raise ConfigurationError("num_siblings must be >= 1")
+    rng = make_rng(seed)
+    size_range = size_range or NestSizeRange()
+    placed: List[Tuple[int, int, int, int]] = []
+    specs: List[DomainSpec] = []
+    attempts = 0
+    while len(specs) < num_siblings:
+        attempts += 1
+        if attempts > max_attempts:
+            raise ConfigurationError(
+                f"could not place {num_siblings} disjoint nests in "
+                f"{parent.nx}x{parent.ny} after {max_attempts} attempts"
+            )
+        nx, ny = _sample_size(rng, size_range)
+        # Footprint in parent cells.
+        fw = -(-nx // refinement)
+        fh = -(-ny // refinement)
+        if fw >= parent.nx or fh >= parent.ny:
+            # Clip oversized samples to 80% of the parent extent.
+            scale = 0.8 * min(parent.nx / fw, parent.ny / fh)
+            nx = max(8, int(nx * scale))
+            ny = max(8, int(ny * scale))
+            fw = -(-nx // refinement)
+            fh = -(-ny // refinement)
+        i0 = int(rng.integers(0, parent.nx - fw + 1))
+        j0 = int(rng.integers(0, parent.ny - fh + 1))
+        footprint = (i0, j0, fw, fh)
+        if any(_overlaps(footprint, other) for other in placed):
+            continue
+        placed.append(footprint)
+        specs.append(
+            DomainSpec(
+                name=f"d{len(specs) + 2:02d}",
+                nx=nx,
+                ny=ny,
+                dx_km=parent.dx_km / refinement,
+                parent=parent.name,
+                parent_start=(i0, j0),
+                refinement=refinement,
+                level=parent.level + 1,
+            )
+        )
+    return specs

@@ -1,0 +1,61 @@
+"""A WRF-like nested weather-simulation proxy.
+
+The paper's scheduling problem is defined by the *structure* of a nested
+WRF run: a coarse parent domain advances one step, then each nested child
+("sibling") advances ``r`` finer steps over its region of interest, pulling
+boundary data interpolated from the parent and feeding its solution back.
+This package implements that structure around a genuine (if small) PDE
+integrator so the schedulers exercise a real numerical workload:
+
+* :mod:`~repro.wrf.grid` — :class:`DomainSpec`: sizes, resolution, nesting
+  geometry, the (aspect ratio, points) features the predictor uses.
+* :mod:`~repro.wrf.fields` — the prognostic state (height, winds, tracer).
+* :mod:`~repro.wrf.solver` — a 2-D shallow-water solver (the "dynamics").
+* :mod:`~repro.wrf.physics` — toy parameterisations (relaxation, drag,
+  convective adjustment) standing in for WRF's physics suite.
+* :mod:`~repro.wrf.interp` — bilinear parent->nest interpolation and
+  conservative nest->parent feedback restriction.
+* :mod:`~repro.wrf.nest` — a running nest bound to its parent region.
+* :mod:`~repro.wrf.model` — :class:`NestedModel`: the full parent+siblings
+  integration loop with pluggable sibling execution order.
+* :mod:`~repro.wrf.namelist` — WRF-namelist-style configuration parsing.
+"""
+
+from repro.wrf.grid import DomainSpec, domain_features
+from repro.wrf.fields import ModelState
+from repro.wrf.solver import ShallowWaterSolver, SolverParams
+from repro.wrf.physics import PhysicsParams, apply_physics
+from repro.wrf.interp import bilinear_sample, restrict_mean
+from repro.wrf.nest import Nest
+from repro.wrf.model import NestedModel
+from repro.wrf.namelist import (
+    Namelist,
+    parse_namelist,
+    domains_from_namelist,
+    namelist_from_domains,
+    render_namelist,
+)
+from repro.wrf.parallel import TiledSolver
+from repro.wrf.diagnostics import StateDiagnostics, diagnose
+
+__all__ = [
+    "DomainSpec",
+    "domain_features",
+    "ModelState",
+    "ShallowWaterSolver",
+    "SolverParams",
+    "PhysicsParams",
+    "apply_physics",
+    "bilinear_sample",
+    "restrict_mean",
+    "Nest",
+    "NestedModel",
+    "Namelist",
+    "parse_namelist",
+    "domains_from_namelist",
+    "namelist_from_domains",
+    "render_namelist",
+    "TiledSolver",
+    "StateDiagnostics",
+    "diagnose",
+]

@@ -1,0 +1,78 @@
+"""Physical diagnostics of a model state.
+
+Operational models print a handful of scalars each step to monitor the
+integration: total mass, energy, maximum winds, CFL number. These are
+the quantities the steering layer and the tests use to judge whether a
+run is healthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive_float
+from repro.wrf.fields import ModelState
+from repro.wrf.solver import SolverParams
+
+__all__ = ["StateDiagnostics", "diagnose"]
+
+
+@dataclass(frozen=True)
+class StateDiagnostics:
+    """Scalar health indicators of one state."""
+
+    total_mass: float
+    #: Kinetic energy  0.5 * h * (u^2 + v^2), summed.
+    kinetic_energy: float
+    #: Available potential energy 0.5 * g * (h - mean)^2, summed.
+    potential_energy: float
+    max_wind: float
+    min_depth: float
+    max_depth: float
+    #: Courant number at the given (dt, dx): < 1 means stable stepping.
+    cfl: float
+
+    @property
+    def total_energy(self) -> float:
+        """Kinetic + available potential energy."""
+        return self.kinetic_energy + self.potential_energy
+
+    @property
+    def healthy(self) -> bool:
+        """Basic sanity: positive depth, finite fields, stable CFL."""
+        return (
+            self.min_depth > 0.0
+            and np.isfinite(self.total_energy)
+            and self.cfl < 1.0
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"mass={self.total_mass:.6g} E={self.total_energy:.4g} "
+            f"maxwind={self.max_wind:.3g} m/s depth=[{self.min_depth:.3g}, "
+            f"{self.max_depth:.3g}] CFL={self.cfl:.3f}"
+        )
+
+
+def diagnose(
+    state: ModelState, dt: float, params: SolverParams | None = None
+) -> StateDiagnostics:
+    """Compute the diagnostics of *state* for a step of length *dt*."""
+    check_positive_float(dt, "dt")
+    params = params or SolverParams()
+    h, u, v = state.h, state.u, state.v
+    speed2 = u * u + v * v
+    mean_h = float(h.mean())
+    ke = float(0.5 * np.sum(h * speed2))
+    pe = float(0.5 * params.gravity * np.sum((h - mean_h) ** 2))
+    return StateDiagnostics(
+        total_mass=float(h.sum()),
+        kinetic_energy=ke,
+        potential_energy=pe,
+        max_wind=float(np.sqrt(speed2.max(initial=0.0))),
+        min_depth=float(h.min(initial=np.inf)),
+        max_depth=float(h.max(initial=-np.inf)),
+        cfl=dt * state.max_wave_speed(params.gravity) / params.dx_m,
+    )

@@ -1,0 +1,151 @@
+"""Domain specifications for nested weather simulations.
+
+A :class:`DomainSpec` describes one simulation domain: the parent covers
+the whole region of interest at coarse resolution; each nested child
+("sibling" when several share a parent) covers a sub-rectangle at ``r``
+times finer resolution and is integrated ``r`` times per parent step.
+
+The performance-prediction features of Sec 3.1 — total points ``nx*ny``
+and aspect ratio ``nx/ny`` — are exposed here via :func:`domain_features`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.util.validation import check_positive_float, check_positive_int
+
+__all__ = ["DomainSpec", "domain_features"]
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One simulation domain (parent or nest).
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, e.g. ``"d01"`` for the parent, ``"d02"``...
+        for nests — WRF's naming convention.
+    nx, ny:
+        Grid points in the west-east and south-north directions.
+    dx_km:
+        Horizontal resolution in kilometres.
+    parent:
+        Name of the parent domain, or ``None`` for the top-level domain.
+    parent_start:
+        ``(i, j)`` of this nest's lower-left corner in *parent* grid
+        coordinates. Required for nests.
+    refinement:
+        Spatial/temporal refinement ratio ``r`` relative to the parent
+        (WRF uses 3 for 24 km -> 8 km and 4.5 km -> 1.5 km uses 3 too).
+    level:
+        Nesting depth: 0 for the parent, 1 for its children, 2 for
+        second-level nests (three SE-Asia configurations use level 2).
+    """
+
+    name: str
+    nx: int
+    ny: int
+    dx_km: float
+    parent: Optional[str] = None
+    parent_start: Optional[Tuple[int, int]] = None
+    refinement: int = 3
+    level: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.nx, "nx")
+        check_positive_int(self.ny, "ny")
+        check_positive_float(self.dx_km, "dx_km")
+        check_positive_int(self.refinement, "refinement")
+        if self.level < 0:
+            raise ConfigurationError(f"level must be >= 0, got {self.level}")
+        if (self.parent is None) != (self.level == 0):
+            raise ConfigurationError(
+                f"domain {self.name!r}: exactly the level-0 domain has no parent "
+                f"(parent={self.parent!r}, level={self.level})"
+            )
+        if self.parent is not None and self.parent_start is None:
+            raise ConfigurationError(
+                f"nest {self.name!r} needs parent_start coordinates"
+            )
+        if self.parent is None and self.parent_start is not None:
+            raise ConfigurationError(
+                f"top-level domain {self.name!r} must not set parent_start"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> int:
+        """Total horizontal grid points ``nx * ny`` (prediction feature 1)."""
+        return self.nx * self.ny
+
+    @property
+    def aspect_ratio(self) -> float:
+        """``nx / ny`` (prediction feature 2)."""
+        return self.nx / self.ny
+
+    @property
+    def is_nest(self) -> bool:
+        """Whether this domain has a parent."""
+        return self.parent is not None
+
+    @property
+    def steps_per_parent_step(self) -> int:
+        """Fine steps this domain runs per *top-level* parent step.
+
+        A first-level nest runs ``r`` steps; a second-level nest runs
+        ``r`` steps per first-level step, i.e. ``r**2`` per top-level
+        step (assuming uniform refinement down the chain).
+        """
+        return self.refinement ** self.level
+
+    def parent_extent(self) -> Tuple[int, int]:
+        """Size of the parent-grid region this nest overlays.
+
+        A nest of ``nx x ny`` points at refinement ``r`` covers
+        ``ceil(nx/r) x ceil(ny/r)`` parent cells.
+        """
+        if not self.is_nest:
+            raise ConfigurationError(f"{self.name!r} is not a nest")
+        r = self.refinement
+        return (-(-self.nx // r), -(-self.ny // r))
+
+    def fits_in(self, parent: "DomainSpec") -> bool:
+        """Whether this nest's footprint lies inside *parent*'s grid."""
+        if not self.is_nest or self.parent_start is None:
+            return False
+        i0, j0 = self.parent_start
+        w, h = self.parent_extent()
+        return 0 <= i0 and 0 <= j0 and i0 + w <= parent.nx and j0 + h <= parent.ny
+
+    def scaled(self, factor: float, *, name: Optional[str] = None) -> "DomainSpec":
+        """A copy with both extents scaled by ``sqrt(factor)`` in area.
+
+        Used by the prediction experiments that "scale up the number of
+        points in each sibling, while retaining the aspect ratio"
+        (paper Sec 3.1).
+        """
+        check_positive_float(factor, "factor")
+        s = factor ** 0.5
+        return DomainSpec(
+            name=name or self.name,
+            nx=max(1, round(self.nx * s)),
+            ny=max(1, round(self.ny * s)),
+            dx_km=self.dx_km,
+            parent=self.parent,
+            parent_start=self.parent_start,
+            refinement=self.refinement,
+            level=self.level,
+        )
+
+
+def domain_features(spec: DomainSpec) -> Tuple[float, float]:
+    """The paper's 2-D prediction feature vector ``(aspect_ratio, points)``.
+
+    The x-coordinate is the aspect ratio and the y-coordinate the total
+    point count, exactly as in Fig 3(a).
+    """
+    return (spec.aspect_ratio, float(spec.points))

@@ -1,0 +1,106 @@
+"""Parent <-> nest grid transfer operators.
+
+Two operators connect a nest at refinement ratio ``r`` to its parent
+(paper Sec 1): at the start of each parent step, nest fields/boundaries are
+*interpolated* from the overlapping parent region (bilinear, the WRF
+default); after the nest's ``r`` fine steps, the nest solution is *fed
+back* by restriction — each parent cell receives the mean of the ``r x r``
+nest cells covering it, which is conservative for cell-mean quantities.
+
+Grid registration: nest point ``(i, j)`` (0-based, x fast) sits at parent
+coordinate ``(i0 + (i + 0.5)/r - 0.5, j0 + (j + 0.5)/r - 0.5)`` where
+``(i0, j0)`` is the nest's lower-left parent cell — i.e. cell centres of an
+``r``-times finer grid overlaid on the parent cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.util.validation import check_positive_int
+
+__all__ = ["bilinear_sample", "nest_coords_in_parent", "restrict_mean"]
+
+
+def nest_coords_in_parent(
+    nest_nx: int, nest_ny: int, i0: int, j0: int, refinement: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fractional parent coordinates of every nest point.
+
+    Returns ``(xs, ys)`` where ``xs`` has shape ``(nest_nx,)`` and ``ys``
+    shape ``(nest_ny,)``; the full coordinate field is their outer product
+    (the mapping is separable).
+    """
+    check_positive_int(nest_nx, "nest_nx")
+    check_positive_int(nest_ny, "nest_ny")
+    check_positive_int(refinement, "refinement")
+    r = float(refinement)
+    xs = i0 + (np.arange(nest_nx) + 0.5) / r - 0.5
+    ys = j0 + (np.arange(nest_ny) + 0.5) / r - 0.5
+    return xs, ys
+
+
+def bilinear_sample(field: np.ndarray, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Sample *field* (shape ``(ny, nx)``) at the grid ``ys x xs``.
+
+    Coordinates are clamped to the field extent (nests touching the parent
+    edge extrapolate flatly, as WRF's interpolation does at domain borders).
+    The result has shape ``(len(ys), len(xs))``.
+    """
+    if field.ndim != 2:
+        raise GeometryError(f"field must be 2-D, got shape {field.shape}")
+    ny, nx = field.shape
+    x = np.clip(np.asarray(xs, dtype=np.float64), 0.0, nx - 1.0)
+    y = np.clip(np.asarray(ys, dtype=np.float64), 0.0, ny - 1.0)
+
+    x0 = np.floor(x).astype(np.intp)
+    y0 = np.floor(y).astype(np.intp)
+    x1 = np.minimum(x0 + 1, nx - 1)
+    y1 = np.minimum(y0 + 1, ny - 1)
+    fx = (x - x0)[np.newaxis, :]
+    fy = (y - y0)[:, np.newaxis]
+
+    f00 = field[np.ix_(y0, x0)]
+    f01 = field[np.ix_(y0, x1)]
+    f10 = field[np.ix_(y1, x0)]
+    f11 = field[np.ix_(y1, x1)]
+
+    top = f00 * (1.0 - fx) + f01 * fx
+    bot = f10 * (1.0 - fx) + f11 * fx
+    return top * (1.0 - fy) + bot * fy
+
+
+def restrict_mean(fine: np.ndarray, refinement: int) -> np.ndarray:
+    """Restrict a fine-grid field to the parent grid by block averaging.
+
+    Each parent cell receives the mean of the ``r x r`` fine cells covering
+    it. Partial blocks at the high edges (when the fine extent is not a
+    multiple of ``r``) average over the cells that exist.
+    """
+    check_positive_int(refinement, "refinement")
+    if fine.ndim != 2:
+        raise GeometryError(f"fine field must be 2-D, got shape {fine.shape}")
+    r = refinement
+    ny, nx = fine.shape
+    out_ny = -(-ny // r)
+    out_nx = -(-nx // r)
+    out = np.empty((out_ny, out_nx), dtype=np.float64)
+
+    full_ny = (ny // r) * r
+    full_nx = (nx // r) * r
+    if full_ny and full_nx:
+        core = fine[:full_ny, :full_nx].reshape(ny // r, r, nx // r, r)
+        out[: ny // r, : nx // r] = core.mean(axis=(1, 3))
+    # Ragged right column / bottom row / corner.
+    if full_nx < nx:
+        for jb in range(out_ny):
+            block = fine[jb * r : min((jb + 1) * r, ny), full_nx:nx]
+            out[jb, out_nx - 1] = block.mean()
+    if full_ny < ny:
+        for ib in range(out_nx):
+            block = fine[full_ny:ny, ib * r : min((ib + 1) * r, nx)]
+            out[out_ny - 1, ib] = block.mean()
+    if full_nx < nx and full_ny < ny:
+        out[out_ny - 1, out_nx - 1] = fine[full_ny:, full_nx:].mean()
+    return out

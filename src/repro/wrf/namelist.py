@@ -1,0 +1,277 @@
+"""WRF-namelist-style configuration.
+
+Real WRF runs are configured through a Fortran namelist (``namelist.input``)
+whose ``&domains`` group lists per-domain columns::
+
+    &domains
+     max_dom           = 3,
+     e_we              = 287, 415, 233,
+     e_sn              = 308, 445, 203,
+     dx                = 24000,
+     parent_id         = 0, 1, 1,
+     i_parent_start    = 1, 30, 120,
+     j_parent_start    = 1, 40, 80,
+     parent_grid_ratio = 1, 3, 3,
+    /
+
+This module parses that format (a practical subset: groups, scalar and
+comma-separated values, ``!`` comments, logical/int/float/string literals)
+and converts a ``&domains`` group into :class:`~repro.wrf.grid.DomainSpec`
+objects. Indices follow WRF conventions: domains and parent ids are
+1-based, ``parent_id = 0`` (or 1 pointing at itself) marks the top level,
+and ``i/j_parent_start`` are 1-based grid coordinates.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.wrf.grid import DomainSpec
+
+__all__ = [
+    "Namelist",
+    "parse_namelist",
+    "domains_from_namelist",
+    "namelist_from_domains",
+    "render_namelist",
+]
+
+_GROUP_RE = re.compile(r"^\s*&(\w+)\s*$")
+_END_RE = re.compile(r"^\s*/\s*$")
+_ASSIGN_RE = re.compile(r"^\s*(\w+)\s*=\s*(.*?)\s*,?\s*$")
+
+
+def _parse_scalar(token: str) -> Any:
+    """Parse one namelist literal: logical, int, float or string."""
+    t = token.strip()
+    if not t:
+        raise ConfigurationError("empty value in namelist")
+    low = t.lower()
+    if low in (".true.", "t", "true"):
+        return True
+    if low in (".false.", "f", "false"):
+        return False
+    if (t[0] == t[-1]) and t[0] in "'\"" and len(t) >= 2:
+        return t[1:-1]
+    try:
+        return int(t)
+    except ValueError:
+        pass
+    try:
+        return float(t)
+    except ValueError:
+        pass
+    return t  # bare word
+
+
+@dataclass
+class Namelist:
+    """Parsed namelist: group name -> {key -> value or list of values}."""
+
+    groups: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def group(self, name: str) -> Dict[str, Any]:
+        """Fetch a group, raising a helpful error when missing."""
+        try:
+            return self.groups[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"namelist has no &{name} group; groups: {sorted(self.groups)}"
+            ) from None
+
+    def get(self, group: str, key: str, default: Any = None) -> Any:
+        """Fetch ``groups[group][key]`` with a default."""
+        return self.groups.get(group, {}).get(key, default)
+
+
+def parse_namelist(text: str) -> Namelist:
+    """Parse namelist *text* into a :class:`Namelist`."""
+    groups: Dict[str, Dict[str, Any]] = {}
+    current: Dict[str, Any] | None = None
+    current_name = ""
+    for raw_line in text.splitlines():
+        line = raw_line.split("!", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        m = _GROUP_RE.match(line)
+        if m:
+            if current is not None:
+                raise ConfigurationError(
+                    f"nested group &{m.group(1)} inside &{current_name}"
+                )
+            current_name = m.group(1).lower()
+            current = groups.setdefault(current_name, {})
+            continue
+        if _END_RE.match(line):
+            if current is None:
+                raise ConfigurationError("group terminator '/' outside any group")
+            current = None
+            continue
+        m = _ASSIGN_RE.match(line)
+        if not m:
+            raise ConfigurationError(f"cannot parse namelist line: {raw_line!r}")
+        if current is None:
+            raise ConfigurationError(f"assignment outside any group: {raw_line!r}")
+        key = m.group(1).lower()
+        values = [_parse_scalar(v) for v in m.group(2).split(",") if v.strip()]
+        current[key] = values[0] if len(values) == 1 else values
+    if current is not None:
+        raise ConfigurationError(f"unterminated group &{current_name}")
+    return Namelist(groups)
+
+
+def _column(group: Dict[str, Any], key: str, n: int, default: Any = None) -> List[Any]:
+    """A per-domain column of length *n*, broadcasting scalars."""
+    if key not in group:
+        if default is None:
+            raise ConfigurationError(f"&domains is missing {key}")
+        value: Any = default
+    else:
+        value = group[key]
+    if not isinstance(value, list):
+        value = [value] * n
+    if len(value) < n:
+        value = value + [value[-1]] * (n - len(value))
+    return value[:n]
+
+
+def domains_from_namelist(nl: Namelist) -> List[DomainSpec]:
+    """Build :class:`DomainSpec` objects from the ``&domains`` group.
+
+    The first domain is the parent; ``dx`` gives its resolution in metres
+    (WRF convention) and nest resolutions follow from the cumulative
+    refinement ratios.
+    """
+    g = nl.group("domains")
+    n = g.get("max_dom")
+    if not isinstance(n, int) or n < 1:
+        raise ConfigurationError(f"&domains max_dom must be a positive int, got {n!r}")
+    e_we = _column(g, "e_we", n)
+    e_sn = _column(g, "e_sn", n)
+    parent_id = _column(g, "parent_id", n, default=0)
+    i_start = _column(g, "i_parent_start", n, default=1)
+    j_start = _column(g, "j_parent_start", n, default=1)
+    ratio = _column(g, "parent_grid_ratio", n, default=1)
+    dx_m = g.get("dx", 24000)
+    if isinstance(dx_m, list):
+        dx_m = dx_m[0]
+
+    specs: List[DomainSpec] = []
+    dx_km: List[float] = []
+    levels: List[int] = []
+    for d in range(n):
+        name = f"d{d + 1:02d}"
+        pid = parent_id[d]
+        is_top = d == 0 or pid in (0, d + 1)
+        if d == 0 and not is_top:
+            raise ConfigurationError("first domain must be the top-level parent")
+        if is_top:
+            dx_km.append(float(dx_m) / 1000.0)
+            levels.append(0)
+            specs.append(
+                DomainSpec(name=name, nx=int(e_we[d]), ny=int(e_sn[d]), dx_km=dx_km[0])
+            )
+            continue
+        if not (1 <= pid <= d):
+            raise ConfigurationError(
+                f"domain {name}: parent_id {pid} must reference an earlier domain"
+            )
+        p = pid - 1
+        r = int(ratio[d])
+        dx_km.append(dx_km[p] / r)
+        levels.append(levels[p] + 1)
+        specs.append(
+            DomainSpec(
+                name=name,
+                nx=int(e_we[d]),
+                ny=int(e_sn[d]),
+                dx_km=dx_km[d],
+                parent=specs[p].name,
+                parent_start=(int(i_start[d]) - 1, int(j_start[d]) - 1),
+                refinement=r,
+                level=levels[d],
+            )
+        )
+    return specs
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return ".true." if value else ".false."
+    if isinstance(value, str):
+        return f"'{value}'"
+    return str(value)
+
+
+def render_namelist(nl: Namelist) -> str:
+    """Serialise a :class:`Namelist` back to namelist text.
+
+    ``parse_namelist(render_namelist(nl))`` reproduces *nl* exactly —
+    property-tested round trip.
+    """
+    lines: List[str] = []
+    for group, entries in nl.groups.items():
+        lines.append(f"&{group}")
+        width = max((len(k) for k in entries), default=0)
+        for key, value in entries.items():
+            if isinstance(value, list):
+                rendered = ", ".join(_render_value(v) for v in value)
+            else:
+                rendered = _render_value(value)
+            lines.append(f" {key.ljust(width)} = {rendered},")
+        lines.append("/")
+    return "\n".join(lines) + "\n"
+
+
+def namelist_from_domains(specs: List[DomainSpec], *, history_interval: int = 60) -> Namelist:
+    """Build a WRF-style ``&domains`` namelist from domain specs.
+
+    The inverse of :func:`domains_from_namelist` (verified by round-trip
+    tests): the first spec must be the top-level parent, nests must
+    reference earlier specs by name.
+    """
+    if not specs or specs[0].is_nest:
+        raise ConfigurationError("first spec must be the top-level parent")
+    index = {spec.name: i + 1 for i, spec in enumerate(specs)}
+    parent_ids: List[int] = []
+    ratios: List[int] = []
+    i_starts: List[int] = []
+    j_starts: List[int] = []
+    for spec in specs:
+        if spec.is_nest:
+            if spec.parent not in index:
+                raise ConfigurationError(
+                    f"nest {spec.name!r} references unknown parent {spec.parent!r}"
+                )
+            parent_ids.append(index[spec.parent])
+            ratios.append(spec.refinement)
+            assert spec.parent_start is not None
+            i_starts.append(spec.parent_start[0] + 1)
+            j_starts.append(spec.parent_start[1] + 1)
+        else:
+            parent_ids.append(0)
+            ratios.append(1)
+            i_starts.append(1)
+            j_starts.append(1)
+    domains = {
+        "max_dom": len(specs),
+        "e_we": [s.nx for s in specs],
+        "e_sn": [s.ny for s in specs],
+        "dx": int(round(specs[0].dx_km * 1000)),
+        "parent_id": parent_ids,
+        "i_parent_start": i_starts,
+        "j_parent_start": j_starts,
+        "parent_grid_ratio": ratios,
+    }
+    # Single-domain lists collapse to scalars on reparse; keep the
+    # canonical list form only when meaningful.
+    if len(specs) == 1:
+        domains = {k: (v[0] if isinstance(v, list) else v)
+                   for k, v in domains.items()}
+    return Namelist({
+        "domains": domains,
+        "time_control": {"history_interval": history_interval},
+    })

@@ -1,0 +1,36 @@
+"""Tests for the ASCII series plot."""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_series
+
+
+class TestAsciiSeries:
+    def test_basic_render(self):
+        out = ascii_series([1, 2, 4], {"t": [3.0, 2.0, 1.0]}, title="demo")
+        assert "demo" in out
+        assert "* t" in out
+        assert "+" in out  # axis
+
+    def test_two_series_two_markers(self):
+        out = ascii_series([1, 2], {"a": [1.0, 2.0], "b": [2.0, 1.0]})
+        assert "* a" in out
+        assert "o b" in out
+
+    def test_constant_series_ok(self):
+        out = ascii_series([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in out
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_series([1, 2], {"a": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series([], {})
+
+    def test_dimensions(self):
+        out = ascii_series([1, 2], {"a": [1.0, 2.0]}, width=30, height=5)
+        plot_lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len(plot_lines) == 5
+        assert all(len(l) == 31 for l in plot_lines)

@@ -1,0 +1,113 @@
+"""Smoke/shape tests of the experiment drivers at reduced sizes.
+
+Full-size drivers run in the benchmarks; here each driver runs at a
+small configuration and its *qualitative* claims are asserted.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    compare_strategies,
+    fig2_scaling,
+    fig3a_triangulation,
+    fig3b_partition,
+    fig4_split_direction,
+    fig5_fig6_mapping_example,
+    fig15_speedup,
+    fitted_model,
+    prediction_error_study,
+    sec46_allocation_quality,
+    table2_fig9_siblings,
+)
+from repro.topology.machines import BLUE_GENE_L
+from repro.workloads.regions import pacific_configurations
+
+
+class TestFittedModel:
+    def test_cached(self):
+        a = fitted_model(BLUE_GENE_L)
+        b = fitted_model(BLUE_GENE_L)
+        assert a is b
+
+    def test_thirteen_basis(self):
+        assert fitted_model(BLUE_GENE_L).num_basis == 13
+
+
+class TestCompareStrategies:
+    def test_parallel_wins_at_scale(self):
+        config = pacific_configurations(1, seed=11)[0]
+        cmp = compare_strategies(config, 1024, BLUE_GENE_L)
+        assert cmp.improvement > 0.0
+        assert cmp.parallel.integration_time < cmp.sequential.integration_time
+
+    def test_wait_improvement_positive(self):
+        config = pacific_configurations(1, seed=12)[0]
+        cmp = compare_strategies(config, 1024, BLUE_GENE_L)
+        assert cmp.wait_improvement > 0.0
+
+
+class TestScalingDrivers:
+    def test_fig2_monotone_then_flat(self):
+        r = fig2_scaling(ranks=(64, 256, 1024))
+        assert r.total_times[0] > r.total_times[1] > r.total_times[2]
+        assert "saturates" in r.render()
+
+    def test_fig15_concurrent_never_slower(self):
+        r = fig15_speedup(ranks=(64, 256, 1024))
+        for s, p in zip(r.sequential_times, r.parallel_times):
+            assert p <= s * 1.01
+        seq_s, par_s = r.speedups()
+        assert par_s[-1] > seq_s[-1]
+
+
+class TestPredictionDrivers:
+    def test_fig3a_thirteen_points(self):
+        r = fig3a_triangulation()
+        assert len(r.points) == 13
+        assert len(r.triangles) >= 10
+        assert "triangles" in r.render()
+
+    def test_prediction_error_claims(self):
+        r = prediction_error_study(num_tests=25)
+        # Paper: <6% for ours, >19% for naive.
+        assert r.delaunay_mean_error < 6.0
+        assert r.naive_mean_error > 12.0
+        assert r.delaunay_below_6pct > 0.8
+        assert r.delaunay_mean_error < r.naive_mean_error / 2
+
+
+class TestAllocationDrivers:
+    def test_fig3b_shares(self):
+        r = fig3b_partition()
+        shares = [rect.area / 1024 for rect in r.rects]
+        for share, ratio in zip(shares, r.ratios):
+            assert share == pytest.approx(ratio, abs=0.03)
+
+    def test_fig4_longer_wins(self):
+        r = fig4_split_direction()
+        assert r.longer_first_squareness > r.shorter_first_squareness
+
+    def test_sec46_ordering(self):
+        """default > naive > ours in execution time (Sec 4.6)."""
+        r = sec46_allocation_quality()
+        assert r.default_time > r.naive_time > r.ours_time
+        assert r.ours_improvement > r.naive_improvement
+
+
+class TestMappingDrivers:
+    def test_fig5_fig6_exact_paper_claims(self):
+        r = fig5_fig6_mapping_example()
+        assert r.oblivious_0_to_8 == 2
+        assert r.oblivious_8_to_16 == 3
+        assert r.multilevel_3_to_4 == 1
+        assert r.average_hops["multilevel"]["parent"] == pytest.approx(1.0)
+        assert r.average_hops["partition"]["nest0"] == pytest.approx(1.0)
+        assert r.average_hops["oblivious"]["nest0"] > 1.5
+
+
+class TestTable2Driver:
+    def test_matches_paper_structure(self):
+        r = table2_fig9_siblings()
+        assert r.sequential_total == pytest.approx(1.1, rel=0.2)
+        assert r.parallel_total == pytest.approx(0.7, rel=0.15)
+        assert r.improvement == pytest.approx(36.0, abs=9.0)

@@ -1,0 +1,73 @@
+"""Tests for the capacity planner."""
+
+import pytest
+
+from repro.analysis.planner import recommend
+from repro.errors import ConfigurationError
+from repro.topology.machines import BLUE_GENE_L
+from repro.workloads.regions import Configuration, pacific_parent
+from repro.workloads.generator import random_siblings
+
+
+@pytest.fixture(scope="module")
+def config():
+    parent = pacific_parent()
+    return Configuration("plan-test", parent,
+                         tuple(random_siblings(parent, 3, seed=21)))
+
+
+@pytest.fixture(scope="module")
+def plan(config):
+    return recommend(config, BLUE_GENE_L, max_ranks=1024, min_ranks=64)
+
+
+class TestRecommend:
+    def test_sweeps_all_combinations(self, plan):
+        # 5 rank counts x 3 (strategy, mapping) combos.
+        assert len(plan.options) == 5 * 3
+
+    def test_sorted_by_time(self, plan):
+        times = [o.time_per_iteration for o in plan.options]
+        assert times == sorted(times)
+
+    def test_fastest_is_first(self, plan):
+        assert plan.fastest is plan.options[0]
+
+    def test_recommended_meets_floor(self, plan):
+        assert plan.recommended.efficiency >= plan.efficiency_floor
+
+    def test_recommended_not_slower_than_needed(self, plan):
+        """Recommended is the fastest among floor-meeting options."""
+        qualifying = [o for o in plan.options
+                      if o.efficiency >= plan.efficiency_floor]
+        assert plan.recommended is qualifying[0]
+
+    def test_parallel_beats_sequential_at_scale(self, plan):
+        """At the largest scale, the parallel options dominate."""
+        at_max = [o for o in plan.options if o.ranks == 1024]
+        best = min(at_max, key=lambda o: o.time_per_iteration)
+        assert best.strategy == "parallel"
+
+    def test_efficiency_normalised(self, plan):
+        assert max(o.efficiency for o in plan.options) == pytest.approx(1.0)
+        assert all(0 < o.efficiency <= 1.0 for o in plan.options)
+
+    def test_core_seconds_consistent(self, plan):
+        for o in plan.options:
+            assert o.core_seconds == pytest.approx(
+                o.time_per_iteration * o.ranks
+            )
+
+    def test_render(self, plan):
+        out = plan.render()
+        assert "recommended" in out
+        assert "fastest" in out
+        assert "plan-test" in out
+
+    def test_floor_validation(self, config):
+        with pytest.raises(ConfigurationError):
+            recommend(config, BLUE_GENE_L, efficiency_floor=0.0)
+
+    def test_rank_range_validation(self, config):
+        with pytest.raises(ConfigurationError):
+            recommend(config, BLUE_GENE_L, max_ranks=32, min_ranks=64)

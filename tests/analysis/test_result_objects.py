@@ -1,0 +1,135 @@
+"""Tests for experiment result dataclasses and their renderers."""
+
+import pytest
+
+from repro.analysis.experiments.common import (
+    StrategyComparison,
+    grid_for,
+    oblivious_placement,
+)
+from repro.analysis.experiments.exp_improvement import Fig8Result, Table1Result
+from repro.analysis.experiments.exp_io import IoScalingResult
+from repro.analysis.experiments.exp_scaling import Fig2Result, Fig15Result
+from repro.topology.machines import BLUE_GENE_L, BLUE_GENE_P
+
+
+class TestCommonHelpers:
+    def test_grid_for_square(self):
+        assert grid_for(1024).shape == (32, 32)
+        assert grid_for(4096).shape == (64, 64)
+
+    def test_oblivious_placement_cached(self):
+        a = oblivious_placement(BLUE_GENE_L, 1024)
+        b = oblivious_placement(BLUE_GENE_L, 1024)
+        assert a is b
+
+    def test_oblivious_placement_per_machine(self):
+        a = oblivious_placement(BLUE_GENE_L, 1024)
+        b = oblivious_placement(BLUE_GENE_P, 1024)
+        assert a is not b
+        # BG/L VN: 512 nodes; BG/P VN: 256 nodes — different tori.
+        assert a.space.torus != b.space.torus
+
+
+class TestFig2Result:
+    def test_render_contains_rows(self):
+        r = Fig2Result(
+            ranks=(32, 64), integration_times=(2.0, 1.2),
+            total_times=(2.2, 1.3), saturation_ranks=64,
+        )
+        out = r.render()
+        assert "32" in out and "64" in out
+        assert "saturates" in out
+
+
+class TestFig15Result:
+    def test_speedups_relative_to_first(self):
+        r = Fig15Result(
+            ranks=(32, 64), sequential_times=(10.0, 6.0),
+            parallel_times=(9.0, 5.0),
+        )
+        seq, par = r.speedups()
+        assert seq[0] == 1.0
+        assert seq[1] == pytest.approx(10 / 6)
+        assert par[1] == pytest.approx(2.0)
+
+    def test_render(self):
+        r = Fig15Result(ranks=(32,), sequential_times=(10.0,),
+                        parallel_times=(9.0,))
+        assert "Fig 15" in r.render()
+
+
+class TestFig8Result:
+    def test_render(self):
+        r = Fig8Result(
+            ranks=(512, 1024),
+            improvement_excl_io=(10.0, 20.0),
+            improvement_incl_io=(12.0, 25.0),
+            num_configs=5,
+        )
+        out = r.render()
+        assert "5" in out
+        assert "512" in out
+
+
+class TestTable1Result:
+    def test_render_rows(self):
+        r = Table1Result(
+            rows=(("BlueGene/L", 1024, 38.4, 66.3),),
+            num_configs=85,
+        )
+        out = r.render()
+        assert "1024 on BlueGene/L" in out
+        assert "38.4" in out
+
+
+class TestIoScalingResult:
+    @pytest.fixture
+    def result(self):
+        return IoScalingResult(
+            ranks=(512, 1024),
+            integration={"sequential": (2.0, 1.5), "parallel": (1.5, 1.0)},
+            io={"sequential": (0.5, 1.0), "parallel": (0.1, 0.15)},
+            total={"sequential": (2.5, 2.5), "parallel": (1.6, 1.15)},
+        )
+
+    def test_io_fraction(self, result):
+        frac = result.io_fraction("sequential")
+        assert frac[0] == pytest.approx(0.2)
+        assert frac[1] == pytest.approx(0.4)
+
+    def test_render_panels(self, result):
+        out = result.render()
+        assert "integration" in out
+        assert "I/O" in out
+        assert "Fig 14" in out
+
+
+class TestStrategyComparison:
+    def test_metrics(self, pacific, two_siblings):
+        from repro.core.scheduler.strategies import (
+            ParallelSiblingsStrategy,
+            SequentialStrategy,
+        )
+        from repro.perfsim.simulate import simulate_iteration
+        from repro.runtime.process_grid import ProcessGrid
+        from repro.workloads.regions import Configuration
+
+        grid = ProcessGrid(16, 16)
+        seq = simulate_iteration(
+            SequentialStrategy().plan(grid, pacific, two_siblings), BLUE_GENE_L
+        )
+        par = simulate_iteration(
+            ParallelSiblingsStrategy().plan(
+                grid, pacific, two_siblings,
+                ratios=[s.points for s in two_siblings],
+            ),
+            BLUE_GENE_L,
+        )
+        cfg = Configuration("t", pacific, tuple(two_siblings))
+        cmp = StrategyComparison(config=cfg, ranks=256, sequential=seq, parallel=par)
+        assert cmp.improvement == pytest.approx(
+            100 * (1 - par.integration_time / seq.integration_time)
+        )
+        assert cmp.improvement_with_io == cmp.improvement  # no I/O model
+        assert cmp.wait_improvement != 0

@@ -1,0 +1,43 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.analysis.tables import Table
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        t = Table(["P", "time"], title="Scaling")
+        t.add_row([512, 0.654321])
+        out = t.render()
+        assert "Scaling" in out
+        assert "P" in out and "time" in out
+        assert "512" in out
+        assert "0.6543" in out  # 4 significant digits
+
+    def test_column_alignment(self):
+        t = Table(["a", "b"])
+        t.add_row(["xxxx", 1])
+        t.add_row(["y", 22])
+        lines = t.render().splitlines()
+        # All data lines have the same width.
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+    def test_wrong_arity(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_str_matches_render(self):
+        t = Table(["x"])
+        t.add_row([1])
+        assert str(t) == t.render()
+
+    def test_bool_not_formatted_as_float(self):
+        t = Table(["flag"])
+        t.add_row([True])
+        assert "True" in t.render()

@@ -1,0 +1,66 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.process_grid import GridRect, ProcessGrid
+from repro.topology.machines import BLUE_GENE_L, BLUE_GENE_P
+from repro.topology.torus import Torus3D
+from repro.wrf.grid import DomainSpec
+
+
+@pytest.fixture
+def bgl():
+    """The Blue Gene/L machine model."""
+    return BLUE_GENE_L
+
+
+@pytest.fixture
+def bgp():
+    """The Blue Gene/P machine model."""
+    return BLUE_GENE_P
+
+
+@pytest.fixture
+def small_torus():
+    """The 4x4x2 torus of the paper's Fig 5/6 example."""
+    return Torus3D((4, 4, 2))
+
+
+@pytest.fixture
+def grid_32x32():
+    """The 1024-rank virtual process grid of the BG/L experiments."""
+    return ProcessGrid(32, 32)
+
+
+@pytest.fixture
+def pacific():
+    """The Pacific parent domain (286x307 at 24 km)."""
+    return DomainSpec(name="d01", nx=286, ny=307, dx_km=24.0)
+
+
+@pytest.fixture
+def two_siblings(pacific):
+    """Two disjoint sibling nests inside the Pacific parent."""
+    return [
+        DomainSpec("d02", 120, 96, 8.0, parent="d01", parent_start=(10, 10),
+                   refinement=3, level=1),
+        DomainSpec("d03", 90, 120, 8.0, parent="d01", parent_start=(150, 150),
+                   refinement=3, level=1),
+    ]
+
+
+@pytest.fixture
+def table2_siblings(pacific):
+    """The paper's Table 2 four-sibling configuration."""
+    return [
+        DomainSpec("d02", 394, 418, 8.0, parent="d01", parent_start=(10, 10),
+                   refinement=3, level=1),
+        DomainSpec("d03", 232, 202, 8.0, parent="d01", parent_start=(160, 10),
+                   refinement=3, level=1),
+        DomainSpec("d04", 232, 256, 8.0, parent="d01", parent_start=(10, 160),
+                   refinement=3, level=1),
+        DomainSpec("d05", 313, 337, 8.0, parent="d01", parent_start=(160, 160),
+                   refinement=3, level=1),
+    ]

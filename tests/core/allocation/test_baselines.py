@@ -1,0 +1,86 @@
+"""Tests for the baseline allocation policies."""
+
+import pytest
+
+from repro.core.allocation.baselines import (
+    equal_partition,
+    naive_strip_partition,
+    strip_partition,
+)
+from repro.core.allocation.partition import validate_tiling
+from repro.errors import AllocationError
+from repro.runtime.process_grid import ProcessGrid
+
+
+class TestStripPartition:
+    def test_full_height_strips(self):
+        grid = ProcessGrid(32, 32)
+        alloc = strip_partition(grid, [1.0, 1.0])
+        assert all(r.height == 32 for r in alloc.rects)
+        assert all(r.y0 == 0 for r in alloc.rects)
+
+    def test_consecutive(self):
+        grid = ProcessGrid(32, 32)
+        alloc = strip_partition(grid, [1.0, 2.0, 1.0])
+        xs = [r.x0 for r in alloc.rects]
+        assert xs == sorted(xs)
+        validate_tiling(grid, alloc.rects)
+
+    def test_widths_proportional(self):
+        grid = ProcessGrid(32, 8)
+        alloc = strip_partition(grid, [1.0, 3.0])
+        assert alloc.rects[0].width == 8
+        assert alloc.rects[1].width == 24
+
+    def test_last_strip_absorbs_remainder(self):
+        grid = ProcessGrid(10, 4)
+        alloc = strip_partition(grid, [1.0, 1.0, 1.0])
+        assert sum(r.width for r in alloc.rects) == 10
+
+    def test_every_strip_nonempty(self):
+        grid = ProcessGrid(5, 4)
+        alloc = strip_partition(grid, [100.0, 0.001, 0.001, 0.001, 0.001])
+        assert all(r.width >= 1 for r in alloc.rects)
+
+    def test_too_many_strips(self):
+        with pytest.raises(AllocationError):
+            strip_partition(ProcessGrid(3, 4), [1.0] * 4)
+
+    def test_empty_weights(self):
+        with pytest.raises(AllocationError):
+            strip_partition(ProcessGrid(4, 4), [])
+
+
+class TestNaiveStripPartition:
+    def test_proportional_to_points(self):
+        grid = ProcessGrid(32, 32)
+        alloc = naive_strip_partition(grid, [100, 300])
+        assert alloc.rects[0].area == pytest.approx(1024 * 0.25, abs=32)
+
+    def test_rejects_nonpositive_points(self):
+        with pytest.raises(AllocationError):
+            naive_strip_partition(ProcessGrid(4, 4), [10, 0])
+
+
+class TestEqualPartition:
+    def test_equal_shares(self):
+        grid = ProcessGrid(32, 16)
+        alloc = equal_partition(grid, 4)
+        assert all(r.area == 128 for r in alloc.rects)
+
+    def test_rejects_zero_siblings(self):
+        with pytest.raises(AllocationError):
+            equal_partition(ProcessGrid(4, 4), 0)
+
+    def test_strips_worse_squareness_than_splittree(self):
+        """The reason the paper uses the split-tree: strips are skewed."""
+        from repro.core.allocation.partition import partition_grid
+        from repro.core.allocation.splittree import partition_squareness
+
+        grid = ProcessGrid(32, 32)
+        ratios = [0.25, 0.25, 0.25, 0.25]
+        strips = strip_partition(grid, ratios)
+        tree = partition_grid(grid, ratios)
+        assert partition_squareness(list(tree.rects)) > partition_squareness(
+            list(strips.rects)
+        )

@@ -1,0 +1,93 @@
+"""Tests for the Huffman tree over execution-time ratios."""
+
+import pytest
+
+from repro.core.allocation.huffman import HuffmanTree
+from repro.errors import AllocationError
+
+
+class TestConstruction:
+    def test_single_leaf(self):
+        tree = HuffmanTree([1.0])
+        assert tree.root.is_leaf
+        assert tree.root.item == 0
+        assert tree.num_leaves == 1
+
+    def test_two_leaves(self):
+        tree = HuffmanTree([0.3, 0.7])
+        assert not tree.root.is_leaf
+        assert sorted(tree.root.leaves()) == [0, 1]
+
+    def test_weights_copied(self):
+        w = [1.0, 2.0]
+        tree = HuffmanTree(w)
+        tree.weights.append(3.0)
+        assert tree.num_leaves == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(AllocationError):
+            HuffmanTree([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(AllocationError):
+            HuffmanTree([1.0, 0.0])
+        with pytest.raises(AllocationError):
+            HuffmanTree([1.0, -0.5])
+
+
+class TestStructure:
+    def test_root_weight_is_total(self):
+        tree = HuffmanTree([0.15, 0.3, 0.35, 0.2])
+        assert tree.root.weight == pytest.approx(1.0)
+
+    def test_lightest_pair_merged_first(self):
+        # Classic Huffman: 0.1 and 0.2 merge before anything else, so
+        # they end up deepest in the tree.
+        tree = HuffmanTree([0.1, 0.2, 0.3, 0.4])
+        depths = {}
+
+        def walk(node, d):
+            if node.is_leaf:
+                depths[node.item] = d
+            else:
+                walk(node.left, d + 1)
+                walk(node.right, d + 1)
+
+        walk(tree.root, 0)
+        assert depths[0] == max(depths.values())
+        assert depths[1] == max(depths.values())
+
+    def test_all_leaves_present(self):
+        tree = HuffmanTree([5, 1, 4, 2, 3])
+        assert sorted(tree.root.leaves()) == [0, 1, 2, 3, 4]
+
+    def test_internal_nodes_bfs_count(self):
+        # A binary tree with k leaves has k-1 internal nodes.
+        for k in (1, 2, 3, 7):
+            tree = HuffmanTree([float(i + 1) for i in range(k)])
+            assert len(list(tree.internal_nodes_bfs())) == k - 1
+
+    def test_bfs_starts_at_root(self):
+        tree = HuffmanTree([1.0, 2.0, 3.0])
+        first = next(tree.internal_nodes_bfs())
+        assert first is tree.root
+
+    def test_subtree_weight(self):
+        tree = HuffmanTree([0.25, 0.25, 0.5])
+        for node in tree.internal_nodes_bfs():
+            assert tree.subtree_weight(node) == pytest.approx(node.weight)
+
+    def test_deterministic(self):
+        a = HuffmanTree([1.0, 1.0, 1.0, 1.0])
+        b = HuffmanTree([1.0, 1.0, 1.0, 1.0])
+
+        def shape(node):
+            if node.is_leaf:
+                return node.item
+            return (shape(node.left), shape(node.right))
+
+        assert shape(a.root) == shape(b.root)
+
+    def test_balanced_for_equal_weights(self):
+        tree = HuffmanTree([1.0] * 8)
+        assert tree.root.depth() == 3

@@ -1,0 +1,85 @@
+"""Tests for the public allocation API."""
+
+import pytest
+
+from repro.core.allocation.partition import (
+    Allocation,
+    allocation_error,
+    partition_grid,
+    validate_tiling,
+)
+from repro.errors import AllocationError
+from repro.runtime.process_grid import GridRect, ProcessGrid
+
+
+class TestPartitionGrid:
+    def test_fig3b_shares(self):
+        # Fig 3(b): ratios 0.15 : 0.3 : 0.35 : 0.2.
+        grid = ProcessGrid(32, 32)
+        alloc = partition_grid(grid, [0.15, 0.3, 0.35, 0.2])
+        assert alloc.num_siblings == 4
+        for i, ratio in enumerate([0.15, 0.3, 0.35, 0.2]):
+            assert alloc.share_of(i) == pytest.approx(ratio, abs=0.03)
+
+    def test_ratios_normalised(self):
+        grid = ProcessGrid(16, 16)
+        a = partition_grid(grid, [1.0, 3.0])
+        b = partition_grid(grid, [0.25, 0.75])
+        assert a.rects == b.rects
+        assert a.ratios == pytest.approx(b.ratios)
+
+    def test_single_sibling(self):
+        grid = ProcessGrid(8, 8)
+        alloc = partition_grid(grid, [42.0])
+        assert alloc.rects == (grid.full_rect(),)
+
+    def test_processors_for(self):
+        grid = ProcessGrid(8, 8)
+        alloc = partition_grid(grid, [1.0, 1.0])
+        assert alloc.processors_for(0) + alloc.processors_for(1) == 64
+
+    def test_empty_ratios_rejected(self):
+        with pytest.raises(AllocationError):
+            partition_grid(ProcessGrid(4, 4), [])
+
+    def test_nonpositive_sum_rejected(self):
+        with pytest.raises(AllocationError):
+            partition_grid(ProcessGrid(4, 4), [0.0, 0.0])
+
+
+class TestValidateTiling:
+    def test_accepts_exact_tiling(self):
+        grid = ProcessGrid(4, 4)
+        validate_tiling(grid, [GridRect(0, 0, 2, 4), GridRect(2, 0, 2, 4)])
+
+    def test_rejects_overlap(self):
+        grid = ProcessGrid(4, 4)
+        with pytest.raises(AllocationError, match="overlap"):
+            validate_tiling(grid, [GridRect(0, 0, 3, 4), GridRect(2, 0, 2, 4)])
+
+    def test_rejects_gap(self):
+        grid = ProcessGrid(4, 4)
+        with pytest.raises(AllocationError, match="cover"):
+            validate_tiling(grid, [GridRect(0, 0, 2, 4)])
+
+    def test_rejects_out_of_bounds(self):
+        grid = ProcessGrid(4, 4)
+        with pytest.raises(AllocationError, match="exceeds"):
+            validate_tiling(grid, [GridRect(0, 0, 5, 4)])
+
+
+class TestAllocationError:
+    def test_zero_for_perfect_split(self):
+        grid = ProcessGrid(4, 4)
+        alloc = partition_grid(grid, [0.5, 0.5])
+        assert allocation_error(alloc) == pytest.approx(0.0)
+
+    def test_positive_for_rounding(self):
+        grid = ProcessGrid(3, 3)
+        alloc = partition_grid(grid, [0.5, 0.5])
+        assert allocation_error(alloc) > 0.0
+
+    def test_bounded_for_reasonable_inputs(self):
+        grid = ProcessGrid(32, 32)
+        alloc = partition_grid(grid, [0.1, 0.2, 0.3, 0.4])
+        assert allocation_error(alloc) < 0.25

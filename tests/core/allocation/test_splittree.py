@@ -1,0 +1,109 @@
+"""Tests for Algorithm 1 (the balanced split-tree)."""
+
+import pytest
+
+from repro.core.allocation.huffman import HuffmanTree
+from repro.core.allocation.splittree import (
+    partition_squareness,
+    proportional_split,
+    split_tree_partition,
+)
+from repro.errors import AllocationError
+from repro.runtime.process_grid import GridRect
+
+
+class TestProportionalSplit:
+    def test_even(self):
+        assert proportional_split(32, 1.0, 1.0) == 16
+
+    def test_rounding(self):
+        assert proportional_split(32, 0.596, 0.404) == 19
+
+    def test_clamps_low(self):
+        assert proportional_split(10, 0.001, 0.999) == 1
+
+    def test_clamps_high(self):
+        assert proportional_split(10, 0.999, 0.001) == 9
+
+    def test_min_constraints(self):
+        assert proportional_split(10, 0.01, 0.99, min_left=3) == 3
+
+    def test_impossible(self):
+        with pytest.raises(AllocationError):
+            proportional_split(3, 1.0, 1.0, min_left=2, min_right=2)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(AllocationError):
+            proportional_split(10, 0.0, 0.0)
+
+
+class TestSplitTree:
+    def test_single_sibling_gets_everything(self):
+        tree = HuffmanTree([1.0])
+        rects = split_tree_partition(tree, GridRect(0, 0, 8, 4))
+        assert rects == {0: GridRect(0, 0, 8, 4)}
+
+    def test_exact_tiling(self):
+        tree = HuffmanTree([0.15, 0.3, 0.35, 0.2])
+        rects = split_tree_partition(tree, GridRect(0, 0, 32, 32))
+        assert sum(r.area for r in rects.values()) == 1024
+        items = list(rects.values())
+        for i, a in enumerate(items):
+            for b in items[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_areas_proportional(self):
+        ratios = [0.15, 0.3, 0.35, 0.2]
+        tree = HuffmanTree(ratios)
+        rects = split_tree_partition(tree, GridRect(0, 0, 32, 32))
+        for i, ratio in enumerate(ratios):
+            assert rects[i].area / 1024 == pytest.approx(ratio, abs=0.03)
+
+    def test_first_cut_along_longer_dimension(self):
+        # A wide grid must be cut vertically first (Fig 4).
+        tree = HuffmanTree([0.5, 0.5])
+        rects = split_tree_partition(tree, GridRect(0, 0, 16, 4))
+        assert {r.shape for r in rects.values()} == {(8, 4)}
+
+    def test_tall_grid_cut_horizontally(self):
+        tree = HuffmanTree([0.5, 0.5])
+        rects = split_tree_partition(tree, GridRect(0, 0, 4, 16))
+        assert {r.shape for r in rects.values()} == {(4, 8)}
+
+    def test_every_sibling_nonempty_with_tiny_ratio(self):
+        tree = HuffmanTree([0.999, 0.0005, 0.0005])
+        rects = split_tree_partition(tree, GridRect(0, 0, 8, 8))
+        assert all(r.area >= 1 for r in rects.values())
+        assert sum(r.area for r in rects.values()) == 64
+
+    def test_more_siblings_than_procs_rejected(self):
+        tree = HuffmanTree([1.0] * 5)
+        with pytest.raises(AllocationError):
+            split_tree_partition(tree, GridRect(0, 0, 2, 2))
+
+    def test_exactly_one_proc_each(self):
+        tree = HuffmanTree([1.0] * 4)
+        rects = split_tree_partition(tree, GridRect(0, 0, 2, 2))
+        assert sorted(r.area for r in rects.values()) == [1, 1, 1, 1]
+
+    def test_many_siblings(self):
+        weights = [float(i + 1) for i in range(16)]
+        tree = HuffmanTree(weights)
+        rects = split_tree_partition(tree, GridRect(0, 0, 32, 32))
+        assert sum(r.area for r in rects.values()) == 1024
+        total = sum(weights)
+        # Heaviest sibling gets roughly its proportional share.
+        assert rects[15].area / 1024 == pytest.approx(16 / total, rel=0.35)
+
+
+class TestSquareness:
+    def test_perfect_squares(self):
+        assert partition_squareness([GridRect(0, 0, 4, 4)]) == 1.0
+
+    def test_mean(self):
+        rects = [GridRect(0, 0, 4, 4), GridRect(4, 0, 8, 4)]
+        assert partition_squareness(rects) == pytest.approx(0.75)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AllocationError):
+            partition_squareness([])

@@ -1,0 +1,95 @@
+"""Tests for guillotine recovery and box assignment."""
+
+import pytest
+
+from repro.core.mapping.base import Box
+from repro.core.mapping.boxes import assign_boxes, find_guillotine_cut
+from repro.errors import MappingError
+from repro.runtime.process_grid import GridRect
+
+
+class TestFindGuillotineCut:
+    def test_vertical_cut(self):
+        rects = [GridRect(0, 0, 4, 8), GridRect(4, 0, 4, 8)]
+        assert find_guillotine_cut(rects, [0, 1]) == ("x", 4)
+
+    def test_horizontal_cut(self):
+        rects = [GridRect(0, 0, 8, 3), GridRect(0, 3, 8, 5)]
+        assert find_guillotine_cut(rects, [0, 1]) == ("y", 3)
+
+    def test_single_rect_no_cut(self):
+        rects = [GridRect(0, 0, 4, 4)]
+        assert find_guillotine_cut(rects, [0]) is None
+
+    def test_pinwheel_not_guillotine(self):
+        # The classic pinwheel tiling has no single through cut.
+        rects = [
+            GridRect(0, 0, 2, 1),
+            GridRect(2, 0, 1, 2),
+            GridRect(1, 2, 2, 1),
+            GridRect(0, 1, 1, 2),
+            GridRect(1, 1, 1, 1),
+        ]
+        assert find_guillotine_cut(rects, list(range(5))) is None
+
+    def test_subset_cut(self):
+        rects = [
+            GridRect(0, 0, 4, 4), GridRect(4, 0, 4, 2), GridRect(4, 2, 4, 2),
+        ]
+        assert find_guillotine_cut(rects, [1, 2]) == ("y", 2)
+
+
+class TestAssignBoxes:
+    def test_two_halves_exact(self):
+        rects = [GridRect(0, 0, 4, 4), GridRect(4, 0, 4, 4)]
+        own, shared = assign_boxes(rects, Box(0, 0, 0, 4, 4, 2))
+        assert not shared
+        assert own[0][0].volume == 16
+        assert own[1][0].volume == 16
+
+    def test_orientations_alternate(self):
+        rects = [GridRect(0, 0, 4, 4), GridRect(4, 0, 4, 4)]
+        own, _ = assign_boxes(rects, Box(0, 0, 0, 4, 4, 2))
+        assert own[0][1] != own[1][1]
+
+    def test_boxes_disjoint(self):
+        rects = [
+            GridRect(0, 0, 18, 24), GridRect(0, 24, 18, 8),
+            GridRect(18, 0, 14, 12), GridRect(18, 12, 14, 20),
+        ]
+        own, shared = assign_boxes(rects, Box(0, 0, 0, 8, 8, 16))
+        all_slots = []
+        for idx in range(4):
+            if idx in own:
+                all_slots.extend(own[idx][0].slots())
+        covered = set(all_slots)
+        assert len(covered) == len(all_slots)  # no overlap among own boxes
+
+    def test_volume_must_match(self):
+        with pytest.raises(MappingError):
+            assign_boxes([GridRect(0, 0, 4, 4)], Box(0, 0, 0, 4, 4, 2))
+
+    def test_awkward_volumes_fall_back_to_shared(self):
+        # 672/352 do not factor against an 8x8x16 box.
+        rects = [GridRect(0, 0, 21, 32), GridRect(21, 0, 11, 32)]
+        own, shared = assign_boxes(rects, Box(0, 0, 0, 8, 8, 16))
+        assert set(shared) == {0, 1}
+        box, group = shared[0]
+        assert box.volume == 1024
+        assert tuple(group) == (0, 1)
+
+    def test_shared_group_ordered_by_position(self):
+        rects = [GridRect(21, 0, 11, 32), GridRect(0, 0, 21, 32)]
+        own, shared = assign_boxes(rects, Box(0, 0, 0, 8, 8, 16))
+        _, group = shared[0]
+        assert list(group) == [1, 0]  # sorted by (y0, x0)
+
+    def test_prefer_depth_cut_slices_planes(self):
+        rects = [GridRect(0, 0, 4, 4), GridRect(4, 0, 4, 4)]
+        own, _ = assign_boxes(rects, Box(0, 0, 0, 4, 4, 2), prefer_depth_cut=True)
+        assert {own[0][0].extents, own[1][0].extents} == {(4, 4, 1)}
+
+    def test_prefer_horizontal_cut_keeps_depth(self):
+        rects = [GridRect(0, 0, 4, 4), GridRect(4, 0, 4, 4)]
+        own, _ = assign_boxes(rects, Box(0, 0, 0, 4, 4, 2), prefer_depth_cut=False)
+        assert {own[0][0].extents, own[1][0].extents} == {(2, 4, 2)}

@@ -1,0 +1,64 @@
+"""Tests for barycentric interpolation (paper Eqs 1-4)."""
+
+import pytest
+
+from repro.core.prediction.barycentric import barycentric_coordinates, interpolate
+from repro.errors import GeometryError
+
+TRI = ((0.0, 0.0), (4.0, 0.0), (0.0, 4.0))
+
+
+class TestCoordinates:
+    def test_vertices_are_unit(self):
+        a, b, c = TRI
+        assert barycentric_coordinates(a, a, b, c) == pytest.approx((1, 0, 0))
+        assert barycentric_coordinates(b, a, b, c) == pytest.approx((0, 1, 0))
+        assert barycentric_coordinates(c, a, b, c) == pytest.approx((0, 0, 1))
+
+    def test_centroid(self):
+        a, b, c = TRI
+        cx = (a[0] + b[0] + c[0]) / 3
+        cy = (a[1] + b[1] + c[1]) / 3
+        l = barycentric_coordinates((cx, cy), a, b, c)
+        assert l == pytest.approx((1 / 3, 1 / 3, 1 / 3))
+
+    def test_sum_to_one_corrected_eq3(self):
+        """The paper's Eq (3) typo (l3 = l1 - l2) would break this."""
+        a, b, c = TRI
+        for p in [(1.0, 1.0), (0.5, 2.5), (3.0, 0.5), (-1.0, 7.0)]:
+            l1, l2, l3 = barycentric_coordinates(p, a, b, c)
+            assert l1 + l2 + l3 == pytest.approx(1.0)
+
+    def test_negative_outside(self):
+        a, b, c = TRI
+        l = barycentric_coordinates((-1.0, -1.0), a, b, c)
+        assert min(l) < 0.0
+
+    def test_degenerate_triangle_rejected(self):
+        with pytest.raises(GeometryError):
+            barycentric_coordinates((0, 0), (0, 0), (1, 1), (2, 2))
+
+
+class TestInterpolate:
+    def test_reproduces_vertex_values(self):
+        values = [2.0, 5.0, 9.0]
+        for vertex, value in zip(TRI, values):
+            assert interpolate(vertex, TRI, values) == pytest.approx(value)
+
+    def test_exact_for_linear_functions(self):
+        f = lambda x, y: 3.0 * x - 2.0 * y + 1.0
+        values = [f(*v) for v in TRI]
+        for p in [(1.0, 1.0), (0.1, 0.2), (2.0, 1.5)]:
+            assert interpolate(p, TRI, values) == pytest.approx(f(*p))
+
+    def test_eq4_form(self):
+        # T_D = l1*T1 + l2*T2 + l3*T3 explicitly.
+        p = (1.0, 2.0)
+        values = [0.15, 0.3, 0.35]
+        l1, l2, l3 = barycentric_coordinates(p, *TRI)
+        expected = l1 * values[0] + l2 * values[1] + l3 * values[2]
+        assert interpolate(p, TRI, values) == pytest.approx(expected)
+
+    def test_arity_checked(self):
+        with pytest.raises(GeometryError):
+            interpolate((0, 0), TRI, [1.0, 2.0])

@@ -1,0 +1,83 @@
+"""Tests for basis candidate generation and selection."""
+
+import pytest
+
+from repro.core.prediction.basis import (
+    ASPECT_RANGE,
+    BASIS_SIZE,
+    MAX_SIZE,
+    MIN_SIZE,
+    generate_candidates,
+    select_basis,
+)
+from repro.core.prediction.delaunay import delaunay_triangulation
+from repro.errors import PredictionError
+from repro.wrf.grid import domain_features
+
+
+class TestGenerate:
+    def test_count(self):
+        assert len(generate_candidates(50, seed=1)) == 50
+
+    def test_ranges_respected(self):
+        lo = MIN_SIZE[0] * MIN_SIZE[1]
+        hi = MAX_SIZE[0] * MAX_SIZE[1]
+        for d in generate_candidates(200, seed=2):
+            assert lo * 0.9 <= d.points <= hi * 1.1  # rounding slack
+            assert ASPECT_RANGE[0] * 0.9 <= d.aspect_ratio <= ASPECT_RANGE[1] * 1.1
+
+    def test_custom_range(self):
+        cands = generate_candidates(50, seed=3, min_points=55_900, max_points=94_990)
+        for d in cands:
+            assert 50_000 <= d.points <= 100_000
+
+    def test_deterministic(self):
+        a = generate_candidates(10, seed=7)
+        b = generate_candidates(10, seed=7)
+        assert [(d.nx, d.ny) for d in a] == [(d.nx, d.ny) for d in b]
+
+    def test_rejects_zero(self):
+        with pytest.raises(PredictionError):
+            generate_candidates(0)
+
+
+class TestSelect:
+    def test_selects_thirteen(self):
+        basis = select_basis(generate_candidates(300, seed=4))
+        assert len(basis) == BASIS_SIZE == 13
+
+    def test_no_duplicates(self):
+        basis = select_basis(generate_candidates(300, seed=5))
+        assert len({d.name for d in basis}) == 13
+
+    def test_triangulable(self):
+        """Paper: points 'selected in a way that the region formed by them
+        could be triangulated well'."""
+        basis = select_basis(generate_candidates(300, seed=6))
+        feats = [domain_features(d) for d in basis]
+        aspects = [f[0] for f in feats]
+        points = [f[1] for f in feats]
+        norm = [
+            ((a - min(aspects)) / (max(aspects) - min(aspects)),
+             (p - min(points)) / (max(points) - min(points)))
+            for a, p in feats
+        ]
+        tri = delaunay_triangulation(norm)
+        assert len(tri.triangles) >= 13  # well-spread points, no slivers-only hull
+
+    def test_covers_extremes(self):
+        cands = generate_candidates(300, seed=8)
+        basis = select_basis(cands)
+        cand_points = [c.points for c in cands]
+        basis_points = [b.points for b in basis]
+        span_all = max(cand_points) - min(cand_points)
+        span_basis = max(basis_points) - min(basis_points)
+        assert span_basis > 0.85 * span_all
+
+    def test_needs_enough_candidates(self):
+        with pytest.raises(PredictionError):
+            select_basis(generate_candidates(5, seed=1))
+
+    def test_size_below_three_rejected(self):
+        with pytest.raises(PredictionError):
+            select_basis(generate_candidates(20, seed=1), size=2)

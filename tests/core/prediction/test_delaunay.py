@@ -1,0 +1,108 @@
+"""Tests for the from-scratch Bowyer-Watson Delaunay triangulation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.prediction.delaunay import (
+    Triangle,
+    delaunay_triangulation,
+    _circumcircle_contains,
+)
+from repro.errors import GeometryError
+
+
+def triangle_area(pts, tri):
+    (x1, y1), (x2, y2), (x3, y3) = (pts[i] for i in tri.vertices())
+    return abs((x2 - x1) * (y3 - y1) - (y2 - y1) * (x3 - x1)) / 2.0
+
+
+class TestBasic:
+    def test_three_points_one_triangle(self):
+        tri = delaunay_triangulation([(0, 0), (1, 0), (0, 1)])
+        assert len(tri.triangles) == 1
+        assert sorted(tri.triangles[0].vertices()) == [0, 1, 2]
+
+    def test_square_two_triangles(self):
+        tri = delaunay_triangulation([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert len(tri.triangles) == 2
+
+    def test_triangle_count_formula(self):
+        # For points in general position: 2n - 2 - h triangles
+        # (h = hull points).
+        rng = np.random.default_rng(5)
+        pts = [tuple(p) for p in rng.random((20, 2))]
+        tri = delaunay_triangulation(pts)
+        areas = sum(triangle_area(tri.points, t) for t in tri.triangles)
+        # Triangles tile the convex hull: total area equals hull area.
+        from scipy.spatial import ConvexHull
+
+        hull = ConvexHull(np.array(pts))
+        assert areas == pytest.approx(hull.volume, rel=1e-9)
+
+    def test_rejects_too_few(self):
+        with pytest.raises(GeometryError):
+            delaunay_triangulation([(0, 0), (1, 1)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(GeometryError):
+            delaunay_triangulation([(0, 0), (0, 0), (1, 1)])
+
+    def test_rejects_collinear(self):
+        with pytest.raises(GeometryError):
+            delaunay_triangulation([(0, 0), (1, 1), (2, 2), (3, 3)])
+
+
+class TestDelaunayProperty:
+    def test_empty_circumcircle(self):
+        rng = np.random.default_rng(11)
+        pts = [tuple(p) for p in rng.random((15, 2))]
+        tri = delaunay_triangulation(pts)
+        for t in tri.triangles:
+            for i, p in enumerate(pts):
+                if i in t.vertices():
+                    continue
+                assert not _circumcircle_contains(tri.points, t, p), (
+                    f"point {i} inside circumcircle of {t}"
+                )
+
+    def test_matches_scipy_edge_count(self):
+        from scipy.spatial import Delaunay as SciPyDelaunay
+
+        rng = np.random.default_rng(3)
+        pts = [tuple(p) for p in rng.random((25, 2))]
+        ours = delaunay_triangulation(pts)
+        theirs = SciPyDelaunay(np.array(pts))
+        their_edges = set()
+        for simplex in theirs.simplices:
+            a, b, c = sorted(simplex)
+            their_edges.update({(a, b), (a, c), (b, c)})
+        assert ours.edge_set() == their_edges
+
+
+class TestLocate:
+    def test_inside(self):
+        tri = delaunay_triangulation([(0, 0), (2, 0), (0, 2), (2, 2)])
+        found = tri.locate((1.0, 0.5))
+        assert found is not None
+
+    def test_on_vertex(self):
+        tri = delaunay_triangulation([(0, 0), (2, 0), (0, 2)])
+        assert tri.locate((0.0, 0.0)) is not None
+
+    def test_outside(self):
+        tri = delaunay_triangulation([(0, 0), (2, 0), (0, 2)])
+        assert tri.locate((5.0, 5.0)) is None
+        assert not tri.contains((5.0, 5.0))
+
+    def test_contains_centroid(self):
+        pts = [(0, 0), (4, 0), (4, 4), (0, 4), (2, 2)]
+        tri = delaunay_triangulation(pts)
+        assert tri.contains((2.0, 2.0))
+
+
+class TestTriangle:
+    def test_edges_canonical(self):
+        t = Triangle(3, 1, 2)
+        assert set(t.edges()) == {(1, 3), (1, 2), (2, 3)}

@@ -1,0 +1,119 @@
+"""Tests for the Delaunay performance model."""
+
+import pytest
+
+from repro.core.prediction.basis import generate_candidates, select_basis
+from repro.core.prediction.model import PerformanceModel, ProfiledDomain
+from repro.errors import PredictionError
+from repro.wrf.grid import DomainSpec
+
+
+def synthetic_time(aspect: float, points: float) -> float:
+    """A ground-truth cost that depends on both features (like WRF)."""
+    # Perimeter-ish term makes aspect matter.
+    nx = (points * aspect) ** 0.5
+    ny = points / nx
+    return 1e-5 * points + 2e-3 * (nx + ny)
+
+
+def fitted_model(seed=13, n=200):
+    cands = generate_candidates(n, seed=seed)
+    basis = select_basis(cands)
+    times = [synthetic_time(b.aspect_ratio, b.points) for b in basis]
+    return PerformanceModel.from_measurements(basis, times), basis
+
+
+class TestFit:
+    def test_basis_size(self):
+        model, basis = fitted_model()
+        assert model.num_basis == 13
+        assert len(basis) == 13
+
+    def test_requires_three(self):
+        with pytest.raises(PredictionError):
+            PerformanceModel([
+                ProfiledDomain(1.0, 100.0, 1.0),
+                ProfiledDomain(1.2, 200.0, 2.0),
+            ])
+
+    def test_mismatched_lengths(self):
+        cands = generate_candidates(5, seed=1)
+        with pytest.raises(PredictionError):
+            PerformanceModel.from_measurements(cands, [1.0])
+
+    def test_nonpositive_time_rejected(self):
+        with pytest.raises(PredictionError):
+            ProfiledDomain.from_domain(
+                DomainSpec("x", 10, 10, 8.0, parent="p", parent_start=(0, 0), level=1),
+                0.0,
+            )
+
+
+class TestPredict:
+    def test_interpolates_inside_hull(self):
+        model, _ = fitted_model()
+        tests = generate_candidates(40, seed=99, min_points=60_000, max_points=90_000)
+        for t in tests:
+            actual = synthetic_time(t.aspect_ratio, t.points)
+            predicted = model.predict(t)
+            assert abs(predicted - actual) / actual < 0.06
+
+    def test_beats_naive_on_aspect_variation(self):
+        from repro.core.prediction.naive import NaivePointsModel
+
+        model, basis = fitted_model()
+        naive = NaivePointsModel(
+            [ProfiledDomain(b.aspect_ratio, float(b.points),
+                            synthetic_time(b.aspect_ratio, b.points))
+             for b in basis]
+        )
+        # Same point count, very different aspect: naive cannot tell apart.
+        wide = DomainSpec("w", 400, 160, 8.0, parent="p", parent_start=(0, 0), level=1)
+        square = DomainSpec("s", 253, 253, 8.0, parent="p", parent_start=(0, 0), level=1)
+        model_gap = abs(model.predict(wide) - model.predict(square))
+        naive_gap = abs(naive.predict(wide) - naive.predict(square))
+        # 400x160 and 253x253 have (nearly) identical point counts, so the
+        # naive model cannot separate them; ours must.
+        assert naive_gap < 0.001 * naive.predict(square)
+        assert model_gap > 10 * naive_gap
+
+    def test_out_of_hull_scales_down(self):
+        """Paper: larger domains scale into coverage; relative times hold."""
+        model, _ = fitted_model()
+        big = DomainSpec("b", 925, 850, 8.0, parent="p", parent_start=(0, 0), level=1)
+        bigger = DomainSpec("b2", 1200, 1100, 8.0, parent="p", parent_start=(0, 0), level=1)
+        t1, t2 = model.predict(big), model.predict(bigger)
+        assert t2 > t1 > 0.0
+        # First-order: time ratio tracks the point ratio.
+        assert t2 / t1 == pytest.approx(bigger.points / big.points, rel=0.1)
+
+    def test_below_range_scales_too(self):
+        model, _ = fitted_model()
+        tiny = DomainSpec("t", 40, 40, 8.0, parent="p", parent_start=(0, 0), level=1)
+        assert model.predict(tiny) > 0.0
+
+    def test_aspect_clamped(self):
+        model, _ = fitted_model()
+        extreme = DomainSpec("e", 800, 100, 8.0, parent="p", parent_start=(0, 0), level=1)
+        assert model.predict(extreme) > 0.0
+
+    def test_rejects_nonpositive_features(self):
+        model, _ = fitted_model()
+        with pytest.raises(PredictionError):
+            model.predict_features(-1.0, 100.0)
+
+
+class TestPredictRatios:
+    def test_normalised(self):
+        model, _ = fitted_model()
+        specs = generate_candidates(4, seed=3)
+        ratios = model.predict_ratios(specs)
+        assert sum(ratios) == pytest.approx(1.0)
+        assert all(r > 0 for r in ratios)
+
+    def test_bigger_domain_bigger_ratio(self):
+        model, _ = fitted_model()
+        small = DomainSpec("s", 120, 130, 8.0, parent="p", parent_start=(0, 0), level=1)
+        large = DomainSpec("l", 380, 410, 8.0, parent="p", parent_start=(0, 0), level=1)
+        r = model.predict_ratios([small, large])
+        assert r[1] > r[0]

@@ -1,0 +1,55 @@
+"""Tests for the naive points-proportional baseline model."""
+
+import pytest
+
+from repro.core.prediction.model import ProfiledDomain
+from repro.core.prediction.naive import NaivePointsModel
+from repro.errors import PredictionError
+from repro.wrf.grid import DomainSpec
+
+
+def nest(nx, ny):
+    return DomainSpec("n", nx, ny, 8.0, parent="p", parent_start=(0, 0), level=1)
+
+
+class TestFit:
+    def test_exact_for_proportional_data(self):
+        profiled = [
+            ProfiledDomain(1.0, 100.0, 0.5),
+            ProfiledDomain(1.2, 200.0, 1.0),
+            ProfiledDomain(0.8, 400.0, 2.0),
+        ]
+        model = NaivePointsModel(profiled)
+        assert model.coefficient == pytest.approx(0.005)
+        assert model.predict_features(1.0, 300.0) == pytest.approx(1.5)
+
+    def test_least_squares_through_origin(self):
+        profiled = [ProfiledDomain(1.0, 1.0, 1.0), ProfiledDomain(1.0, 2.0, 3.0)]
+        # c = (1*1 + 2*3) / (1 + 4) = 7/5.
+        assert NaivePointsModel(profiled).coefficient == pytest.approx(1.4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PredictionError):
+            NaivePointsModel([])
+
+    def test_from_measurements_length_check(self):
+        with pytest.raises(PredictionError):
+            NaivePointsModel.from_measurements([nest(10, 10)], [1.0, 2.0])
+
+
+class TestPredict:
+    def test_aspect_blind(self):
+        """The documented failure mode: nx1*ny1 == nx2*ny2 -> same prediction."""
+        model = NaivePointsModel([ProfiledDomain(1.0, 1000.0, 1.0)])
+        assert model.predict(nest(200, 400)) == model.predict(nest(400, 200))
+
+    def test_ratios_proportional_to_points(self):
+        model = NaivePointsModel([ProfiledDomain(1.0, 1000.0, 1.0)])
+        r = model.predict_ratios([nest(10, 10), nest(30, 10)])
+        assert r[0] == pytest.approx(0.25)
+        assert r[1] == pytest.approx(0.75)
+
+    def test_rejects_nonpositive_points(self):
+        model = NaivePointsModel([ProfiledDomain(1.0, 1000.0, 1.0)])
+        with pytest.raises(PredictionError):
+            model.predict_features(1.0, 0.0)

@@ -1,0 +1,124 @@
+"""Tests for the grouped-execution strategy extension."""
+
+import pytest
+
+from repro.core.scheduler.grouped import (
+    GroupedStrategy,
+    balance_groups,
+    simulate_grouped_iteration,
+)
+from repro.core.scheduler.strategies import (
+    ParallelSiblingsStrategy,
+    SequentialStrategy,
+)
+from repro.errors import ConfigurationError
+from repro.perfsim.simulate import simulate_iteration
+from repro.runtime.process_grid import ProcessGrid
+from repro.topology.machines import BLUE_GENE_L
+
+
+class TestBalanceGroups:
+    def test_single_group(self):
+        assert balance_groups([1.0, 2.0, 3.0], 1) == [[0, 1, 2]]
+
+    def test_one_item_per_group(self):
+        groups = balance_groups([1.0, 2.0], 2)
+        assert sorted(map(tuple, groups)) == [(0,), (1,)]
+
+    def test_lpt_balances(self):
+        groups = balance_groups([5.0, 4.0, 3.0, 2.0, 1.0, 1.0], 2)
+        loads = [sum([5.0, 4.0, 3.0, 2.0, 1.0, 1.0][i] for i in g) for g in groups]
+        assert abs(loads[0] - loads[1]) <= 1.0
+
+    def test_more_groups_than_items(self):
+        groups = balance_groups([1.0, 2.0], 5)
+        assert len(groups) == 2
+
+    def test_all_items_present_once(self):
+        groups = balance_groups([3.0, 1.0, 2.0, 2.0], 3)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == [0, 1, 2, 3]
+
+    def test_invalid_group_count(self):
+        with pytest.raises(ConfigurationError):
+            balance_groups([1.0], 0)
+
+
+class TestGroupedStrategy:
+    def test_one_group_equals_parallel(self, pacific, table2_siblings):
+        grid = ProcessGrid(32, 32)
+        ratios = [float(s.points) for s in table2_siblings]
+        grouped = GroupedStrategy(1).plan_groups(
+            grid, pacific, table2_siblings, ratios=ratios
+        )
+        parallel = ParallelSiblingsStrategy().plan(
+            grid, pacific, table2_siblings, ratios=ratios
+        )
+        assert len(grouped) == 1
+        assert grouped[0].rects == parallel.rects
+
+    def test_k_groups_each_full_grid(self, pacific, table2_siblings):
+        grid = ProcessGrid(32, 32)
+        plans = GroupedStrategy(4).plan_groups(grid, pacific, table2_siblings)
+        assert len(plans) == 4
+        for plan in plans:
+            assert plan.num_siblings == 1
+            assert plan.assignments[0].rect == grid.full_rect()
+
+    def test_two_groups_cover_all_siblings(self, pacific, table2_siblings):
+        plans = GroupedStrategy(2).plan_groups(
+            ProcessGrid(32, 32), pacific, table2_siblings
+        )
+        names = sorted(a.domain.name for p in plans for a in p.assignments)
+        assert names == sorted(s.name for s in table2_siblings)
+
+    def test_invalid_group_count(self):
+        with pytest.raises(ConfigurationError):
+            GroupedStrategy(0)
+
+
+class TestSimulateGrouped:
+    def test_extremes_match_existing_strategies(self, pacific, table2_siblings):
+        """g=1 prices like the parallel strategy, g=k like sequential."""
+        grid = ProcessGrid(32, 32)
+        ratios = [float(s.points) for s in table2_siblings]
+
+        par_rep = simulate_iteration(
+            ParallelSiblingsStrategy().plan(
+                grid, pacific, table2_siblings, ratios=ratios),
+            BLUE_GENE_L,
+        )
+        t1, _ = simulate_grouped_iteration(
+            GroupedStrategy(1).plan_groups(
+                grid, pacific, table2_siblings, ratios=ratios),
+            BLUE_GENE_L,
+        )
+        assert t1 == pytest.approx(par_rep.integration_time, rel=1e-9)
+
+        seq_rep = simulate_iteration(
+            SequentialStrategy().plan(grid, pacific, table2_siblings),
+            BLUE_GENE_L,
+        )
+        tk, _ = simulate_grouped_iteration(
+            GroupedStrategy(4).plan_groups(grid, pacific, table2_siblings),
+            BLUE_GENE_L,
+        )
+        # g=k runs each sibling alone on the full grid, like sequential
+        # (comm differs slightly: no concurrent sibling contention).
+        assert tk == pytest.approx(seq_rep.integration_time, rel=0.02)
+
+    def test_monotone_between_extremes(self, pacific, table2_siblings):
+        """At rack scale, more parallelism (fewer groups) is faster."""
+        grid = ProcessGrid(32, 32)
+        times = []
+        for g in (1, 2, 4):
+            t, _ = simulate_grouped_iteration(
+                GroupedStrategy(g).plan_groups(grid, pacific, table2_siblings),
+                BLUE_GENE_L,
+            )
+            times.append(t)
+        assert times[0] < times[1] < times[2]
+
+    def test_empty_plans_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_grouped_iteration([], BLUE_GENE_L)

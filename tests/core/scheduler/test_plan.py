@@ -1,0 +1,96 @@
+"""Tests for execution plans."""
+
+import pytest
+
+from repro.core.scheduler.plan import ExecutionPlan, SiblingAssignment
+from repro.errors import ConfigurationError
+from repro.runtime.process_grid import GridRect, ProcessGrid
+from repro.wrf.grid import DomainSpec
+
+
+@pytest.fixture
+def parent():
+    return DomainSpec("d01", 286, 307, dx_km=24.0)
+
+
+@pytest.fixture
+def sib():
+    return DomainSpec("d02", 120, 96, 8.0, parent="d01", parent_start=(10, 10),
+                      refinement=3, level=1)
+
+
+class TestPlanValidation:
+    def test_valid_sequential(self, parent, sib):
+        grid = ProcessGrid(8, 8)
+        plan = ExecutionPlan(
+            grid=grid, parent=parent,
+            assignments=(SiblingAssignment(sib, grid.full_rect()),),
+            concurrent=False, strategy="sequential",
+        )
+        assert plan.num_siblings == 1
+        assert plan.rects == (grid.full_rect(),)
+
+    def test_rejects_nest_parent(self, sib):
+        grid = ProcessGrid(4, 4)
+        with pytest.raises(ConfigurationError):
+            ExecutionPlan(grid=grid, parent=sib, assignments=(),
+                          concurrent=False, strategy="x")
+
+    def test_rejects_rect_outside_grid(self, parent, sib):
+        grid = ProcessGrid(4, 4)
+        with pytest.raises(ConfigurationError):
+            ExecutionPlan(
+                grid=grid, parent=parent,
+                assignments=(SiblingAssignment(sib, GridRect(0, 0, 5, 4)),),
+                concurrent=False, strategy="x",
+            )
+
+    def test_concurrent_rejects_overlap(self, parent, sib):
+        grid = ProcessGrid(8, 8)
+        sib2 = DomainSpec("d03", 90, 90, 8.0, parent="d01", parent_start=(150, 150),
+                          refinement=3, level=1)
+        with pytest.raises(ConfigurationError):
+            ExecutionPlan(
+                grid=grid, parent=parent,
+                assignments=(
+                    SiblingAssignment(sib, GridRect(0, 0, 5, 8)),
+                    SiblingAssignment(sib2, GridRect(4, 0, 4, 8)),
+                ),
+                concurrent=True, strategy="x",
+            )
+
+    def test_sequential_allows_same_rect(self, parent, sib):
+        grid = ProcessGrid(8, 8)
+        sib2 = DomainSpec("d03", 90, 90, 8.0, parent="d01", parent_start=(150, 150),
+                          refinement=3, level=1)
+        plan = ExecutionPlan(
+            grid=grid, parent=parent,
+            assignments=(
+                SiblingAssignment(sib, grid.full_rect()),
+                SiblingAssignment(sib2, grid.full_rect()),
+            ),
+            concurrent=False, strategy="sequential",
+        )
+        assert plan.num_siblings == 2
+
+    def test_describe_mentions_domains(self, parent, sib):
+        grid = ProcessGrid(8, 8)
+        plan = ExecutionPlan(
+            grid=grid, parent=parent,
+            assignments=(SiblingAssignment(sib, grid.full_rect()),),
+            concurrent=False, strategy="sequential",
+        )
+        text = plan.describe()
+        assert "d02" in text and "120x96" in text
+
+    def test_sibling_domains_property(self, parent, sib):
+        grid = ProcessGrid(8, 8)
+        plan = ExecutionPlan(
+            grid=grid, parent=parent,
+            assignments=(SiblingAssignment(sib, grid.full_rect()),),
+            concurrent=False, strategy="s",
+        )
+        assert plan.sibling_domains == (sib,)
+
+    def test_assignment_processors(self, sib):
+        assert SiblingAssignment(sib, GridRect(0, 0, 4, 6)).processors == 24

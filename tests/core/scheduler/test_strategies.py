@@ -1,0 +1,100 @@
+"""Tests for the sequential and parallel scheduling strategies."""
+
+import pytest
+
+from repro.core.scheduler.strategies import (
+    ParallelSiblingsStrategy,
+    SequentialStrategy,
+)
+from repro.errors import ConfigurationError
+from repro.runtime.process_grid import ProcessGrid
+from repro.wrf.grid import DomainSpec
+
+
+@pytest.fixture
+def parent():
+    return DomainSpec("d01", 286, 307, dx_km=24.0)
+
+
+@pytest.fixture
+def siblings():
+    return [
+        DomainSpec("d02", 300, 300, 8.0, parent="d01", parent_start=(10, 10),
+                   refinement=3, level=1),
+        DomainSpec("d03", 150, 150, 8.0, parent="d01", parent_start=(150, 150),
+                   refinement=3, level=1),
+    ]
+
+
+class FakePredictor:
+    """Ratios proportional to point counts."""
+
+    def predict_ratios(self, specs):
+        total = sum(s.points for s in specs)
+        return [s.points / total for s in specs]
+
+
+class TestSequential:
+    def test_all_full_grid(self, parent, siblings):
+        grid = ProcessGrid(16, 16)
+        plan = SequentialStrategy().plan(grid, parent, siblings)
+        assert not plan.concurrent
+        assert all(a.rect == grid.full_rect() for a in plan.assignments)
+        assert plan.strategy == "sequential"
+
+    def test_requires_siblings(self, parent):
+        with pytest.raises(ConfigurationError):
+            SequentialStrategy().plan(ProcessGrid(4, 4), parent, [])
+
+    def test_rejects_non_nest_sibling(self, parent):
+        other_parent = DomainSpec("dX", 100, 100, dx_km=24.0)
+        with pytest.raises(ConfigurationError):
+            SequentialStrategy().plan(ProcessGrid(4, 4), parent, [other_parent])
+
+
+class TestParallel:
+    def test_partitions_proportional(self, parent, siblings):
+        grid = ProcessGrid(16, 16)
+        plan = ParallelSiblingsStrategy(FakePredictor()).plan(grid, parent, siblings)
+        assert plan.concurrent
+        total = grid.size
+        big, small = plan.assignments
+        share = big.processors / total
+        assert share == pytest.approx(300 * 300 / (300 * 300 + 150 * 150), abs=0.05)
+
+    def test_explicit_ratios_override(self, parent, siblings):
+        grid = ProcessGrid(16, 16)
+        plan = ParallelSiblingsStrategy().plan(
+            grid, parent, siblings, ratios=[1.0, 1.0]
+        )
+        assert plan.assignments[0].processors == plan.assignments[1].processors
+
+    def test_no_predictor_no_ratios_rejected(self, parent, siblings):
+        with pytest.raises(ConfigurationError):
+            ParallelSiblingsStrategy().plan(ProcessGrid(8, 8), parent, siblings)
+
+    def test_ratio_arity_checked(self, parent, siblings):
+        with pytest.raises(ConfigurationError):
+            ParallelSiblingsStrategy().plan(
+                ProcessGrid(8, 8), parent, siblings, ratios=[1.0]
+            )
+
+    def test_single_sibling_full_grid(self, parent, siblings):
+        grid = ProcessGrid(8, 8)
+        plan = ParallelSiblingsStrategy().plan(
+            grid, parent, siblings[:1], ratios=[1.0]
+        )
+        assert plan.assignments[0].rect == grid.full_rect()
+        assert plan.concurrent
+
+    def test_plan_records_ratios(self, parent, siblings):
+        plan = ParallelSiblingsStrategy(FakePredictor()).plan(
+            ProcessGrid(16, 16), parent, siblings
+        )
+        assert plan.ratios is not None
+        assert sum(plan.ratios) == pytest.approx(1.0)
+
+    def test_rects_tile_grid(self, parent, siblings):
+        grid = ProcessGrid(16, 16)
+        plan = ParallelSiblingsStrategy(FakePredictor()).plan(grid, parent, siblings)
+        assert sum(a.processors for a in plan.assignments) == grid.size

@@ -1,0 +1,110 @@
+"""End-to-end pipeline integration tests.
+
+The full paper pipeline: profile -> fit model -> predict -> allocate ->
+map -> simulate, plus the numerical model running the same configuration.
+"""
+
+import pytest
+
+from repro import (
+    BLUE_GENE_L,
+    BLUE_GENE_P,
+    MultiLevelMapping,
+    NestedModel,
+    ParallelSiblingsStrategy,
+    PerformanceModel,
+    ProcessGrid,
+    SequentialStrategy,
+    simulate_iteration,
+)
+from repro.core.prediction.basis import generate_candidates, select_basis
+from repro.iosim import IoModel
+from repro.perfsim.profiling import profile_step_time
+from repro.workloads.regions import pacific_configurations
+
+
+class TestFullPipeline:
+    def test_predict_allocate_map_simulate(self):
+        """The complete pipeline on one Pacific configuration."""
+        # 1. Profile 13 basis domains on a fixed processor count.
+        basis = select_basis(generate_candidates(200, seed=7))
+        times = [profile_step_time(b, 512, BLUE_GENE_L) for b in basis]
+        # 2. Fit the Delaunay model.
+        model = PerformanceModel.from_measurements(basis, times)
+        # 3. Plan both strategies.
+        config = pacific_configurations(1, seed=77)[0]
+        grid = ProcessGrid(32, 32)
+        seq = SequentialStrategy().plan(grid, config.parent, list(config.siblings))
+        par = ParallelSiblingsStrategy(model).plan(
+            grid, config.parent, list(config.siblings)
+        )
+        # 4. Simulate with topology-aware mapping and I/O.
+        io = IoModel("split")
+        seq_rep = simulate_iteration(seq, BLUE_GENE_L, io_model=io)
+        par_rep = simulate_iteration(
+            par, BLUE_GENE_L, mapping=MultiLevelMapping(), io_model=io
+        )
+        assert par_rep.total_time < seq_rep.total_time
+        assert par_rep.average_hops < seq_rep.average_hops
+        assert par_rep.mpi_wait < seq_rep.mpi_wait
+
+    def test_prediction_drives_balanced_phases(self):
+        """Good prediction means siblings finish nearly together — the
+        stated goal of the allocation (Sec 1)."""
+        basis = select_basis(generate_candidates(200, seed=7))
+        times = [profile_step_time(b, 512, BLUE_GENE_L) for b in basis]
+        model = PerformanceModel.from_measurements(basis, times)
+        config = pacific_configurations(3, seed=5)[2]
+        grid = ProcessGrid(32, 32)
+        par = ParallelSiblingsStrategy(model).plan(
+            grid, config.parent, list(config.siblings)
+        )
+        rep = simulate_iteration(par, BLUE_GENE_L)
+        phases = [s.phase_time for s in rep.siblings]
+        assert max(phases) / min(phases) < 1.6
+
+    def test_simulation_and_numerics_agree_on_structure(self):
+        """The numerical model and the cost model describe the same run:
+        same sibling count, same steps per iteration."""
+        config = pacific_configurations(1, seed=123)[0]
+        # Scale the domains down so the PDE run is quick.
+        parent = config.parent
+        small_parent = type(parent)(
+            name="d01", nx=72, ny=76, dx_km=parent.dx_km
+        )
+        small_sibs = []
+        for i, s in enumerate(config.siblings):
+            small_sibs.append(type(s)(
+                name=s.name, nx=30, ny=27, dx_km=s.dx_km, parent="d01",
+                parent_start=(2 + 12 * i, 3 + 12 * i), refinement=3, level=1,
+            ))
+        model = NestedModel(small_parent, small_sibs, seed=5)
+        model.run(2)
+        grid = ProcessGrid(8, 8)
+        plan = SequentialStrategy().plan(grid, small_parent, small_sibs)
+        rep = simulate_iteration(plan, BLUE_GENE_L)
+        assert len(rep.siblings) == len(model.sibling_names)
+        for srep, name in zip(rep.siblings, model.sibling_names):
+            assert srep.name == name
+            assert srep.steps_per_iteration == model.nests[name].spec.refinement
+
+
+class TestCrossMachine:
+    def test_bgp_faster_than_bgl(self):
+        config = pacific_configurations(1, seed=9)[0]
+        grid = ProcessGrid(32, 32)
+        plan = SequentialStrategy().plan(grid, config.parent, list(config.siblings))
+        l = simulate_iteration(plan, BLUE_GENE_L)
+        p = simulate_iteration(plan, BLUE_GENE_P)
+        assert p.integration_time < l.integration_time
+
+    def test_scaling_reduces_time_up_to_saturation(self):
+        config = pacific_configurations(1, seed=10)[0]
+        times = []
+        for ranks in (64, 256, 1024):
+            px = py = int(ranks ** 0.5)
+            plan = SequentialStrategy().plan(
+                ProcessGrid(px, py), config.parent, list(config.siblings)
+            )
+            times.append(simulate_iteration(plan, BLUE_GENE_P).integration_time)
+        assert times[0] > times[1] > times[2]

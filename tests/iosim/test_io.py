@@ -1,0 +1,95 @@
+"""Tests for the parallel-I/O cost models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.iosim.model import IoModel
+from repro.iosim.pnetcdf import pnetcdf_write_time
+from repro.iosim.split_io import split_write_time
+from repro.topology.machines import BLUE_GENE_L, BLUE_GENE_P
+
+
+class TestPnetcdf:
+    def test_meta_cost_grows_with_writers(self):
+        """The paper's central I/O observation: PnetCDF per-iteration time
+        *increases* with the number of MPI ranks (Fig 13(b))."""
+        nbytes = 50e6
+        t512 = pnetcdf_write_time(512, nbytes, BLUE_GENE_P)
+        t4096 = pnetcdf_write_time(4096, nbytes, BLUE_GENE_P)
+        assert t4096 > t512
+
+    def test_few_writers_bandwidth_bound(self):
+        t1 = pnetcdf_write_time(1, 100e6, BLUE_GENE_P)
+        t8 = pnetcdf_write_time(8, 100e6, BLUE_GENE_P)
+        assert t8 < t1  # more writers -> more aggregate bandwidth at first
+
+    def test_zero_bytes_meta_only(self):
+        t = pnetcdf_write_time(64, 0.0, BLUE_GENE_P)
+        assert t == pytest.approx(64 * BLUE_GENE_P.io_meta_cost_per_writer)
+
+    def test_bandwidth_ceiling(self):
+        # Past the ceiling, doubling writers only adds metadata cost.
+        heavy = 1e9
+        t_a = pnetcdf_write_time(2048, heavy, BLUE_GENE_P)
+        t_b = pnetcdf_write_time(4096, heavy, BLUE_GENE_P)
+        meta_diff = 2048 * BLUE_GENE_P.io_meta_cost_per_writer
+        assert t_b - t_a == pytest.approx(meta_diff, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pnetcdf_write_time(0, 100.0, BLUE_GENE_P)
+        with pytest.raises(ValueError):
+            pnetcdf_write_time(8, -1.0, BLUE_GENE_P)
+
+
+class TestSplitIo:
+    def test_no_writer_count_blowup(self):
+        """Split I/O has no coordination cost — the BG/L escape hatch."""
+        nbytes = 50e6
+        t512 = split_write_time(512, nbytes, BLUE_GENE_L)
+        t1024 = split_write_time(1024, nbytes, BLUE_GENE_L)
+        # Within a small factor: per-rank volume halves but FS contention
+        # doubles; no linear metadata term.
+        assert t1024 < 2 * t512
+
+    def test_fixed_overhead_floor(self):
+        from repro.iosim.split_io import FILE_OVERHEAD
+
+        assert split_write_time(4, 0.0, BLUE_GENE_L) == FILE_OVERHEAD
+
+
+class TestIoModel:
+    def test_sequential_sums(self):
+        model = IoModel("pnetcdf")
+        cost = model.event_cost(
+            [10e6, 20e6], [256, 256], concurrent=False, machine=BLUE_GENE_P
+        )
+        assert cost.time == pytest.approx(sum(cost.per_file))
+
+    def test_concurrent_max_of_siblings(self):
+        model = IoModel("pnetcdf")
+        cost = model.event_cost(
+            [10e6, 20e6, 30e6], [1024, 512, 512], concurrent=True,
+            machine=BLUE_GENE_P,
+        )
+        assert cost.time == pytest.approx(cost.per_file[0] + max(cost.per_file[1:]))
+
+    def test_parallel_beats_sequential_for_many_writers(self):
+        """Sec 4.5: only a subset of ranks writes each sibling file."""
+        model = IoModel("pnetcdf")
+        file_bytes = [30e6, 20e6, 20e6, 20e6, 20e6]
+        seq = model.event_cost(file_bytes, [4096] * 5, concurrent=False,
+                               machine=BLUE_GENE_P)
+        par = model.event_cost(file_bytes, [4096, 1024, 1024, 1024, 1024],
+                               concurrent=True, machine=BLUE_GENE_P)
+        assert par.time < seq.time
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IoModel("hdf5")
+
+    def test_arity_mismatch_rejected(self):
+        model = IoModel("split")
+        with pytest.raises(ConfigurationError):
+            model.event_cost([1e6], [64, 64], concurrent=False,
+                             machine=BLUE_GENE_L)

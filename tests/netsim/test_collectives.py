@@ -1,0 +1,81 @@
+"""Tests for the torus collective cost models."""
+
+import math
+
+import pytest
+
+from repro.netsim.collectives import (
+    allreduce_time,
+    barrier_time,
+    broadcast_time,
+    step_collectives_estimate,
+    tree_edge_hops,
+)
+from repro.topology.machines import BLUE_GENE_L, BLUE_GENE_P
+from repro.topology.torus import Torus3D
+
+
+@pytest.fixture
+def midplane():
+    return Torus3D((8, 8, 8))
+
+
+class TestTreeEdgeHops:
+    def test_quarter_diameter(self, midplane):
+        assert tree_edge_hops(midplane) == pytest.approx(12 / 4)
+
+    def test_at_least_one(self):
+        assert tree_edge_hops(Torus3D((2, 1, 1))) == 1.0
+
+
+class TestBarrier:
+    def test_grows_logarithmically(self, midplane):
+        t64 = barrier_time(midplane, 64, BLUE_GENE_L)
+        t1024 = barrier_time(midplane, 1024, BLUE_GENE_L)
+        assert t1024 / t64 == pytest.approx(math.log2(1024) / math.log2(64))
+
+    def test_single_participant_free(self, midplane):
+        assert barrier_time(midplane, 1, BLUE_GENE_L) == 0.0
+
+
+class TestBroadcast:
+    def test_payload_matters(self, midplane):
+        small = broadcast_time(midplane, 512, 64, BLUE_GENE_L)
+        big = broadcast_time(midplane, 512, 1e6, BLUE_GENE_L)
+        assert big > small
+
+    def test_zero_bytes_latency_only(self, midplane):
+        t = broadcast_time(midplane, 512, 0.0, BLUE_GENE_L)
+        rounds = math.ceil(math.log2(512))
+        expected = rounds * (
+            BLUE_GENE_L.software_latency + 3.0 * BLUE_GENE_L.per_hop_latency
+        )
+        assert t == pytest.approx(expected)
+
+    def test_negative_bytes_rejected(self, midplane):
+        with pytest.raises(ValueError):
+            broadcast_time(midplane, 512, -1.0, BLUE_GENE_L)
+
+
+class TestAllreduce:
+    def test_bgp_faster_than_bgl(self, midplane):
+        l = allreduce_time(midplane, 1024, 64, BLUE_GENE_L)
+        p = allreduce_time(midplane, 1024, 64, BLUE_GENE_P)
+        assert p < l
+
+    def test_rounds_scale(self, midplane):
+        t2 = allreduce_time(midplane, 2, 64, BLUE_GENE_L)
+        t4 = allreduce_time(midplane, 4, 64, BLUE_GENE_L)
+        assert t4 == pytest.approx(2 * t2)
+
+
+class TestCalibrationAgreement:
+    def test_matches_calibrated_constant_in_order_of_magnitude(self, midplane):
+        """The machine's calibrated collective term and the
+        first-principles estimate agree within a factor of ~100 (the
+        calibrated term also absorbs load-imbalance effects)."""
+        for machine in (BLUE_GENE_L, BLUE_GENE_P):
+            calibrated = machine.collective_cost * math.log2(1024)
+            estimated = step_collectives_estimate(midplane, 1024, machine)
+            assert estimated < calibrated  # pure network is the floor
+            assert calibrated / estimated < 200

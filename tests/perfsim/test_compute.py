@@ -1,0 +1,55 @@
+"""Tests for the compute cost model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perfsim.compute import compute_time
+from repro.perfsim.params import WorkloadParams
+from repro.topology.machines import BLUE_GENE_L, BLUE_GENE_P
+
+WL = WorkloadParams()
+
+
+class TestComputeTime:
+    def test_scales_inversely_with_ranks(self):
+        slow = compute_time(400, 400, 8, 8, BLUE_GENE_L, WL)
+        fast = compute_time(400, 400, 16, 16, BLUE_GENE_L, WL)
+        assert fast.time < slow.time
+        # Not perfectly linear: the overlap frame bites harder when small.
+        assert fast.time > slow.time / 4.0
+
+    def test_max_tile_paces(self):
+        c = compute_time(415, 445, 32, 32, BLUE_GENE_L, WL)
+        assert c.max_tile == (13, 14)
+
+    def test_even_decomposition_no_imbalance(self):
+        c = compute_time(64, 64, 8, 8, BLUE_GENE_L, WL)
+        assert c.imbalance_wait == pytest.approx(0.0)
+        assert c.mean_time == pytest.approx(c.time)
+
+    def test_ragged_decomposition_imbalance(self):
+        c = compute_time(65, 65, 8, 8, BLUE_GENE_L, WL)
+        assert c.imbalance_wait > 0.0
+        assert c.mean_time < c.time
+
+    def test_bgp_faster_core(self):
+        l = compute_time(300, 300, 16, 16, BLUE_GENE_L, WL)
+        p = compute_time(300, 300, 16, 16, BLUE_GENE_P, WL)
+        assert p.time < l.time
+
+    def test_work_scales_with_levels(self):
+        thin = WorkloadParams(levels=1)
+        thick = WorkloadParams(levels=35)
+        a = compute_time(100, 100, 4, 4, BLUE_GENE_L, thin)
+        b = compute_time(100, 100, 4, 4, BLUE_GENE_L, thick)
+        assert b.time == pytest.approx(35 * a.time)
+
+    def test_too_many_ranks_rejected(self):
+        with pytest.raises(SimulationError):
+            compute_time(4, 4, 8, 8, BLUE_GENE_L, WL)
+
+    def test_calibration_table2(self):
+        """394x418 on 1024 BG/L cores: compute ~0.25 s (t = A/P of the
+        paper's own fit, see DESIGN.md Sec 5)."""
+        c = compute_time(394, 418, 32, 32, BLUE_GENE_L, WL)
+        assert 0.15 < c.time < 0.35

@@ -1,0 +1,81 @@
+"""Tests for processor-rectangle clamping (small domains at huge scale)."""
+
+import pytest
+
+from repro.core.scheduler.strategies import SequentialStrategy
+from repro.perfsim.simulate import effective_rect, simulate_iteration
+from repro.runtime.process_grid import GridRect, ProcessGrid
+from repro.topology.machines import BLUE_GENE_P
+from repro.wrf.grid import DomainSpec
+
+
+class TestEffectiveRect:
+    def test_no_clamp_when_domain_large(self):
+        rect = GridRect(0, 0, 32, 32)
+        assert effective_rect(rect, 400, 400) is rect
+
+    def test_clamps_height(self):
+        rect = GridRect(0, 0, 64, 128)
+        out = effective_rect(rect, 400, 107)
+        assert out.width == 64
+        assert out.height == 107
+
+    def test_clamps_both(self):
+        out = effective_rect(GridRect(2, 3, 64, 128), 30, 20)
+        assert (out.width, out.height) == (30, 20)
+        assert (out.x0, out.y0) == (2, 3)  # origin preserved
+
+    def test_small_nest_on_huge_machine_simulates(self):
+        """The Fig 13 regression: a 94x124-class nest on 8192 ranks."""
+        parent = DomainSpec("d01", 286, 307, dx_km=24.0)
+        small = DomainSpec("d02", 120, 107, 8.0, parent="d01",
+                           parent_start=(10, 10), refinement=3, level=1)
+        plan = SequentialStrategy().plan(ProcessGrid(64, 128), parent, [small])
+        rep = simulate_iteration(plan, BLUE_GENE_P)
+        # The nest only uses the feasible sub-grid.
+        assert rep.siblings[0].ranks == 64 * 107
+        assert rep.integration_time > 0
+
+
+class TestMappingComparisonResult:
+    def test_improvement_helpers(self):
+        from repro.analysis.experiments.exp_mapping import MappingComparisonResult
+
+        r = MappingComparisonResult(
+            machine="BlueGene/L", ranks=1024, config_names=("a",),
+            times={"default": (4.0,), "partition": (3.0,)},
+            waits={"default": (1.0,), "partition": (0.5,)},
+            hops={"default": (2.0,), "partition": (1.0,)},
+        )
+        assert r.improvement_over_default("partition") == (25.0,)
+        assert r.wait_improvement_over_default("partition") == (50.0,)
+        assert r.hop_reduction_over_default("partition") == (50.0,)
+
+    def test_zero_baseline_guarded(self):
+        from repro.analysis.experiments.exp_mapping import MappingComparisonResult
+
+        r = MappingComparisonResult(
+            machine="m", ranks=4, config_names=("a",),
+            times={"default": (4.0,), "partition": (3.0,)},
+            waits={"default": (0.0,), "partition": (0.0,)},
+            hops={"default": (0.0,), "partition": (0.0,)},
+        )
+        assert r.wait_improvement_over_default("partition") == (0.0,)
+        assert r.hop_reduction_over_default("partition") == (0.0,)
+
+
+class TestSteeringEvent:
+    def test_num_moved(self):
+        from repro.steering.driver import SteeringEvent
+        from repro.steering.mover import NestMove
+
+        event = SteeringEvent(
+            iteration=3,
+            features=(),
+            moves=(
+                NestMove("d02", (0, 0), (5, 5)),
+                NestMove("d03", (9, 9), (9, 9)),
+            ),
+            replanned=True,
+        )
+        assert event.num_moved == 1

@@ -1,0 +1,62 @@
+"""Tests for StepCost assembly."""
+
+import math
+
+import pytest
+
+from repro.perfsim.commcost import CommCost
+from repro.perfsim.compute import compute_time
+from repro.perfsim.iteration import step_cost
+from repro.perfsim.params import WorkloadParams
+from repro.topology.machines import BLUE_GENE_L
+
+WL = WorkloadParams()
+
+
+def make_step(ranks=64, comm_time=0.01):
+    comp = compute_time(200, 200, 8, 8, BLUE_GENE_L, WL)
+    comm = CommCost(
+        time=comm_time, ideal_time=comm_time / 2, average_hops=1.5,
+        contention_wait=comm_time / 2, max_link_bytes=1000,
+    )
+    return step_cost(comp, comm, BLUE_GENE_L, WL, ranks)
+
+
+class TestStepCost:
+    def test_total_is_sum_of_parts(self):
+        sc = make_step()
+        assert sc.total == pytest.approx(
+            sc.compute.time + sc.comm.time + sc.overhead + sc.skew + sc.collectives
+        )
+
+    def test_fixed_terms(self):
+        sc = make_step(ranks=1024)
+        assert sc.overhead == BLUE_GENE_L.step_overhead
+        assert sc.skew == pytest.approx(BLUE_GENE_L.round_skew * 36)
+        assert sc.collectives == pytest.approx(BLUE_GENE_L.collective_cost * 10)
+
+    def test_single_rank_no_skew_or_collectives(self):
+        comp = compute_time(100, 100, 1, 1, BLUE_GENE_L, WL)
+        sc = step_cost(comp, CommCost.zero(), BLUE_GENE_L, WL, 1)
+        assert sc.skew == 0.0
+        assert sc.collectives == 0.0
+
+    def test_wait_components(self):
+        sc = make_step()
+        assert sc.wait == pytest.approx(
+            sc.skew + sc.comm.contention_wait + sc.compute.imbalance_wait
+        )
+
+    def test_wait_below_total(self):
+        sc = make_step()
+        assert 0.0 < sc.wait < sc.total
+
+    def test_p_independent_cost_exists(self):
+        """The paper's key structural fact: a chunk of the step cost does
+        not shrink with more processors (DESIGN.md Sec 5, B ~ 0.1-0.15 s)."""
+        small = make_step(ranks=64)
+        big = make_step(ranks=1024)
+        fixed_small = small.overhead + small.skew
+        fixed_big = big.overhead + big.skew
+        assert fixed_small == pytest.approx(fixed_big)
+        assert 0.05 < fixed_big < 0.25

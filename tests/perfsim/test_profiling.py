@@ -1,0 +1,44 @@
+"""Tests for the profiling harness."""
+
+import pytest
+
+from repro.perfsim.profiling import profile_step, profile_step_time
+from repro.runtime.process_grid import ProcessGrid
+from repro.topology.machines import BLUE_GENE_L
+from repro.wrf.grid import DomainSpec
+
+
+def nest(nx, ny):
+    return DomainSpec("n", nx, ny, 8.0, parent="p", parent_start=(0, 0), level=1)
+
+
+class TestProfileStep:
+    def test_breakdown_positive(self):
+        sc = profile_step(nest(200, 220), ProcessGrid(16, 16), BLUE_GENE_L)
+        assert sc.total > 0
+        assert sc.compute.time > 0
+        assert sc.comm.time > 0
+
+    def test_more_points_more_time(self):
+        grid = ProcessGrid(16, 16)
+        small = profile_step(nest(150, 150), grid, BLUE_GENE_L).total
+        large = profile_step(nest(400, 400), grid, BLUE_GENE_L).total
+        assert large > small
+
+    def test_aspect_matters(self):
+        """The reason the paper's model includes aspect ratio."""
+        grid = ProcessGrid(16, 16)
+        wide = profile_step(nest(400, 100), grid, BLUE_GENE_L).total
+        square = profile_step(nest(200, 200), grid, BLUE_GENE_L).total
+        assert wide != pytest.approx(square, rel=1e-3)
+
+
+class TestProfileStepTime:
+    def test_grid_chosen_automatically(self):
+        t = profile_step_time(nest(300, 300), 512, BLUE_GENE_L)
+        assert t > 0.0
+
+    def test_monotone_in_ranks_for_scalable_sizes(self):
+        t_small = profile_step_time(nest(400, 440), 128, BLUE_GENE_L)
+        t_big = profile_step_time(nest(400, 440), 512, BLUE_GENE_L)
+        assert t_big < t_small

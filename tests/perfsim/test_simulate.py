@@ -1,0 +1,135 @@
+"""Tests for the full iteration simulator."""
+
+import pytest
+
+from repro.core.mapping.multilevel import MultiLevelMapping
+from repro.core.mapping.partition_map import PartitionMapping
+from repro.core.scheduler.strategies import (
+    ParallelSiblingsStrategy,
+    SequentialStrategy,
+)
+from repro.iosim.model import IoModel
+from repro.perfsim.simulate import simulate_iteration
+from repro.runtime.process_grid import ProcessGrid
+from repro.topology.machines import BLUE_GENE_L
+
+
+@pytest.fixture
+def grid():
+    return ProcessGrid(32, 32)
+
+
+@pytest.fixture
+def plans(grid, pacific, table2_siblings):
+    seq = SequentialStrategy().plan(grid, pacific, table2_siblings)
+    par = ParallelSiblingsStrategy().plan(
+        grid, pacific, table2_siblings,
+        ratios=[s.points for s in table2_siblings],
+    )
+    return seq, par
+
+
+class TestSequential:
+    def test_nest_phase_is_sum(self, plans, bgl):
+        seq, _ = plans
+        rep = simulate_iteration(seq, bgl)
+        expected = sum(s.phase_time for s in rep.siblings)
+        assert rep.nest_phase_time == pytest.approx(expected)
+
+    def test_integration_includes_parent(self, plans, bgl):
+        seq, _ = plans
+        rep = simulate_iteration(seq, bgl)
+        assert rep.integration_time == pytest.approx(
+            rep.parent.total + rep.nest_phase_time
+        )
+
+    def test_r_steps_per_sibling(self, plans, bgl):
+        seq, _ = plans
+        rep = simulate_iteration(seq, bgl)
+        for s in rep.siblings:
+            assert s.steps_per_iteration == 3
+            assert s.phase_time == pytest.approx(3 * s.step.total)
+
+    def test_no_sync_wait(self, plans, bgl):
+        seq, _ = plans
+        rep = simulate_iteration(seq, bgl)
+        assert all(s.sync_wait == 0.0 for s in rep.siblings)
+        assert rep.waits.sync == 0.0
+
+    def test_all_siblings_full_grid(self, plans, bgl):
+        seq, _ = plans
+        rep = simulate_iteration(seq, bgl)
+        assert all(s.ranks == 1024 for s in rep.siblings)
+
+
+class TestParallel:
+    def test_nest_phase_is_max(self, plans, bgl):
+        _, par = plans
+        rep = simulate_iteration(par, bgl)
+        assert rep.nest_phase_time == pytest.approx(
+            max(s.phase_time for s in rep.siblings)
+        )
+
+    def test_sync_waits_complementary(self, plans, bgl):
+        _, par = plans
+        rep = simulate_iteration(par, bgl)
+        for s in rep.siblings:
+            assert s.sync_wait == pytest.approx(rep.nest_phase_time - s.phase_time)
+
+    def test_parallel_beats_sequential(self, plans, bgl):
+        """The headline claim at BG/L rack scale."""
+        seq, par = plans
+        seq_rep = simulate_iteration(seq, bgl)
+        par_rep = simulate_iteration(par, bgl)
+        assert par_rep.integration_time < seq_rep.integration_time
+        improvement = 100 * (1 - par_rep.integration_time / seq_rep.integration_time)
+        assert 15 < improvement < 50  # paper: up to 33% + mapping
+
+    def test_wait_improves(self, plans, bgl):
+        seq, par = plans
+        assert simulate_iteration(par, bgl).mpi_wait < simulate_iteration(seq, bgl).mpi_wait
+
+
+class TestMappingsInSimulation:
+    def test_topology_aware_helps_parallel(self, plans, bgl):
+        _, par = plans
+        oblivious = simulate_iteration(par, bgl)
+        for mapping in (PartitionMapping(), MultiLevelMapping()):
+            aware = simulate_iteration(par, bgl, mapping=mapping)
+            assert aware.integration_time < oblivious.integration_time
+            assert aware.average_hops < oblivious.average_hops
+
+    def test_mapping_name_recorded(self, plans, bgl):
+        _, par = plans
+        rep = simulate_iteration(par, bgl, mapping=PartitionMapping())
+        assert rep.mapping == "partition"
+
+
+class TestIo:
+    def test_io_disabled_by_default(self, plans, bgl):
+        seq, _ = plans
+        assert simulate_iteration(seq, bgl).io_time == 0.0
+
+    def test_io_enabled(self, plans, bgl):
+        seq, _ = plans
+        rep = simulate_iteration(seq, bgl, io_model=IoModel("pnetcdf"))
+        assert rep.io_time > 0.0
+        assert rep.total_time == pytest.approx(rep.integration_time + rep.io_time)
+
+    def test_parallel_io_cheaper(self, plans, bgl):
+        """Fewer writers per sibling file (Sec 4.5)."""
+        seq, par = plans
+        io = IoModel("pnetcdf")
+        seq_rep = simulate_iteration(seq, bgl, io_model=io)
+        par_rep = simulate_iteration(par, bgl, io_model=io)
+        assert par_rep.io_time < seq_rep.io_time
+
+
+class TestModes:
+    def test_co_mode_uses_more_nodes(self, plans, bgl):
+        seq, _ = plans
+        vn = simulate_iteration(seq, bgl, mode="VN")
+        co = simulate_iteration(seq, bgl, mode="CO")
+        # CO mode: 1024 ranks on 1024 nodes (vs 512) — different torus,
+        # both must simulate fine.
+        assert vn.ranks == co.ranks == 1024

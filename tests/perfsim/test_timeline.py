@@ -1,0 +1,117 @@
+"""Tests for the execution-timeline builder."""
+
+import pytest
+
+from repro.core.scheduler.strategies import (
+    ParallelSiblingsStrategy,
+    SequentialStrategy,
+)
+from repro.errors import SimulationError
+from repro.iosim.model import IoModel
+from repro.perfsim.simulate import simulate_iteration
+from repro.perfsim.timeline import Segment, build_timeline, render_gantt
+from repro.runtime.process_grid import ProcessGrid
+from repro.topology.machines import BLUE_GENE_L
+
+
+@pytest.fixture
+def reports(pacific, table2_siblings):
+    grid = ProcessGrid(32, 32)
+    seq = simulate_iteration(
+        SequentialStrategy().plan(grid, pacific, table2_siblings), BLUE_GENE_L
+    )
+    par = simulate_iteration(
+        ParallelSiblingsStrategy().plan(
+            grid, pacific, table2_siblings,
+            ratios=[s.points for s in table2_siblings],
+        ),
+        BLUE_GENE_L,
+    )
+    return seq, par
+
+
+class TestSegment:
+    def test_end(self):
+        assert Segment("compute", 1.0, 2.0).end == 3.0
+
+    def test_unknown_kind(self):
+        with pytest.raises(SimulationError):
+            Segment("sleep", 0.0, 1.0)
+
+    def test_negative_duration(self):
+        with pytest.raises(SimulationError):
+            Segment("compute", 0.0, -1.0)
+
+
+class TestBuildTimeline:
+    def test_lane_count(self, reports):
+        seq, par = reports
+        tl = build_timeline(seq)
+        assert len(tl.lanes) == 1 + 4  # parent + four siblings
+
+    def test_total_matches_report(self, reports):
+        for rep in reports:
+            tl = build_timeline(rep)
+            assert tl.total_time == pytest.approx(rep.total_time, rel=1e-9)
+
+    def test_sequential_lanes_stack(self, reports):
+        seq, _ = reports
+        tl = build_timeline(seq)
+        sib_lanes = tl.lanes[1:]
+        for earlier, later in zip(sib_lanes, sib_lanes[1:]):
+            first_start = min(s.start for s in later.segments)
+            assert first_start == pytest.approx(earlier.end, rel=1e-9)
+
+    def test_parallel_lanes_overlap(self, reports):
+        _, par = reports
+        tl = build_timeline(par)
+        parent_end = tl.lanes[0].end
+        for lane in tl.lanes[1:]:
+            assert min(s.start for s in lane.segments) == pytest.approx(parent_end)
+
+    def test_parallel_sync_waits_align_lanes(self, reports):
+        _, par = reports
+        tl = build_timeline(par)
+        ends = {round(lane.end, 9) for lane in tl.lanes[1:]}
+        assert len(ends) == 1  # everyone meets at the feedback sync
+
+    def test_sequential_has_no_wait_segments(self, reports):
+        seq, _ = reports
+        tl = build_timeline(seq)
+        assert all(lane.time_in("wait") == 0.0 for lane in tl.lanes)
+
+    def test_parallel_fast_siblings_wait(self, reports):
+        _, par = reports
+        tl = build_timeline(par)
+        waits = [lane.time_in("wait") for lane in tl.lanes[1:]]
+        assert max(waits) > 0.0
+        assert min(waits) == 0.0  # the slowest sibling never waits
+
+    def test_io_segment_when_enabled(self, pacific, table2_siblings):
+        grid = ProcessGrid(32, 32)
+        rep = simulate_iteration(
+            SequentialStrategy().plan(grid, pacific, table2_siblings),
+            BLUE_GENE_L, io_model=IoModel("split"),
+        )
+        tl = build_timeline(rep)
+        assert any(lane.time_in("io") > 0 for lane in tl.lanes)
+
+
+class TestRenderGantt:
+    def test_renders_all_lanes_and_legend(self, reports):
+        _, par = reports
+        out = render_gantt(build_timeline(par))
+        assert "parent (all ranks)" in out
+        assert "# compute" in out
+        assert out.count("|") >= 2 * 5
+
+    def test_wait_glyph_visible_for_parallel(self, reports):
+        _, par = reports
+        out = render_gantt(build_timeline(par), width=100)
+        assert "." in out.split("\n")[1] or "." in out  # some lane waits
+
+    def test_zero_duration_rejected(self):
+        from repro.perfsim.timeline import IterationTimeline
+
+        with pytest.raises(SimulationError):
+            render_gantt(IterationTimeline(lanes=(), total_time=0.0))

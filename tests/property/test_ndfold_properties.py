@@ -1,0 +1,109 @@
+"""Property-based tests for the N-D folded mapping."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping.ndfold import (
+    default_nd_placement,
+    fold_mixed_radix,
+    folded_nd_placement,
+)
+from repro.errors import MappingError
+from repro.runtime.process_grid import ProcessGrid
+from repro.topology.torusnd import TorusND
+
+
+class TestFoldMixedRadixProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(dims=st.lists(st.integers(1, 5), min_size=1, max_size=4))
+    def test_bijective_over_full_range(self, dims):
+        total = 1
+        for d in dims:
+            total *= d
+        assume(total <= 400)
+        seen = {fold_mixed_radix(i, dims) for i in range(total)}
+        assert len(seen) == total
+
+    @settings(max_examples=60, deadline=None)
+    @given(dims=st.lists(st.integers(1, 5), min_size=1, max_size=4))
+    def test_gray_adjacency(self, dims):
+        """Consecutive indices differ by exactly one unit step."""
+        total = 1
+        for d in dims:
+            total *= d
+        assume(1 < total <= 400)
+        prev = fold_mixed_radix(0, dims)
+        for i in range(1, total):
+            cur = fold_mixed_radix(i, dims)
+            assert sum(abs(a - b) for a, b in zip(prev, cur)) == 1
+            prev = cur
+
+    @settings(max_examples=40, deadline=None)
+    @given(dims=st.lists(st.integers(1, 4), min_size=1, max_size=4))
+    def test_digits_within_radix(self, dims):
+        total = 1
+        for d in dims:
+            total *= d
+        assume(total <= 300)
+        for i in range(total):
+            digits = fold_mixed_radix(i, dims)
+            assert all(0 <= dig < d for dig, d in zip(digits, dims))
+
+
+def _pairs_of_divisors(n):
+    out = []
+    for a in range(1, n + 1):
+        if n % a == 0:
+            out.append((a, n // a))
+    return out
+
+
+class TestFoldedPlacementProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        dims=st.lists(st.sampled_from([2, 3, 4]), min_size=2, max_size=4),
+        rpn=st.sampled_from([1, 2, 4]),
+        split=st.integers(0, 10),
+    )
+    def test_valid_when_foldable(self, dims, rpn, split):
+        torus = TorusND(dims)
+        total = torus.num_nodes * rpn
+        assume(total <= 1024)
+        candidates = _pairs_of_divisors(total)
+        px, py = candidates[split % len(candidates)]
+        grid = ProcessGrid(px, py)
+        try:
+            placement = folded_nd_placement(grid, torus, rpn)
+        except MappingError:
+            return  # not foldable for this (px, py) split — allowed
+        # Bijection onto slots: every node holds at most rpn ranks, all
+        # ranks placed.
+        assert len(placement.nodes) == total
+        # The <=1-hop guarantee for 2-D neighbours.
+        for rank in range(0, total, max(1, total // 64)):
+            for nbr in grid.neighbors_of(rank):
+                assert placement.hops_between(rank, nbr) <= 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(dims=st.lists(st.sampled_from([2, 4]), min_size=2, max_size=3))
+    def test_folded_never_worse_than_default_on_neighbours(self, dims):
+        torus = TorusND(dims)
+        n = torus.num_nodes
+        assume(4 <= n <= 256)
+        # Pick a near-square foldable grid.
+        for px, py in _pairs_of_divisors(n):
+            if px >= 2 and py >= 2:
+                grid = ProcessGrid(px, py)
+                try:
+                    folded = folded_nd_placement(grid, torus, 1)
+                except MappingError:
+                    continue
+                default = default_nd_placement(grid, torus, 1)
+                f_total = d_total = 0
+                for rank in range(grid.size):
+                    for nbr in grid.neighbors_of(rank):
+                        f_total += folded.hops_between(rank, nbr)
+                        d_total += default.hops_between(rank, nbr)
+                assert f_total <= d_total
+                return

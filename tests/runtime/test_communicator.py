@@ -1,0 +1,74 @@
+"""Tests for repro.runtime.communicator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.communicator import Communicator
+from repro.runtime.process_grid import GridRect, ProcessGrid
+
+
+class TestWorld:
+    def test_world_covers_all(self):
+        g = ProcessGrid(4, 4)
+        world = Communicator.world(g)
+        assert world.size == 16
+        assert world.world_ranks == list(range(16))
+        assert world.rect == g.full_rect()
+
+    def test_translation_identity(self):
+        world = Communicator.world(ProcessGrid(4, 2))
+        for r in range(8):
+            assert world.local_rank(r) == r
+            assert world.world_rank(r) == r
+
+
+class TestSubCommunicator:
+    def test_for_rect(self):
+        g = ProcessGrid(8, 4)
+        comm = Communicator.for_rect(g, GridRect(4, 0, 4, 4), name="sib2")
+        assert comm.size == 16
+        assert comm.name == "sib2"
+        # First local rank is the rect's top-left world rank.
+        assert comm.world_rank(0) == g.rank_of(4, 0)
+
+    def test_local_rank_of_nonmember(self):
+        g = ProcessGrid(8, 4)
+        comm = Communicator.for_rect(g, GridRect(4, 0, 4, 4))
+        with pytest.raises(ConfigurationError):
+            comm.local_rank(0)
+
+    def test_membership(self):
+        g = ProcessGrid(8, 4)
+        comm = Communicator.for_rect(g, GridRect(0, 0, 4, 4))
+        assert 0 in comm
+        assert g.rank_of(4, 0) not in comm
+
+    def test_translate_vector(self):
+        g = ProcessGrid(4, 4)
+        comm = Communicator(g, [5, 6, 9, 10])
+        assert comm.translate([9, 5]) == [2, 0]
+
+    def test_roundtrip(self):
+        g = ProcessGrid(6, 6)
+        comm = Communicator.for_rect(g, GridRect(2, 2, 3, 3))
+        for local in range(comm.size):
+            assert comm.local_rank(comm.world_rank(local)) == local
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Communicator(ProcessGrid(2, 2), [])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Communicator(ProcessGrid(2, 2), [0, 0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Communicator(ProcessGrid(2, 2), [4])
+
+    def test_world_rank_bounds(self):
+        comm = Communicator(ProcessGrid(2, 2), [1, 2])
+        with pytest.raises(ConfigurationError):
+            comm.world_rank(2)

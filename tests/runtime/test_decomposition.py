@@ -1,0 +1,101 @@
+"""Tests for repro.runtime.decomposition."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.decomposition import (
+    choose_process_grid,
+    decompose,
+    split_counts,
+    tile_dims,
+)
+
+
+class TestSplitCounts:
+    def test_even(self):
+        assert split_counts(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_to_front(self):
+        assert split_counts(10, 4) == [3, 3, 2, 2]
+
+    def test_sums_to_n(self):
+        for n in (7, 100, 286, 415):
+            for parts in (1, 3, 7):
+                assert sum(split_counts(n, parts)) == n
+
+    def test_all_nonempty(self):
+        assert min(split_counts(5, 5)) == 1
+
+    def test_too_many_parts(self):
+        with pytest.raises(ConfigurationError):
+            split_counts(3, 4)
+
+
+class TestTileDims:
+    def test_ceil_semantics(self):
+        assert tile_dims(415, 445, 32, 32) == (13, 14)
+
+    def test_exact(self):
+        assert tile_dims(64, 64, 8, 8) == (8, 8)
+
+
+class TestDecompose:
+    def test_table2_tile(self):
+        dec = decompose(394, 418, 18, 24)
+        assert dec.max_tile == (22, 18)
+        assert sum(dec.col_widths) == 394
+        assert sum(dec.row_heights) == 418
+
+    def test_tile_of_origin(self):
+        dec = decompose(10, 10, 3, 3)
+        i0, j0, w, h = dec.tile_of(0, 0)
+        assert (i0, j0) == (0, 0)
+        assert (w, h) == (4, 4)  # remainder goes to the first row/col
+
+    def test_tile_of_last(self):
+        dec = decompose(10, 10, 3, 3)
+        i0, j0, w, h = dec.tile_of(2, 2)
+        assert i0 + w == 10 and j0 + h == 10
+
+    def test_tile_of_out_of_range(self):
+        dec = decompose(10, 10, 2, 2)
+        with pytest.raises(ConfigurationError):
+            dec.tile_of(2, 0)
+
+    def test_load_imbalance_zero_when_even(self):
+        assert decompose(64, 64, 8, 8).load_imbalance() == 0.0
+
+    def test_load_imbalance_positive_when_ragged(self):
+        assert decompose(65, 64, 8, 8).load_imbalance() > 0.0
+
+    def test_min_max_tiles(self):
+        dec = decompose(10, 7, 4, 3)
+        assert dec.max_tile == (3, 3)
+        assert dec.min_tile == (2, 2)
+
+
+class TestChooseProcessGrid:
+    def test_square_counts(self):
+        assert choose_process_grid(1024) == (32, 32)
+        assert choose_process_grid(64) == (8, 8)
+
+    def test_non_square_power_of_two(self):
+        px, py = choose_process_grid(512)
+        assert px * py == 512
+        assert {px, py} == {16, 32}
+
+    def test_aspect_bias(self):
+        # A wide domain prefers a wide grid.
+        px, py = choose_process_grid(512, domain_aspect=2.0)
+        assert px > py
+
+    def test_aspect_bias_tall(self):
+        px, py = choose_process_grid(512, domain_aspect=0.5)
+        assert px < py
+
+    def test_prime_count(self):
+        assert choose_process_grid(13) in ((1, 13), (13, 1))
+
+    def test_invalid_aspect(self):
+        with pytest.raises(ConfigurationError):
+            choose_process_grid(16, domain_aspect=0.0)

@@ -1,0 +1,130 @@
+"""Tests for repro.runtime.process_grid."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.runtime.process_grid import GridRect, ProcessGrid
+
+
+class TestGridRect:
+    def test_basic_properties(self):
+        r = GridRect(2, 3, 4, 5)
+        assert r.area == 20
+        assert r.x1 == 6
+        assert r.y1 == 8
+        assert r.shape == (4, 5)
+
+    def test_aspect_and_squareness(self):
+        assert GridRect(0, 0, 4, 2).aspect_ratio() == 2.0
+        assert GridRect(0, 0, 4, 2).squareness() == 0.5
+        assert GridRect(0, 0, 3, 3).squareness() == 1.0
+
+    def test_contains(self):
+        r = GridRect(1, 1, 2, 2)
+        assert r.contains(1, 1)
+        assert r.contains(2, 2)
+        assert not r.contains(3, 1)
+        assert not r.contains(0, 1)
+
+    def test_overlaps(self):
+        a = GridRect(0, 0, 4, 4)
+        assert a.overlaps(GridRect(3, 3, 2, 2))
+        assert not a.overlaps(GridRect(4, 0, 2, 4))  # shares an edge only
+        assert not a.overlaps(GridRect(0, 4, 4, 2))
+
+    def test_positions_row_major(self):
+        r = GridRect(1, 2, 2, 2)
+        assert list(r.positions()) == [(1, 2), (2, 2), (1, 3), (2, 3)]
+
+    def test_split_horizontal(self):
+        left, right = GridRect(0, 0, 10, 4).split_horizontal(3)
+        assert left == GridRect(0, 0, 3, 4)
+        assert right == GridRect(3, 0, 7, 4)
+
+    def test_split_vertical(self):
+        top, bottom = GridRect(2, 1, 4, 10).split_vertical(6)
+        assert top == GridRect(2, 1, 4, 6)
+        assert bottom == GridRect(2, 7, 4, 4)
+
+    def test_split_bounds(self):
+        r = GridRect(0, 0, 4, 4)
+        with pytest.raises(GeometryError):
+            r.split_horizontal(0)
+        with pytest.raises(GeometryError):
+            r.split_horizontal(4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(Exception):
+            GridRect(0, 0, 0, 4)
+
+    def test_rejects_negative_origin(self):
+        with pytest.raises(GeometryError):
+            GridRect(-1, 0, 2, 2)
+
+
+class TestProcessGrid:
+    def test_shape_and_size(self):
+        g = ProcessGrid(8, 4)
+        assert g.shape == (8, 4)
+        assert g.size == 32
+
+    def test_rank_layout_matches_fig5(self):
+        # Fig 5(a): ranks 0..7 form the first row of the 8-wide grid.
+        g = ProcessGrid(8, 4)
+        assert g.rank_of(0, 0) == 0
+        assert g.rank_of(7, 0) == 7
+        assert g.rank_of(0, 1) == 8
+        assert g.position_of(9) == (1, 1)
+
+    def test_roundtrip(self):
+        g = ProcessGrid(5, 7)
+        for rank in range(g.size):
+            assert g.rank_of(*g.position_of(rank)) == rank
+
+    def test_out_of_range(self):
+        g = ProcessGrid(4, 4)
+        with pytest.raises(GeometryError):
+            g.rank_of(4, 0)
+        with pytest.raises(GeometryError):
+            g.position_of(16)
+
+    def test_neighbors_interior(self):
+        g = ProcessGrid(8, 4)
+        nbrs = g.neighbors_of(g.rank_of(3, 2))
+        assert sorted(nbrs) == sorted(
+            [g.rank_of(2, 2), g.rank_of(4, 2), g.rank_of(3, 1), g.rank_of(3, 3)]
+        )
+
+    def test_neighbors_corner(self):
+        g = ProcessGrid(8, 4)
+        assert len(g.neighbors_of(0)) == 2  # open boundaries, no wraparound
+
+    def test_neighbors_within_rect(self):
+        # Fig 5(a): rank 3 and 4 are adjacent in the parent's grid but not
+        # within sibling 1's 4x4 rectangle.
+        g = ProcessGrid(8, 4)
+        rect = GridRect(0, 0, 4, 4)
+        nbrs = g.neighbors_of(3, within=rect)
+        assert g.rank_of(4, 0) not in nbrs
+        assert g.rank_of(2, 0) in nbrs
+
+    def test_neighbors_outside_rect_rejected(self):
+        g = ProcessGrid(8, 4)
+        with pytest.raises(GeometryError):
+            g.neighbors_of(7, within=GridRect(0, 0, 4, 4))
+
+    def test_ranks_in_rect(self):
+        g = ProcessGrid(8, 4)
+        ranks = g.ranks_in(GridRect(0, 0, 4, 4))
+        assert ranks[:4] == [0, 1, 2, 3]
+        assert ranks[4] == 8  # second row of the rect
+        assert len(ranks) == 16
+
+    def test_ranks_in_oversized_rect(self):
+        g = ProcessGrid(4, 4)
+        with pytest.raises(GeometryError):
+            g.ranks_in(GridRect(0, 0, 5, 4))
+
+    def test_equality(self):
+        assert ProcessGrid(4, 8) == ProcessGrid(4, 8)
+        assert ProcessGrid(4, 8) != ProcessGrid(8, 4)

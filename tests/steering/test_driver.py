@@ -1,0 +1,92 @@
+"""Tests for the steered-run driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.process_grid import ProcessGrid
+from repro.steering.driver import SteeredRun
+from repro.wrf.fields import ModelState
+from repro.wrf.grid import DomainSpec
+from repro.wrf.model import NestedModel
+
+
+def make_model(seed=3, nx=80, ny=64):
+    parent = DomainSpec("d01", nx, ny, dx_km=24.0)
+    initial = ModelState.with_disturbances(nx, ny, num_depressions=2, seed=seed,
+                                           amplitude=1.2)
+    nests = [
+        DomainSpec("d02", 24, 24, 8.0, parent="d01", parent_start=(2, 2),
+                   refinement=3, level=1),
+        DomainSpec("d03", 24, 24, 8.0, parent="d01", parent_start=(60, 50),
+                   refinement=3, level=1),
+    ]
+    return NestedModel(parent, nests, initial_state=initial)
+
+
+class TestSteeredRun:
+    def test_initial_plan_built(self):
+        run = SteeredRun(make_model(), ProcessGrid(8, 8))
+        assert run.plan.concurrent
+        assert run.plan.num_siblings == 2
+
+    def test_steer_moves_nests_toward_depressions(self):
+        run = SteeredRun(make_model(), ProcessGrid(8, 8))
+        event = run.steer()
+        assert len(event.features) >= 1
+        # Nests started in corners; at least one should move onto a low.
+        assert event.num_moved >= 1
+        assert event.replanned
+
+    def test_moved_nest_state_respawned(self):
+        model = make_model()
+        run = SteeredRun(model, ProcessGrid(8, 8))
+        old_positions = {
+            name: model.nests[name].spec.parent_start
+            for name in model.sibling_names
+        }
+        event = run.steer()
+        for move in event.moves:
+            if move.moved:
+                nest = model.nests[move.name]
+                assert nest.spec.parent_start == move.new_start
+                assert nest.spec.parent_start != old_positions[move.name]
+                assert nest.state is not None
+                assert np.isfinite(nest.state.h).all()
+
+    def test_run_steers_on_interval(self):
+        run = SteeredRun(make_model(), ProcessGrid(8, 8), retrack_interval=3)
+        run.run(7)
+        # Steering at iterations 3 and 6.
+        assert [e.iteration for e in run.events] == [3, 6]
+
+    def test_small_drift_ignored(self):
+        """A feature within min_move_cells of the nest centre is a no-op."""
+        model = make_model()
+        run = SteeredRun(model, ProcessGrid(8, 8), min_move_cells=10_000)
+        event = run.steer()
+        assert not event.replanned
+
+    def test_model_keeps_integrating_after_steer(self):
+        run = SteeredRun(make_model(), ProcessGrid(8, 8), retrack_interval=2)
+        run.run(4)
+        assert run.model.iteration == 4
+        assert np.isfinite(run.model.state.h).all()
+
+    def test_plan_tracks_current_footprints(self):
+        run = SteeredRun(make_model(), ProcessGrid(8, 8))
+        run.steer()
+        current = {
+            run.model.nests[n].spec.parent_start for n in run.model.sibling_names
+        }
+        planned = {a.domain.parent_start for a in run.plan.assignments}
+        assert planned == current
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigurationError):
+            SteeredRun(make_model(), ProcessGrid(8, 8), retrack_interval=0)
+
+    def test_negative_iterations(self):
+        run = SteeredRun(make_model(), ProcessGrid(8, 8))
+        with pytest.raises(ConfigurationError):
+            run.run(-1)

@@ -1,0 +1,87 @@
+"""Tests for nest relocation planning."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.steering.mover import move_nest_over, plan_moves
+from repro.steering.tracker import TrackedFeature
+from repro.wrf.grid import DomainSpec
+
+
+@pytest.fixture
+def parent():
+    return DomainSpec("d01", 100, 90, dx_km=24.0)
+
+
+def nest(name, at, nx=30, ny=24):
+    return DomainSpec(name, nx, ny, 8.0, parent="d01", parent_start=at,
+                      refinement=3, level=1)
+
+
+def feature(x, y, depth=9.0):
+    return TrackedFeature(x=x, y=y, depth=depth, intensity=10.0 - depth)
+
+
+class TestMoveNestOver:
+    def test_centres_on_feature(self, parent):
+        moved = move_nest_over(nest("d02", (0, 0)), parent, feature(50, 40))
+        w, h = moved.parent_extent()
+        assert moved.parent_start == (50 - w // 2, 40 - h // 2)
+
+    def test_clamped_to_parent(self, parent):
+        moved = move_nest_over(nest("d02", (0, 0)), parent, feature(99, 89))
+        assert moved.fits_in(parent)
+        moved = move_nest_over(nest("d02", (50, 50)), parent, feature(0, 0))
+        assert moved.parent_start == (0, 0)
+
+    def test_preserves_identity(self, parent):
+        original = nest("d02", (10, 10))
+        moved = move_nest_over(original, parent, feature(50, 40))
+        assert (moved.name, moved.nx, moved.ny, moved.refinement) == (
+            original.name, original.nx, original.ny, original.refinement
+        )
+
+    def test_rejects_parent(self, parent):
+        with pytest.raises(ConfigurationError):
+            move_nest_over(parent, parent, feature(10, 10))
+
+
+class TestPlanMoves:
+    def test_each_nest_gets_nearest_feature(self, parent):
+        nests = [nest("d02", (5, 5)), nest("d03", (60, 55))]
+        feats = [feature(70, 60, depth=8.5), feature(12, 10, depth=9.0)]
+        moved, moves = plan_moves(nests, parent, feats)
+        # d03 should chase the (70, 60) feature, d02 the (12, 10) one.
+        assert moves[1].new_start[0] > 50
+        assert moves[0].new_start[0] < 20
+
+    def test_no_features_no_moves(self, parent):
+        nests = [nest("d02", (5, 5))]
+        moved, moves = plan_moves(nests, parent, [])
+        assert moved[0].parent_start == (5, 5)
+        assert not moves[0].moved
+
+    def test_collision_cancelled(self, parent):
+        # Both nests would land on the same feature region; the second
+        # relocation must be cancelled to preserve disjointness.
+        nests = [nest("d02", (5, 5)), nest("d03", (60, 55))]
+        feats = [feature(30, 30), feature(32, 31)]
+        moved, moves = plan_moves(nests, parent, feats)
+        a, b = moved
+        ai, aj = a.parent_start
+        bi, bj = b.parent_start
+        aw, ah = a.parent_extent()
+        bw, bh = b.parent_extent()
+        assert (ai + aw <= bi or bi + bw <= ai or aj + ah <= bj or bj + bh <= aj)
+
+    def test_order_preserved(self, parent):
+        nests = [nest("d02", (5, 5)), nest("d03", (60, 55))]
+        moved, _ = plan_moves(nests, parent, [feature(50, 40)])
+        assert [m.name for m in moved] == ["d02", "d03"]
+
+    def test_displacement_recorded(self, parent):
+        nests = [nest("d02", (0, 0))]
+        _, moves = plan_moves(nests, parent, [feature(50, 40)])
+        assert moves[0].moved
+        dx, dy = moves[0].displacement
+        assert dx > 0 and dy > 0

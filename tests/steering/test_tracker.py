@@ -1,0 +1,70 @@
+"""Tests for the depression tracker."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.steering.tracker import find_depressions
+from repro.wrf.fields import ModelState
+
+
+def state_with_lows(nx, ny, centres, depth=10.0, amp=1.0, sigma=3.0):
+    state = ModelState.at_rest(nx, ny, depth=depth)
+    yy, xx = np.mgrid[0:ny, 0:nx]
+    for cx, cy in centres:
+        state.h -= amp * np.exp(-((xx - cx) ** 2 + (yy - cy) ** 2) / (2 * sigma**2))
+    return state
+
+
+class TestFindDepressions:
+    def test_finds_single_low(self):
+        state = state_with_lows(60, 50, [(20, 25)])
+        feats = find_depressions(state)
+        assert len(feats) == 1
+        assert abs(feats[0].x - 20) <= 1
+        assert abs(feats[0].y - 25) <= 1
+        assert feats[0].intensity > 0.5
+
+    def test_finds_two_separated_lows(self):
+        state = state_with_lows(80, 60, [(20, 20), (60, 40)])
+        feats = find_depressions(state)
+        assert len(feats) == 2
+        centres = sorted((f.x, f.y) for f in feats)
+        assert abs(centres[0][0] - 20) <= 1
+        assert abs(centres[1][0] - 60) <= 1
+
+    def test_strongest_first(self):
+        state = state_with_lows(80, 60, [(20, 20)], amp=2.0)
+        state = ModelState(
+            state.h
+            - 0.5 * np.exp(
+                -((np.mgrid[0:60, 0:80][1] - 60) ** 2
+                  + (np.mgrid[0:60, 0:80][0] - 40) ** 2) / 18.0
+            ),
+            state.u, state.v, state.q,
+        )
+        feats = find_depressions(state)
+        assert feats[0].depth <= feats[-1].depth
+
+    def test_min_separation_respected(self):
+        # Two lows closer than min_separation: only the deeper survives.
+        state = state_with_lows(60, 50, [(20, 25), (26, 25)])
+        feats = find_depressions(state, min_separation=15)
+        assert len(feats) == 1
+
+    def test_flat_state_no_features(self):
+        state = ModelState.at_rest(40, 40)
+        assert find_depressions(state) == []
+
+    def test_weak_low_filtered(self):
+        state = state_with_lows(60, 50, [(20, 25)], amp=0.01)
+        assert find_depressions(state, min_intensity=0.05) == []
+
+    def test_max_count(self):
+        centres = [(12, 12), (36, 12), (12, 36), (36, 36)]
+        state = state_with_lows(50, 50, centres)
+        assert len(find_depressions(state, max_count=2, min_separation=5)) == 2
+
+    def test_tiny_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            find_depressions(ModelState.at_rest(2, 2))

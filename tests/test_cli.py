@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSimulate:
+    def test_default_run(self, capsys):
+        assert main(["simulate", "--ranks", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out
+        assert "parallel" in out
+        assert "improvement" in out
+
+    def test_mapping_choice(self, capsys):
+        assert main(["simulate", "--ranks", "256", "--mapping", "multilevel"]) == 0
+        assert "multilevel" in capsys.readouterr().out
+
+    def test_io_enabled(self, capsys):
+        assert main(["simulate", "--ranks", "256", "--io", "pnetcdf"]) == 0
+        out = capsys.readouterr().out
+        assert "I/O 0.0" in out or "I/O" in out
+
+    def test_timeline_flag(self, capsys):
+        assert main(["simulate", "--ranks", "256", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "# compute" in out  # Gantt legend
+
+    def test_builtin_configs(self, capsys):
+        for config in ("fig2", "fig15"):
+            assert main(["simulate", "--config", config, "--ranks", "256"]) == 0
+
+    def test_namelist_source(self, tmp_path, capsys):
+        nl = tmp_path / "namelist.input"
+        nl.write_text(
+            """
+&domains
+ max_dom = 2,
+ e_we = 100, 60,
+ e_sn = 100, 60,
+ dx = 24000,
+ parent_id = 0, 1,
+ i_parent_start = 1, 10,
+ j_parent_start = 1, 10,
+ parent_grid_ratio = 1, 3,
+/
+"""
+        )
+        assert main(["simulate", "--namelist", str(nl), "--ranks", "64"]) == 0
+
+    def test_missing_namelist_errors(self, capsys):
+        assert main(["simulate", "--namelist", "/nonexistent", "--ranks", "64"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_namelist_without_nests_errors(self, tmp_path, capsys):
+        nl = tmp_path / "namelist.input"
+        nl.write_text("&domains\n max_dom = 1,\n e_we = 100,\n e_sn = 100,\n/\n")
+        assert main(["simulate", "--namelist", str(nl), "--ranks", "64"]) == 2
+
+
+class TestPlan:
+    def test_prints_plan(self, capsys):
+        assert main(["plan", "--config", "table2", "--ranks", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "plan[parallel]" in out
+        assert "d02" in out
+
+
+class TestProfile:
+    def test_breakdown(self, capsys):
+        assert main(["profile", "--nx", "200", "--ny", "220", "--ranks", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "compute" in out
+        assert "total step" in out
+
+    def test_bgp_machine(self, capsys):
+        assert main(["profile", "--nx", "200", "--ny", "220",
+                     "--ranks", "256", "--machine", "bgp"]) == 0
+        assert "BlueGene/P" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_cheap_experiment(self, capsys):
+        assert main(["experiment", "fig3b"]) == 0
+        assert "Fig 3(b)" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["experiment", "fig5"]) == 0
+        assert "hops" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_help_lists_commands(self):
+        help_text = build_parser().format_help()
+        for cmd in ("simulate", "plan", "profile", "experiment"):
+            assert cmd in help_text
+
+
+class TestRecommend:
+    def test_prints_recommendation(self, capsys):
+        assert main(["recommend", "--config", "fig15",
+                     "--min-ranks", "128", "--max-ranks", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended" in out
+        assert "fastest" in out
+
+    def test_efficiency_floor_flag(self, capsys):
+        assert main(["recommend", "--config", "fig15", "--min-ranks", "128",
+                     "--max-ranks", "256", "--efficiency-floor", "0.9"]) == 0
+        assert "efficiency" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_stdout_report(self, capsys):
+        assert main(["report", "fig3b"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+        assert "fig3b" in out
+
+    def test_file_output(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main(["report", "fig3b", "fig4", "-o", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "## fig3b" in text
+        assert "## fig4" in text
+
+    def test_rejects_unknown_name(self):
+        import pytest as _pytest
+        with _pytest.raises(SystemExit):
+            main(["report", "fig99"])

@@ -1,0 +1,111 @@
+"""Tests for repro.topology.machines."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.machines import (
+    BLUE_GENE_L,
+    BLUE_GENE_P,
+    ExecutionMode,
+    Machine,
+    blue_gene_l,
+    blue_gene_p,
+    torus_dims_for_nodes,
+)
+
+
+class TestTorusDims:
+    def test_blue_gene_shapes(self):
+        # Real Blue Gene partition shapes.
+        assert torus_dims_for_nodes(512) == (8, 8, 8)     # midplane
+        assert torus_dims_for_nodes(1024) == (8, 8, 16)   # BG/L rack
+        assert torus_dims_for_nodes(2048) == (8, 16, 16)
+
+    def test_small_counts(self):
+        assert torus_dims_for_nodes(1) == (1, 1, 1)
+        assert torus_dims_for_nodes(8) == (2, 2, 2)
+        assert torus_dims_for_nodes(64) == (4, 4, 4)
+
+    def test_prime(self):
+        assert torus_dims_for_nodes(7) == (1, 1, 7)
+
+    def test_product_preserved(self):
+        for n in (6, 12, 36, 100, 360, 4096):
+            x, y, z = torus_dims_for_nodes(n)
+            assert x * y * z == n
+            assert x <= y <= z
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            torus_dims_for_nodes(0)
+
+
+class TestBlueGeneL:
+    def test_modes(self):
+        assert BLUE_GENE_L.mode("CO").ranks_per_node == 1
+        assert BLUE_GENE_L.mode("VN").ranks_per_node == 2
+        assert BLUE_GENE_L.mode().name == "VN"
+
+    def test_nodes_for_ranks(self):
+        assert BLUE_GENE_L.nodes_for_ranks(1024) == 512
+        assert BLUE_GENE_L.nodes_for_ranks(1024, "CO") == 1024
+
+    def test_ragged_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BLUE_GENE_L.nodes_for_ranks(1023)
+
+    def test_torus_for_ranks(self):
+        assert BLUE_GENE_L.torus_for_ranks(1024).dims == (8, 8, 8)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            BLUE_GENE_L.mode("SMP")
+
+
+class TestBlueGeneP:
+    def test_modes(self):
+        assert BLUE_GENE_P.mode("SMP").ranks_per_node == 1
+        assert BLUE_GENE_P.mode("Dual").ranks_per_node == 2
+        assert BLUE_GENE_P.mode("VN").ranks_per_node == 4
+
+    def test_vn_8192_ranks(self):
+        assert BLUE_GENE_P.torus_for_ranks(8192).dims == (8, 16, 16)
+
+    def test_faster_than_bgl(self):
+        assert BLUE_GENE_P.sustained_flops_per_core > BLUE_GENE_L.sustained_flops_per_core
+        assert BLUE_GENE_P.link_bandwidth > BLUE_GENE_L.link_bandwidth
+
+
+class TestMachineValidation:
+    def test_factories_return_fresh_equal_instances(self):
+        assert blue_gene_l() == BLUE_GENE_L
+        assert blue_gene_p() == BLUE_GENE_P
+
+    def test_bad_default_mode(self):
+        with pytest.raises(ConfigurationError):
+            Machine(
+                name="bad", clock_hz=1e9, cores_per_node=2,
+                modes={"A": ExecutionMode("A", 1)}, default_mode="B",
+                sustained_flops_per_core=1e8, link_bandwidth=1e8,
+                software_latency=1e-6, per_hop_latency=1e-7,
+                step_overhead=1e-3, round_skew=1e-3, collective_cost=1e-4,
+                io_meta_cost_per_writer=1e-3, io_bandwidth_max=1e9,
+                io_per_writer_bandwidth=1e6,
+            )
+
+    def test_mode_exceeding_cores(self):
+        with pytest.raises(ConfigurationError):
+            Machine(
+                name="bad", clock_hz=1e9, cores_per_node=2,
+                modes={"A": ExecutionMode("A", 4)}, default_mode="A",
+                sustained_flops_per_core=1e8, link_bandwidth=1e8,
+                software_latency=1e-6, per_hop_latency=1e-7,
+                step_overhead=1e-3, round_skew=1e-3, collective_cost=1e-4,
+                io_meta_cost_per_writer=1e-3, io_bandwidth_max=1e9,
+                io_per_writer_bandwidth=1e6,
+            )
+
+    def test_seconds_per_flop(self):
+        assert BLUE_GENE_L.seconds_per_flop() == pytest.approx(
+            1.0 / BLUE_GENE_L.sustained_flops_per_core
+        )

@@ -1,0 +1,136 @@
+"""Tests for repro.topology.torus."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.torus import Link, Torus3D
+
+
+class TestConstruction:
+    def test_dims_and_size(self):
+        t = Torus3D((4, 4, 2))
+        assert t.dims == (4, 4, 2)
+        assert t.num_nodes == 32
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(Exception):
+            Torus3D((4, 0, 2))
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(TopologyError):
+            Torus3D((4, 4))  # type: ignore[arg-type]
+
+    def test_equality_and_hash(self):
+        assert Torus3D((2, 3, 4)) == Torus3D((2, 3, 4))
+        assert Torus3D((2, 3, 4)) != Torus3D((4, 3, 2))
+        assert hash(Torus3D((2, 3, 4))) == hash(Torus3D((2, 3, 4)))
+
+
+class TestRankCoord:
+    def test_roundtrip_all(self):
+        t = Torus3D((3, 4, 5))
+        for rank in range(t.num_nodes):
+            assert t.rank_of(t.coord_of(rank)) == rank
+
+    def test_x_fastest_order(self):
+        t = Torus3D((4, 4, 2))
+        assert t.coord_of(0) == (0, 0, 0)
+        assert t.coord_of(1) == (1, 0, 0)
+        assert t.coord_of(4) == (0, 1, 0)
+        assert t.coord_of(16) == (0, 0, 1)
+
+    def test_out_of_range_rank(self):
+        t = Torus3D((2, 2, 2))
+        with pytest.raises(TopologyError):
+            t.coord_of(8)
+        with pytest.raises(TopologyError):
+            t.coord_of(-1)
+
+    def test_out_of_range_coord(self):
+        t = Torus3D((2, 2, 2))
+        with pytest.raises(TopologyError):
+            t.rank_of((2, 0, 0))
+
+    def test_coords_iterates_in_rank_order(self):
+        t = Torus3D((2, 3, 2))
+        coords = list(t.coords())
+        assert len(coords) == 12
+        assert [t.rank_of(c) for c in coords] == list(range(12))
+
+
+class TestDistance:
+    def test_wraparound_shorter_way(self):
+        t = Torus3D((8, 8, 8))
+        # 0 -> 7 along x: one hop around the ring, not seven.
+        assert t.distance((0, 0, 0), (7, 0, 0)) == 1
+
+    def test_half_way(self):
+        t = Torus3D((8, 8, 8))
+        assert t.distance((0, 0, 0), (4, 0, 0)) == 4
+
+    def test_l1_composition(self):
+        t = Torus3D((8, 8, 8))
+        assert t.distance((0, 0, 0), (2, 3, 1)) == 6
+
+    def test_symmetric(self):
+        t = Torus3D((4, 6, 8))
+        a, b = (1, 2, 3), (3, 5, 0)
+        assert t.distance(a, b) == t.distance(b, a)
+
+    def test_identity(self):
+        t = Torus3D((4, 4, 4))
+        assert t.distance((1, 1, 1), (1, 1, 1)) == 0
+
+    def test_triangle_inequality_sample(self):
+        t = Torus3D((5, 4, 3))
+        pts = [(0, 0, 0), (4, 3, 2), (2, 1, 1), (3, 0, 2)]
+        for a in pts:
+            for b in pts:
+                for c in pts:
+                    assert t.distance(a, c) <= t.distance(a, b) + t.distance(b, c)
+
+
+class TestNeighbors:
+    def test_six_neighbors_in_big_torus(self):
+        t = Torus3D((4, 4, 4))
+        nbrs = t.neighbors((1, 1, 1))
+        assert len(nbrs) == 6
+        assert all(t.distance((1, 1, 1), n) == 1 for n in nbrs)
+
+    def test_dim_of_size_two_dedupes(self):
+        t = Torus3D((4, 4, 2))
+        nbrs = t.neighbors((0, 0, 0))
+        # z+1 and z-1 coincide: 5 distinct neighbours.
+        assert len(nbrs) == 5
+
+    def test_dim_of_size_one_has_no_neighbor(self):
+        t = Torus3D((4, 4, 1))
+        nbrs = t.neighbors((0, 0, 0))
+        assert len(nbrs) == 4
+
+
+class TestShiftAndLinks:
+    def test_shift_wraps(self):
+        t = Torus3D((4, 4, 2))
+        assert t.shift((3, 0, 0), 0, 1) == (0, 0, 0)
+        assert t.shift((0, 0, 0), 1, -1) == (0, 3, 0)
+
+    def test_link_dest(self):
+        t = Torus3D((4, 4, 2))
+        link = t.link((3, 2, 1), 0, 1)
+        assert t.link_dest(link) == (0, 2, 1)
+
+    def test_link_in_unit_dim_rejected(self):
+        t = Torus3D((4, 4, 1))
+        with pytest.raises(TopologyError):
+            t.link((0, 0, 0), 2, 1)
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            Link(src=(0, 0, 0), dim=3, direction=1)
+        with pytest.raises(ValueError):
+            Link(src=(0, 0, 0), dim=0, direction=0)
+
+    def test_num_links(self):
+        assert Torus3D((2, 2, 2)).num_links() == 8 * 6
+        assert Torus3D((4, 4, 1)).num_links() == 16 * 4

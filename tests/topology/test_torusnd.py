@@ -1,0 +1,107 @@
+"""Tests for the N-dimensional torus and BG/Q constants."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.topology.bgq import BLUE_GENE_Q
+from repro.topology.torus import Torus3D
+from repro.topology.torusnd import TorusND, torus_dims_nd_for_nodes
+
+
+class TestTorusND:
+    def test_rank_roundtrip(self):
+        t = TorusND((3, 2, 4, 2))
+        for rank in range(t.num_nodes):
+            assert t.rank_of(t.coord_of(rank)) == rank
+
+    def test_first_axis_fastest(self):
+        t = TorusND((4, 4, 2))
+        assert t.coord_of(1) == (1, 0, 0)
+        assert t.coord_of(4) == (0, 1, 0)
+
+    def test_matches_torus3d_semantics(self):
+        """TorusND(3 dims) agrees with Torus3D on ranks and distances."""
+        nd = TorusND((4, 3, 5))
+        t3 = Torus3D((4, 3, 5))
+        for rank in range(nd.num_nodes):
+            assert nd.coord_of(rank) == t3.coord_of(rank)
+        pairs = [((0, 0, 0), (3, 2, 4)), ((1, 1, 1), (2, 0, 3))]
+        for a, b in pairs:
+            assert nd.distance(a, b) == t3.distance(a, b)
+
+    def test_wraparound_distance_5d(self):
+        t = TorusND((4, 4, 4, 4, 2))
+        assert t.distance((0, 0, 0, 0, 0), (3, 0, 0, 0, 1)) == 2
+
+    def test_route_length_equals_distance(self):
+        t = TorusND((3, 4, 2, 3))
+        a, b = (0, 0, 0, 0), (2, 3, 1, 2)
+        assert len(t.route(a, b)) == t.distance(a, b)
+
+    def test_route_chains(self):
+        t = TorusND((3, 3, 3))
+        cur = (0, 0, 0)
+        for link in t.route((0, 0, 0), (2, 1, 2)):
+            assert link.src == cur
+            cur = t.shift(cur, link.dim, link.direction)
+        assert cur == (2, 1, 2)
+
+    def test_neighbors_5d(self):
+        t = TorusND((4, 4, 4, 4, 2))
+        nbrs = t.neighbors((1, 1, 1, 1, 0))
+        assert len(nbrs) == 9  # 2 per big dim + 1 in the E dim of size 2
+        assert all(t.distance((1, 1, 1, 1, 0), n) == 1 for n in nbrs)
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            TorusND(())
+        t = TorusND((2, 2))
+        with pytest.raises(TopologyError):
+            t.rank_of((2, 0))
+        with pytest.raises(TopologyError):
+            t.shift((0, 0), 2, 1)
+
+
+class TestBgqShapes:
+    def test_midplane_shape(self):
+        assert torus_dims_nd_for_nodes(512) == (4, 4, 4, 4, 2)
+
+    def test_rack_shapes(self):
+        assert torus_dims_nd_for_nodes(1024) == (8, 4, 4, 4, 2)
+        assert torus_dims_nd_for_nodes(2048) == (8, 8, 4, 4, 2)
+
+    def test_product_preserved(self):
+        for n in (2, 32, 128, 4096):
+            dims = torus_dims_nd_for_nodes(n)
+            prod = 1
+            for d in dims:
+                prod *= d
+            assert prod == n
+            assert len(dims) == 5
+
+    def test_e_dimension_is_two(self):
+        assert torus_dims_nd_for_nodes(256)[-1] == 2
+
+    def test_odd_count_no_fixed_e(self):
+        dims = torus_dims_nd_for_nodes(27)
+        prod = 1
+        for d in dims:
+            prod *= d
+        assert prod == 27
+
+
+class TestBlueGeneQ:
+    def test_torus_for_nodes(self):
+        assert BLUE_GENE_Q.torus_for_nodes(512).dims == (4, 4, 4, 4, 2)
+
+    def test_nodes_for_ranks(self):
+        assert BLUE_GENE_Q.nodes_for_ranks(8192) == 512
+        assert BLUE_GENE_Q.nodes_for_ranks(8192, ranks_per_node=32) == 256
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BLUE_GENE_Q.nodes_for_ranks(100, ranks_per_node=16)
+
+    def test_too_many_ranks_per_node(self):
+        with pytest.raises(ConfigurationError):
+            BLUE_GENE_Q.nodes_for_ranks(128, ranks_per_node=128)

@@ -1,0 +1,34 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng
+
+
+class TestMakeRng:
+    def test_default_is_deterministic(self):
+        a = make_rng().integers(0, 1_000_000, size=8)
+        b = make_rng().integers(0, 1_000_000, size=8)
+        assert (a == b).all()
+
+    def test_seed_changes_stream(self):
+        a = make_rng(1).integers(0, 1_000_000, size=8)
+        b = make_rng(2).integers(0, 1_000_000, size=8)
+        assert (a != b).any()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(42)
+        assert make_rng(gen) is gen
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            make_rng(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            make_rng("seed")
+
+    def test_numpy_int_accepted(self):
+        rng = make_rng(np.int32(7))
+        assert isinstance(rng, np.random.Generator)

@@ -1,0 +1,66 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import pytest
+
+from repro.util.stats import geometric_mean, mean, percent_improvement, summarize
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_accepts_generator(self):
+        assert mean(x for x in (2.0, 4.0)) == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestPercentImprovement:
+    def test_paper_example(self):
+        # 1.1 s -> 0.7 s is ~36% (Fig 9).
+        assert percent_improvement(1.1, 0.7) == pytest.approx(36.36, abs=0.01)
+
+    def test_no_change_is_zero(self):
+        assert percent_improvement(2.0, 2.0) == 0.0
+
+    def test_regression_is_negative(self):
+        assert percent_improvement(1.0, 1.5) == pytest.approx(-50.0)
+
+    def test_rejects_nonpositive_baseline(self):
+        with pytest.raises(ValueError):
+            percent_improvement(0.0, 1.0)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.stdev == pytest.approx(math.sqrt(2.0 / 3.0))
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.stdev == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])

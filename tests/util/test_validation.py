@@ -1,0 +1,95 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_positive_float,
+    check_positive_int,
+    check_type,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        import numpy as np
+
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-2, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "x")
+
+    def test_error_mentions_name(self):
+        with pytest.raises(ValueError, match="ranks"):
+            check_positive_int(-1, "ranks")
+
+
+class TestCheckPositiveFloat:
+    def test_accepts_float_and_int(self):
+        assert check_positive_float(2.5, "x") == 2.5
+        assert check_positive_float(2, "x") == 2.0
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError):
+            check_positive_float(0.0, "x")
+
+    def test_allow_zero(self):
+        assert check_positive_float(0.0, "x", allow_zero=True) == 0.0
+
+    def test_rejects_negative_with_allow_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_float(-0.1, "x", allow_zero=True)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_positive_float(float("nan"), "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_float(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive_float("1.0", "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.5, "x", 0.5, 1.5) == 0.5
+        assert check_in_range(1.5, "x", 0.5, 1.5) == 1.5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.6, "x", 0.5, 1.5)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_in_range("a", "x", 0, 1)
+
+
+class TestCheckType:
+    def test_accepts_matching(self):
+        assert check_type(3, "x", int) == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type(3.0, "x", (int, float)) == 3.0
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="int"):
+            check_type("a", "x", int)

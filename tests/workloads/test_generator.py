@@ -1,0 +1,85 @@
+"""Tests for random sibling configuration sampling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import NestSizeRange, random_siblings
+from repro.wrf.grid import DomainSpec
+
+
+@pytest.fixture
+def parent():
+    return DomainSpec("d01", 286, 307, dx_km=24.0)
+
+
+def footprint(spec):
+    i0, j0 = spec.parent_start
+    w, h = spec.parent_extent()
+    return (i0, j0, w, h)
+
+
+def overlaps(a, b):
+    ax, ay, aw, ah = a
+    bx, by, bw, bh = b
+    return not (ax + aw <= bx or bx + bw <= ax or ay + ah <= by or by + bh <= ay)
+
+
+class TestRandomSiblings:
+    def test_count_and_names(self, parent):
+        sibs = random_siblings(parent, 3, seed=1)
+        assert [s.name for s in sibs] == ["d02", "d03", "d04"]
+
+    def test_disjoint_footprints(self, parent):
+        for seed in range(5):
+            sibs = random_siblings(parent, 4, seed=seed)
+            fps = [footprint(s) for s in sibs]
+            for i, a in enumerate(fps):
+                for b in fps[i + 1:]:
+                    assert not overlaps(a, b)
+
+    def test_fit_inside_parent(self, parent):
+        for seed in range(5):
+            for s in random_siblings(parent, 3, seed=seed):
+                assert s.fits_in(parent)
+
+    def test_deterministic(self, parent):
+        a = random_siblings(parent, 3, seed=42)
+        b = random_siblings(parent, 3, seed=42)
+        assert [(s.nx, s.ny, s.parent_start) for s in a] == [
+            (s.nx, s.ny, s.parent_start) for s in b
+        ]
+
+    def test_resolution_follows_refinement(self, parent):
+        s = random_siblings(parent, 1, seed=3)[0]
+        assert s.dx_km == pytest.approx(8.0)
+        assert s.level == 1
+
+    def test_rejects_zero(self, parent):
+        with pytest.raises(ConfigurationError):
+            random_siblings(parent, 0)
+
+    def test_impossible_raises(self):
+        tiny = DomainSpec("d01", 12, 12, dx_km=24.0)
+        with pytest.raises(ConfigurationError):
+            random_siblings(tiny, 8, seed=1, max_attempts=50)
+
+    def test_size_range_honoured(self, parent):
+        rng = NestSizeRange(min_points=10_000, max_points=20_000,
+                            min_aspect=0.9, max_aspect=1.1)
+        for s in random_siblings(parent, 2, seed=5, size_range=rng):
+            assert 8_000 <= s.points <= 25_000
+            assert 0.8 <= s.aspect_ratio <= 1.25
+
+
+class TestNestSizeRange:
+    def test_paper_defaults(self):
+        r = NestSizeRange()
+        assert r.min_points == 94 * 124
+        assert r.max_points == 415 * 445
+        assert (r.min_aspect, r.max_aspect) == (0.5, 1.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NestSizeRange(min_points=10, max_points=5)
+        with pytest.raises(ConfigurationError):
+            NestSizeRange(min_aspect=2.0, max_aspect=1.0)

@@ -1,0 +1,102 @@
+"""Tests for the paper's named configurations."""
+
+import pytest
+
+from repro.workloads.paper_configs import (
+    fig2_domains,
+    fig10_domains,
+    fig15_domains,
+    table2_domains,
+    table2_rects,
+    table3_configurations,
+    table4_configurations,
+    table5_configurations,
+)
+
+
+class TestFig2:
+    def test_sizes(self):
+        c = fig2_domains()
+        assert (c.parent.nx, c.parent.ny) == (286, 307)
+        assert len(c.siblings) == 1
+        assert (c.siblings[0].nx, c.siblings[0].ny) == (415, 445)
+
+    def test_nest_fits(self):
+        c = fig2_domains()
+        assert c.siblings[0].fits_in(c.parent)
+
+
+class TestTable2:
+    def test_sibling_sizes(self):
+        sizes = [(s.nx, s.ny) for s in table2_domains().siblings]
+        assert sizes == [(394, 418), (232, 202), (232, 256), (313, 337)]
+
+    def test_rects_match_paper(self):
+        rects = table2_rects()
+        assert [(r.width, r.height) for r in rects] == [
+            (18, 24), (18, 8), (14, 12), (14, 20)
+        ]
+
+    def test_rects_tile_1024(self):
+        from repro.core.allocation.partition import validate_tiling
+        from repro.runtime.process_grid import ProcessGrid
+
+        validate_tiling(ProcessGrid(32, 32), table2_rects())
+
+    def test_footprints_disjoint(self):
+        c = table2_domains()
+        sibs = list(c.siblings)
+        for i, a in enumerate(sibs):
+            ai, aj = a.parent_start
+            aw, ah = a.parent_extent()
+            for b in sibs[i + 1:]:
+                bi, bj = b.parent_start
+                bw, bh = b.parent_extent()
+                assert (ai + aw <= bi or bi + bw <= ai or
+                        aj + ah <= bj or bj + bh <= aj)
+
+
+class TestFig10:
+    def test_large_sibling_sizes(self):
+        sizes = [(s.nx, s.ny) for s in fig10_domains().siblings]
+        assert sizes == [(586, 643), (856, 919), (925, 850)]
+
+    def test_fit_in_substitute_parent(self):
+        c = fig10_domains()
+        for s in c.siblings:
+            assert s.fits_in(c.parent)
+
+
+class TestTable3:
+    def test_max_sizes(self):
+        configs = table3_configurations()
+        maxes = [max(c.siblings, key=lambda s: s.points) for c in configs]
+        assert [(m.nx, m.ny) for m in maxes] == [
+            (205, 223), (394, 418), (925, 820)
+        ]
+
+    def test_ordering_by_size(self):
+        configs = table3_configurations()
+        points = [c.max_nest_points for c in configs]
+        assert points == sorted(points)
+
+
+class TestTables4And5:
+    def test_table4_sibling_counts(self):
+        counts = [c.num_siblings for c in table4_configurations()]
+        assert counts == [2, 2, 2, 3, 4]  # paper: 3x 2-sib, then 3, then 4
+
+    def test_table5_sibling_counts(self):
+        counts = [c.num_siblings for c in table5_configurations()]
+        assert counts == [4, 4, 3]
+
+    def test_all_nests_fit(self):
+        for c in table4_configurations() + table5_configurations():
+            for s in c.siblings:
+                assert s.fits_in(c.parent), (c.name, s.name)
+
+
+class TestFig15:
+    def test_twin_nests(self):
+        c = fig15_domains()
+        assert [(s.nx, s.ny) for s in c.siblings] == [(259, 229), (259, 229)]

@@ -1,0 +1,77 @@
+"""Tests for the Pacific and SE-Asia region generators."""
+
+import pytest
+
+from repro.workloads.regions import (
+    pacific_configurations,
+    pacific_parent,
+    southeast_asia_configurations,
+)
+
+
+class TestPacific:
+    def test_parent_matches_paper(self):
+        p = pacific_parent()
+        assert (p.nx, p.ny) == (286, 307)
+        assert p.dx_km == 24.0
+
+    def test_85_configurations(self):
+        configs = pacific_configurations()
+        assert len(configs) == 85
+
+    def test_sibling_counts_2_to_4(self):
+        configs = pacific_configurations(30, seed=5)
+        counts = {c.num_siblings for c in configs}
+        assert counts <= {2, 3, 4}
+        assert len(counts) > 1
+
+    def test_nests_at_8km(self):
+        for c in pacific_configurations(5, seed=9):
+            for s in c.siblings:
+                assert s.dx_km == pytest.approx(8.0)
+                assert s.refinement == 3
+
+    def test_deterministic(self):
+        a = pacific_configurations(10, seed=3)
+        b = pacific_configurations(10, seed=3)
+        assert [(s.nx, s.ny) for c in a for s in c.siblings] == [
+            (s.nx, s.ny) for c in b for s in c.siblings
+        ]
+
+    def test_unique_names(self):
+        configs = pacific_configurations(20, seed=1)
+        assert len({c.name for c in configs}) == 20
+
+
+class TestSoutheastAsia:
+    def test_eight_configurations(self):
+        configs = southeast_asia_configurations()
+        assert len(configs) == 8
+
+    def test_three_have_second_level(self):
+        configs = southeast_asia_configurations()
+        two_level = [c for c in configs if any(s.level == 2 for s in c.siblings)]
+        assert len(two_level) == 3
+
+    def test_first_level_at_1p5km(self):
+        for c in southeast_asia_configurations():
+            for s in c.siblings:
+                if s.level == 1:
+                    assert s.dx_km == pytest.approx(1.5)
+
+    def test_nest_sizes_within_paper_bounds(self):
+        # Paper: min 178x202, max 925x820 across all experiments.
+        for c in southeast_asia_configurations():
+            for s in c.siblings:
+                if s.level == 1:
+                    assert 178 * 202 <= s.points <= 925 * 820
+
+    def test_level1_nests_fit_parent(self):
+        for c in southeast_asia_configurations():
+            for s in c.siblings:
+                if s.level == 1:
+                    assert s.fits_in(c.parent), (c.name, s.name)
+
+    def test_max_nest_points_property(self):
+        c = southeast_asia_configurations()[0]
+        assert c.max_nest_points == max(s.points for s in c.siblings)

@@ -1,0 +1,103 @@
+"""Tests for the Sec 5 generality scenarios (LAMMPS / ROMS analogies)."""
+
+import pytest
+
+from repro.analysis.experiments.common import grid_for
+from repro.core.scheduler.strategies import (
+    ParallelSiblingsStrategy,
+    SequentialStrategy,
+)
+from repro.perfsim.simulate import simulate_iteration
+from repro.topology.machines import BLUE_GENE_P
+from repro.workloads.scenarios import (
+    coastal_circulation_configuration,
+    coastal_circulation_workload,
+    crack_propagation_configuration,
+    crack_propagation_workload,
+)
+
+
+class TestCrackPropagation:
+    def test_configuration_shape(self):
+        cfg = crack_propagation_configuration()
+        assert cfg.parent.name == "plate"
+        assert len(cfg.siblings) == 3
+        for crack in cfg.siblings:
+            assert crack.refinement == 10
+            assert crack.fits_in(cfg.parent)
+
+    def test_footprints_disjoint(self):
+        cfg = crack_propagation_configuration(seed=9)
+        sibs = list(cfg.siblings)
+        for i, a in enumerate(sibs):
+            ai, aj = a.parent_start
+            aw, ah = a.parent_extent()
+            for b in sibs[i + 1:]:
+                bi, bj = b.parent_start
+                bw, bh = b.parent_extent()
+                assert (ai + aw <= bi or bi + bw <= ai
+                        or aj + ah <= bj or bj + bh <= aj)
+
+    def test_workload_md_like(self):
+        wl = crack_propagation_workload()
+        assert wl.levels == 1
+        assert wl.flops_per_cell > 1e6  # force evaluation >> stencil update
+
+    def test_scheduling_improves_throughput(self):
+        """The paper's Sec 5 claim: the same machinery pays off for
+        multi-crack atomistic/continuum coupling."""
+        cfg = crack_propagation_configuration()
+        wl = crack_propagation_workload()
+        grid = grid_for(4096)
+        seq = simulate_iteration(
+            SequentialStrategy().plan(grid, cfg.parent, list(cfg.siblings)),
+            BLUE_GENE_P, workload=wl,
+        )
+        par = simulate_iteration(
+            ParallelSiblingsStrategy().plan(
+                grid, cfg.parent, list(cfg.siblings),
+                ratios=[s.points for s in cfg.siblings],
+            ),
+            BLUE_GENE_P, workload=wl,
+        )
+        assert par.integration_time < seq.integration_time
+
+    def test_heavy_subcycling(self):
+        cfg = crack_propagation_configuration()
+        assert all(s.steps_per_parent_step == 10 for s in cfg.siblings)
+
+
+class TestCoastalCirculation:
+    def test_configuration_shape(self):
+        cfg = coastal_circulation_configuration()
+        assert cfg.parent.name == "basin"
+        assert len(cfg.siblings) == 2
+
+    def test_workload_roms_like(self):
+        wl = coastal_circulation_workload()
+        assert wl.levels == 30
+        assert wl.halo.rounds_per_step < 36  # lighter than WRF
+
+    def test_scheduling_improves_throughput(self):
+        cfg = coastal_circulation_configuration()
+        wl = coastal_circulation_workload()
+        grid = grid_for(1024)
+        seq = simulate_iteration(
+            SequentialStrategy().plan(grid, cfg.parent, list(cfg.siblings)),
+            BLUE_GENE_P, workload=wl,
+        )
+        par = simulate_iteration(
+            ParallelSiblingsStrategy().plan(
+                grid, cfg.parent, list(cfg.siblings),
+                ratios=[s.points for s in cfg.siblings],
+            ),
+            BLUE_GENE_P, workload=wl,
+        )
+        assert par.integration_time < seq.integration_time
+
+    def test_deterministic(self):
+        a = coastal_circulation_configuration(seed=5)
+        b = coastal_circulation_configuration(seed=5)
+        assert [(s.nx, s.ny) for s in a.siblings] == [
+            (s.nx, s.ny) for s in b.siblings
+        ]

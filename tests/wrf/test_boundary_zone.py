@@ -1,0 +1,104 @@
+"""Tests for the specified+relaxation boundary zone."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.wrf.fields import ModelState
+from repro.wrf.grid import DomainSpec
+from repro.wrf.nest import Nest
+from repro.wrf.solver import BoundaryValues, ShallowWaterSolver, SolverParams
+
+PARAMS = SolverParams(dx_m=24_000.0)
+
+
+def make_bc(nx, ny, depth=7.0, zone_width=1):
+    s = ModelState.at_rest(nx, ny, depth=depth)
+    return BoundaryValues(s.h, s.u, s.v, s.q, zone_width=zone_width)
+
+
+class TestBoundaryValues:
+    def test_zone_width_validated(self):
+        with pytest.raises(SimulationError):
+            make_bc(8, 8, zone_width=0)
+
+    def test_blend_weights_shape(self):
+        bc = make_bc(16, 16, zone_width=4)
+        w = bc.blend_weights()
+        assert len(w) == 4
+        assert w[0] == 1.0
+        assert all(w[i] > w[i + 1] for i in range(3))
+
+
+class TestRelaxationZone:
+    def test_width_one_matches_hard_ring(self):
+        solver = ShallowWaterSolver(PARAMS)
+        state = ModelState.at_rest(16, 16, depth=10.0)
+        out = solver.step(state, 10.0, boundary=make_bc(16, 16, zone_width=1))
+        assert np.allclose(out.h[0, :], 7.0)
+        assert np.allclose(out.h[2:-2, 2:-2], 10.0)
+
+    def test_wider_zone_blends_inward(self):
+        solver = ShallowWaterSolver(PARAMS)
+        state = ModelState.at_rest(20, 20, depth=10.0)
+        out = solver.step(state, 10.0, boundary=make_bc(20, 20, zone_width=3))
+        # Offset 0: fully specified.
+        assert np.allclose(out.h[0, :], 7.0)
+        # Offset 1: partially relaxed toward 7 (between the two values).
+        assert 7.0 < out.h[1, 5] < 10.0
+        # Offset 2: relaxed less than offset 1.
+        assert out.h[1, 5] < out.h[2, 5] < 10.0 + 1e-12
+        # Beyond the zone: untouched interior.
+        assert np.allclose(out.h[5:-5, 5:-5], 10.0)
+
+    def test_zone_wider_than_domain_safe(self):
+        solver = ShallowWaterSolver(PARAMS)
+        state = ModelState.at_rest(6, 6, depth=10.0)
+        out = solver.step(state, 10.0, boundary=make_bc(6, 6, zone_width=10))
+        assert np.isfinite(out.h).all()
+
+    def test_relaxation_damps_boundary_reflections(self):
+        """The physical motivation: a wave hitting the nest boundary
+        reflects less with a relaxation zone than with a hard ring."""
+        solver = ShallowWaterSolver(PARAMS)
+
+        def run(zone_width):
+            state = ModelState.at_rest(40, 40, depth=10.0)
+            state.h[20, 20] += 1.0  # bump radiating outward
+            dt = solver.stable_dt(state)
+            bc = make_bc(40, 40, depth=10.0, zone_width=zone_width)
+            for _ in range(60):
+                state = solver.step(state, dt, boundary=bc)
+            # Residual disturbance inside after the wave should have left.
+            return float(np.abs(state.h[10:30, 10:30] - 10.0).sum())
+
+        assert run(5) < run(1)
+
+
+class TestNestZoneOption:
+    def test_nest_accepts_zone_width(self):
+        parent = DomainSpec("d01", 60, 50, dx_km=24.0)
+        spec = DomainSpec("d02", 30, 24, 8.0, parent="d01", parent_start=(5, 5),
+                          refinement=3, level=1)
+        nest = Nest(spec, parent, boundary_zone_width=4)
+        parent_state = ModelState.with_disturbances(60, 50, seed=3)
+        nest.spawn(parent_state)
+        nest.advance(parent_state, 30.0)
+        assert np.isfinite(nest.state.h).all()
+
+    def test_invalid_zone_rejected(self):
+        parent = DomainSpec("d01", 60, 50, dx_km=24.0)
+        spec = DomainSpec("d02", 30, 24, 8.0, parent="d01", parent_start=(5, 5),
+                          refinement=3, level=1)
+        with pytest.raises(ConfigurationError):
+            Nest(spec, parent, boundary_zone_width=0)
+
+    def test_quiescent_invariance_any_zone(self):
+        parent = DomainSpec("d01", 60, 50, dx_km=24.0)
+        spec = DomainSpec("d02", 30, 24, 8.0, parent="d01", parent_start=(5, 5),
+                          refinement=3, level=1)
+        nest = Nest(spec, parent, boundary_zone_width=5)
+        parent_state = ModelState.at_rest(60, 50)
+        nest.spawn(parent_state)
+        nest.advance(parent_state, 30.0)
+        assert np.allclose(nest.state.h, 10.0)

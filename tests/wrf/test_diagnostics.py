@@ -1,0 +1,68 @@
+"""Tests for the state diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.wrf.diagnostics import diagnose
+from repro.wrf.fields import ModelState
+from repro.wrf.solver import ShallowWaterSolver, SolverParams
+
+PARAMS = SolverParams(dx_m=24_000.0)
+
+
+class TestDiagnose:
+    def test_rest_state(self):
+        d = diagnose(ModelState.at_rest(20, 20, depth=10.0), dt=60.0, params=PARAMS)
+        assert d.total_mass == pytest.approx(10.0 * 400)
+        assert d.kinetic_energy == 0.0
+        assert d.potential_energy == 0.0
+        assert d.max_wind == 0.0
+        assert d.healthy
+
+    def test_kinetic_energy(self):
+        state = ModelState.at_rest(4, 4, depth=2.0)
+        state.u[:] = 3.0
+        d = diagnose(state, dt=10.0, params=PARAMS)
+        assert d.kinetic_energy == pytest.approx(0.5 * 2.0 * 9.0 * 16)
+        assert d.max_wind == pytest.approx(3.0)
+
+    def test_potential_energy_of_perturbation(self):
+        state = ModelState.at_rest(10, 10, depth=10.0)
+        state.h[5, 5] += 1.0
+        d = diagnose(state, dt=10.0, params=PARAMS)
+        assert d.potential_energy > 0.0
+
+    def test_cfl_scaling(self):
+        state = ModelState.at_rest(10, 10)
+        d1 = diagnose(state, dt=10.0, params=PARAMS)
+        d2 = diagnose(state, dt=20.0, params=PARAMS)
+        assert d2.cfl == pytest.approx(2 * d1.cfl)
+
+    def test_unhealthy_when_cfl_exceeds_one(self):
+        state = ModelState.at_rest(10, 10)
+        huge_dt = 10 * PARAMS.dx_m / state.max_wave_speed(PARAMS.gravity)
+        assert not diagnose(state, dt=huge_dt, params=PARAMS).healthy
+
+    def test_unhealthy_on_negative_depth(self):
+        state = ModelState.at_rest(4, 4)
+        state.h[0, 0] = -1.0
+        assert not diagnose(state, dt=1.0, params=PARAMS).healthy
+
+    def test_energy_roughly_conserved_over_run(self):
+        """Lax-Friedrichs dissipates, so energy must not grow."""
+        solver = ShallowWaterSolver(PARAMS)
+        state = ModelState.with_disturbances(32, 32, seed=4, amplitude=0.5)
+        dt = solver.stable_dt(state)
+        e0 = diagnose(state, dt, PARAMS).total_energy
+        out = solver.run(state, 20, dt=dt)
+        e1 = diagnose(out, dt, PARAMS).total_energy
+        assert e1 <= e0 * 1.01
+        assert e1 > 0.0
+
+    def test_stable_run_stays_healthy(self):
+        solver = ShallowWaterSolver(PARAMS)
+        state = ModelState.with_disturbances(24, 24, seed=9)
+        dt = solver.stable_dt(state)
+        for _ in range(10):
+            state = solver.step(state, dt)
+            assert diagnose(state, dt, PARAMS).healthy

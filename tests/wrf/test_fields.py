@@ -1,0 +1,59 @@
+"""Tests for repro.wrf.fields."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wrf.fields import ModelState
+
+
+class TestConstruction:
+    def test_at_rest(self):
+        s = ModelState.at_rest(12, 8, depth=5.0)
+        assert s.shape == (8, 12)
+        assert s.nx == 12 and s.ny == 8
+        assert np.allclose(s.h, 5.0)
+        assert s.total_mass() == pytest.approx(5.0 * 96)
+
+    def test_fields_contiguous_float64(self):
+        s = ModelState.at_rest(5, 5)
+        for f in (s.h, s.u, s.v, s.q):
+            assert f.dtype == np.float64
+            assert f.flags["C_CONTIGUOUS"]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelState(
+                h=np.zeros((4, 4)), u=np.zeros((4, 5)),
+                v=np.zeros((4, 4)), q=np.zeros((4, 4)),
+            )
+
+    def test_with_disturbances_deterministic(self):
+        a = ModelState.with_disturbances(20, 20, seed=3)
+        b = ModelState.with_disturbances(20, 20, seed=3)
+        assert a.allclose(b)
+
+    def test_disturbances_lower_pressure(self):
+        s = ModelState.with_disturbances(30, 30, seed=1, depth=10.0)
+        assert s.h.min() < 10.0
+        assert s.q.max() > 0.0
+
+
+class TestOps:
+    def test_copy_is_deep(self):
+        a = ModelState.at_rest(4, 4)
+        b = a.copy()
+        b.h += 1.0
+        assert not a.allclose(b)
+
+    def test_max_wave_speed(self):
+        s = ModelState.at_rest(4, 4, depth=10.0)
+        assert s.max_wave_speed(9.81) == pytest.approx((9.81 * 10.0) ** 0.5)
+        s.u[0, 0] = 50.0
+        assert s.max_wave_speed(9.81) == pytest.approx(50.0 + (9.81 * 10.0) ** 0.5)
+
+    def test_allclose_tolerance(self):
+        a = ModelState.at_rest(4, 4)
+        b = a.copy()
+        b.h += 1e-14
+        assert a.allclose(b)

@@ -1,0 +1,72 @@
+"""Tests for repro.wrf.grid (DomainSpec)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wrf.grid import DomainSpec, domain_features
+
+
+def make_nest(**kw):
+    defaults = dict(
+        name="d02", nx=120, ny=96, dx_km=8.0, parent="d01",
+        parent_start=(10, 10), refinement=3, level=1,
+    )
+    defaults.update(kw)
+    return DomainSpec(**defaults)
+
+
+class TestDomainSpec:
+    def test_features(self):
+        d = DomainSpec("d01", nx=286, ny=307, dx_km=24.0)
+        assert d.points == 286 * 307
+        assert d.aspect_ratio == pytest.approx(286 / 307)
+        assert domain_features(d) == (d.aspect_ratio, float(d.points))
+
+    def test_parent_requires_no_start(self):
+        with pytest.raises(ConfigurationError):
+            DomainSpec("d01", nx=10, ny=10, dx_km=24.0, parent_start=(0, 0))
+
+    def test_nest_requires_start(self):
+        with pytest.raises(ConfigurationError):
+            DomainSpec("d02", nx=10, ny=10, dx_km=8.0, parent="d01", level=1)
+
+    def test_level_parent_consistency(self):
+        with pytest.raises(ConfigurationError):
+            DomainSpec("d02", nx=10, ny=10, dx_km=8.0, parent="d01",
+                       parent_start=(0, 0), level=0)
+        with pytest.raises(ConfigurationError):
+            DomainSpec("d01", nx=10, ny=10, dx_km=8.0, level=1)
+
+    def test_parent_extent_ceil(self):
+        nest = make_nest(nx=10, ny=9, refinement=3)
+        assert nest.parent_extent() == (4, 3)
+
+    def test_parent_extent_on_parent_rejected(self):
+        d = DomainSpec("d01", nx=10, ny=10, dx_km=24.0)
+        with pytest.raises(ConfigurationError):
+            d.parent_extent()
+
+    def test_fits_in(self):
+        parent = DomainSpec("d01", nx=100, ny=100, dx_km=24.0)
+        assert make_nest(nx=120, ny=96, parent_start=(10, 10)).fits_in(parent)
+        assert not make_nest(nx=120, ny=96, parent_start=(70, 10)).fits_in(parent)
+
+    def test_steps_per_parent_step(self):
+        assert DomainSpec("d01", nx=10, ny=10, dx_km=24.0).steps_per_parent_step == 1
+        assert make_nest(level=1).steps_per_parent_step == 3
+        assert make_nest(level=2).steps_per_parent_step == 9
+
+    def test_scaled_preserves_aspect(self):
+        nest = make_nest(nx=100, ny=50)
+        big = nest.scaled(4.0)
+        assert big.points == pytest.approx(4 * nest.points, rel=0.05)
+        assert big.aspect_ratio == pytest.approx(nest.aspect_ratio, rel=0.05)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            make_nest().scaled(0.0)
+
+    def test_frozen(self):
+        d = make_nest()
+        with pytest.raises(AttributeError):
+            d.nx = 5  # type: ignore[misc]

@@ -1,0 +1,90 @@
+"""Tests for parent<->nest transfer operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.wrf.interp import bilinear_sample, nest_coords_in_parent, restrict_mean
+
+
+class TestNestCoords:
+    def test_cell_centre_registration(self):
+        xs, ys = nest_coords_in_parent(6, 3, i0=2, j0=1, refinement=3)
+        # First fine cell centre sits at parent coord i0 + 0.5/3 - 0.5.
+        assert xs[0] == pytest.approx(2 + 0.5 / 3 - 0.5)
+        assert len(xs) == 6 and len(ys) == 3
+
+    def test_spacing_is_one_over_r(self):
+        xs, _ = nest_coords_in_parent(9, 3, 0, 0, refinement=3)
+        assert np.allclose(np.diff(xs), 1.0 / 3.0)
+
+
+class TestBilinearSample:
+    def test_reproduces_linear_fields_exactly(self):
+        yy, xx = np.mgrid[0:10, 0:12].astype(float)
+        field = 2.0 * xx - 3.0 * yy + 1.0
+        xs = np.linspace(0.5, 10.5, 7)
+        ys = np.linspace(0.25, 8.75, 5)
+        out = bilinear_sample(field, xs, ys)
+        expected = 2.0 * xs[np.newaxis, :] - 3.0 * ys[:, np.newaxis] + 1.0
+        assert np.allclose(out, expected)
+
+    def test_exact_at_grid_points(self):
+        field = np.arange(20.0).reshape(4, 5)
+        out = bilinear_sample(field, np.array([0.0, 2.0, 4.0]), np.array([1.0, 3.0]))
+        assert np.allclose(out, field[np.ix_([1, 3], [0, 2, 4])])
+
+    def test_clamps_outside(self):
+        field = np.arange(16.0).reshape(4, 4)
+        out = bilinear_sample(field, np.array([-1.0, 5.0]), np.array([-2.0, 9.0]))
+        assert out[0, 0] == field[0, 0]
+        assert out[1, 1] == field[-1, -1]
+
+    def test_within_bounds_of_input(self):
+        rng = np.random.default_rng(0)
+        field = rng.random((8, 8))
+        out = bilinear_sample(field, np.linspace(0, 7, 23), np.linspace(0, 7, 19))
+        assert out.min() >= field.min() - 1e-12
+        assert out.max() <= field.max() + 1e-12
+
+    def test_rejects_1d_field(self):
+        with pytest.raises(GeometryError):
+            bilinear_sample(np.zeros(5), np.array([0.0]), np.array([0.0]))
+
+
+class TestRestrictMean:
+    def test_exact_blocks(self):
+        fine = np.arange(36.0).reshape(6, 6)
+        out = restrict_mean(fine, 3)
+        assert out.shape == (2, 2)
+        assert out[0, 0] == pytest.approx(fine[:3, :3].mean())
+        assert out[1, 1] == pytest.approx(fine[3:, 3:].mean())
+
+    def test_conserves_mean_when_divisible(self):
+        rng = np.random.default_rng(1)
+        fine = rng.random((12, 9))
+        out = restrict_mean(fine, 3)
+        assert out.mean() == pytest.approx(fine.mean())
+
+    def test_ragged_edges(self):
+        fine = np.ones((7, 8))
+        out = restrict_mean(fine, 3)
+        assert out.shape == (3, 3)
+        assert np.allclose(out, 1.0)
+
+    def test_ragged_values(self):
+        fine = np.arange(20.0).reshape(4, 5)
+        out = restrict_mean(fine, 3)
+        assert out.shape == (2, 2)
+        # Right column block covers columns 3..4, rows 0..2.
+        assert out[0, 1] == pytest.approx(fine[0:3, 3:5].mean())
+        # Bottom-right corner block covers row 3, cols 3..4.
+        assert out[1, 1] == pytest.approx(fine[3:, 3:].mean())
+
+    def test_identity_refinement(self):
+        fine = np.arange(12.0).reshape(3, 4)
+        assert np.allclose(restrict_mean(fine, 1), fine)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(GeometryError):
+            restrict_mean(np.zeros(5), 2)

@@ -1,0 +1,100 @@
+"""Tests for the full nested model driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wrf.grid import DomainSpec
+from repro.wrf.model import NestedModel
+from repro.wrf.physics import PhysicsParams
+
+
+@pytest.fixture
+def specs():
+    parent = DomainSpec("d01", nx=60, ny=50, dx_km=24.0)
+    s1 = DomainSpec("d02", 30, 24, 8.0, parent="d01", parent_start=(2, 2),
+                    refinement=3, level=1)
+    s2 = DomainSpec("d03", 24, 30, 8.0, parent="d01", parent_start=(30, 25),
+                    refinement=3, level=1)
+    return parent, [s1, s2]
+
+
+class TestConstruction:
+    def test_spawns_all_siblings(self, specs):
+        parent, sibs = specs
+        m = NestedModel(parent, sibs, seed=1)
+        assert m.sibling_names == ["d02", "d03"]
+        assert all(n.state is not None for n in m.nests.values())
+
+    def test_rejects_overlapping_siblings(self, specs):
+        parent, sibs = specs
+        bad = DomainSpec("d04", 30, 24, 8.0, parent="d01", parent_start=(3, 3),
+                         refinement=3, level=1)
+        with pytest.raises(ConfigurationError):
+            NestedModel(parent, [sibs[0], bad], seed=1)
+
+    def test_rejects_nest_as_parent(self, specs):
+        parent, sibs = specs
+        with pytest.raises(ConfigurationError):
+            NestedModel(sibs[0], [], seed=1)
+
+
+class TestAdvance:
+    def test_iteration_counter(self, specs):
+        parent, sibs = specs
+        m = NestedModel(parent, sibs, seed=1)
+        m.run(3)
+        assert m.iteration == 3
+
+    def test_sibling_order_does_not_change_results(self, specs):
+        """The linchpin of the paper: siblings are order-independent,
+        so running them in parallel is semantically free."""
+        parent, sibs = specs
+        a = NestedModel(parent, sibs, seed=7)
+        b = NestedModel(parent, sibs, seed=7)
+        dt = min(a.stable_dt(), b.stable_dt())
+        for _ in range(4):
+            a.advance(dt, sibling_order=["d02", "d03"])
+            b.advance(dt, sibling_order=["d03", "d02"])
+        assert a.state.allclose(b.state)
+        for name in a.sibling_names:
+            assert a.nests[name].state.allclose(b.nests[name].state)
+
+    def test_invalid_sibling_order(self, specs):
+        parent, sibs = specs
+        m = NestedModel(parent, sibs, seed=1)
+        with pytest.raises(ConfigurationError):
+            m.advance(sibling_order=["d02"])
+
+    def test_one_way_nesting_leaves_parent_unchanged_by_nests(self, specs):
+        parent, sibs = specs
+        two_way = NestedModel(parent, sibs, seed=3, two_way=True)
+        one_way = NestedModel(parent, sibs, seed=3, two_way=False)
+        dt = min(two_way.stable_dt(), one_way.stable_dt())
+        for _ in range(3):
+            two_way.advance(dt)
+            one_way.advance(dt)
+        # With feedback the parent differs from the no-feedback run.
+        assert not two_way.state.allclose(one_way.state)
+
+    def test_physics_enabled_changes_solution(self, specs):
+        parent, sibs = specs
+        plain = NestedModel(parent, sibs, seed=3)
+        phys = NestedModel(parent, sibs, seed=3,
+                           physics=PhysicsParams(drag_rate=1e-4))
+        dt = min(plain.stable_dt(), phys.stable_dt())
+        for _ in range(3):
+            plain.advance(dt)
+            phys.advance(dt)
+        assert not plain.state.allclose(phys.state)
+
+    def test_negative_iterations_rejected(self, specs):
+        parent, sibs = specs
+        with pytest.raises(ConfigurationError):
+            NestedModel(parent, sibs, seed=1).run(-2)
+
+    def test_no_siblings_is_valid(self, specs):
+        parent, _ = specs
+        m = NestedModel(parent, [], seed=1)
+        m.run(2)
+        assert m.iteration == 2

@@ -1,0 +1,126 @@
+"""Tests for the WRF-namelist parser."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wrf.namelist import Namelist, domains_from_namelist, parse_namelist
+
+SAMPLE = """
+! A three-domain configuration like the paper's Pacific runs.
+&domains
+ max_dom           = 3,
+ e_we              = 287, 415, 233,
+ e_sn              = 308, 445, 203,
+ dx                = 24000,
+ parent_id         = 0, 1, 1,
+ i_parent_start    = 1, 30, 120,
+ j_parent_start    = 1, 40, 80,
+ parent_grid_ratio = 1, 3, 3,
+/
+&time_control
+ history_interval = 60,
+ io_form_history  = 2,
+ restart          = .false.,
+/
+"""
+
+
+class TestParse:
+    def test_groups(self):
+        nl = parse_namelist(SAMPLE)
+        assert set(nl.groups) == {"domains", "time_control"}
+
+    def test_scalar_types(self):
+        nl = parse_namelist(SAMPLE)
+        assert nl.get("time_control", "history_interval") == 60
+        assert nl.get("time_control", "restart") is False
+
+    def test_lists(self):
+        nl = parse_namelist(SAMPLE)
+        assert nl.group("domains")["e_we"] == [287, 415, 233]
+
+    def test_comments_stripped(self):
+        nl = parse_namelist("&g\n x = 1, ! trailing comment\n/\n")
+        assert nl.get("g", "x") == 1
+
+    def test_strings_and_floats(self):
+        nl = parse_namelist("&g\n name = 'pacific',\n ratio = 1.5,\n/\n")
+        assert nl.get("g", "name") == "pacific"
+        assert nl.get("g", "ratio") == 1.5
+
+    def test_unterminated_group(self):
+        with pytest.raises(ConfigurationError):
+            parse_namelist("&g\n x = 1,\n")
+
+    def test_assignment_outside_group(self):
+        with pytest.raises(ConfigurationError):
+            parse_namelist("x = 1\n")
+
+    def test_missing_group_error(self):
+        nl = parse_namelist("&g\n/\n")
+        with pytest.raises(ConfigurationError, match="domains"):
+            nl.group("domains")
+
+
+class TestDomains:
+    def test_builds_specs(self):
+        specs = domains_from_namelist(parse_namelist(SAMPLE))
+        assert len(specs) == 3
+        parent, n1, n2 = specs
+        assert parent.name == "d01" and not parent.is_nest
+        assert parent.nx == 287 and parent.dx_km == 24.0
+        assert n1.parent == "d01" and n1.refinement == 3
+        assert n1.dx_km == pytest.approx(8.0)
+        assert n1.parent_start == (29, 39)  # 1-based -> 0-based
+        assert n2.nx == 233 and n2.level == 1
+
+    def test_second_level_nest(self):
+        text = """
+&domains
+ max_dom = 3,
+ e_we = 100, 60, 30,
+ e_sn = 100, 60, 30,
+ dx = 27000,
+ parent_id = 0, 1, 2,
+ i_parent_start = 1, 10, 5,
+ j_parent_start = 1, 10, 5,
+ parent_grid_ratio = 1, 3, 3,
+/
+"""
+        specs = domains_from_namelist(parse_namelist(text))
+        assert specs[2].parent == "d02"
+        assert specs[2].level == 2
+        assert specs[2].dx_km == pytest.approx(3.0)
+
+    def test_bad_parent_id(self):
+        text = """
+&domains
+ max_dom = 2,
+ e_we = 100, 60,
+ e_sn = 100, 60,
+ parent_id = 0, 5,
+ parent_grid_ratio = 1, 3,
+/
+"""
+        with pytest.raises(ConfigurationError):
+            domains_from_namelist(parse_namelist(text))
+
+    def test_missing_max_dom(self):
+        with pytest.raises(ConfigurationError):
+            domains_from_namelist(parse_namelist("&domains\n e_we = 10,\n/\n"))
+
+    def test_scalar_broadcast(self):
+        text = """
+&domains
+ max_dom = 2,
+ e_we = 100, 60,
+ e_sn = 100, 60,
+ dx = 24000,
+ parent_id = 0, 1,
+ i_parent_start = 1, 8,
+ j_parent_start = 1, 8,
+ parent_grid_ratio = 3,
+/
+"""
+        specs = domains_from_namelist(parse_namelist(text))
+        assert specs[1].refinement == 3

@@ -1,0 +1,105 @@
+"""Tests for namelist rendering and the domains round trip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.wrf.grid import DomainSpec
+from repro.wrf.namelist import (
+    Namelist,
+    domains_from_namelist,
+    namelist_from_domains,
+    parse_namelist,
+    render_namelist,
+)
+
+
+class TestRenderNamelist:
+    def test_roundtrip_values(self):
+        nl = Namelist({
+            "domains": {"max_dom": 2, "e_we": [100, 60], "dx": 24000},
+            "time_control": {"restart": False, "name": "pacific",
+                             "ratio": 1.5},
+        })
+        back = parse_namelist(render_namelist(nl))
+        assert back.groups == nl.groups
+
+    def test_booleans_fortran_style(self):
+        text = render_namelist(Namelist({"g": {"flag": True, "off": False}}))
+        assert ".true." in text and ".false." in text
+
+    def test_strings_quoted(self):
+        text = render_namelist(Namelist({"g": {"name": "pacific"}}))
+        assert "'pacific'" in text
+
+
+class TestDomainsRoundTrip:
+    def test_table2_roundtrip(self):
+        from repro.workloads.paper_configs import table2_domains
+
+        cfg = table2_domains()
+        specs = [cfg.parent, *cfg.siblings]
+        back = domains_from_namelist(
+            parse_namelist(render_namelist(namelist_from_domains(specs)))
+        )
+        assert [(s.nx, s.ny, s.parent_start, s.refinement, s.level)
+                for s in back] == [
+            (s.nx, s.ny, s.parent_start, s.refinement, s.level) for s in specs
+        ]
+
+    def test_two_level_roundtrip(self):
+        specs = [
+            DomainSpec("d01", 100, 100, 27.0),
+            DomainSpec("d02", 60, 60, 9.0, parent="d01", parent_start=(9, 9),
+                       refinement=3, level=1),
+            DomainSpec("d03", 30, 30, 3.0, parent="d02", parent_start=(4, 4),
+                       refinement=3, level=2),
+        ]
+        back = domains_from_namelist(
+            parse_namelist(render_namelist(namelist_from_domains(specs)))
+        )
+        assert back[2].parent == "d02"
+        assert back[2].level == 2
+        assert back[2].dx_km == pytest.approx(3.0)
+
+    def test_single_domain(self):
+        specs = [DomainSpec("d01", 100, 100, 24.0)]
+        back = domains_from_namelist(
+            parse_namelist(render_namelist(namelist_from_domains(specs)))
+        )
+        assert len(back) == 1
+        assert not back[0].is_nest
+
+    def test_nest_first_rejected(self):
+        nest = DomainSpec("d02", 60, 60, 8.0, parent="d01", parent_start=(0, 0),
+                          refinement=3, level=1)
+        with pytest.raises(ConfigurationError):
+            namelist_from_domains([nest])
+
+    def test_unknown_parent_rejected(self):
+        specs = [
+            DomainSpec("d01", 100, 100, 24.0),
+            DomainSpec("d02", 60, 60, 8.0, parent="dXX", parent_start=(0, 0),
+                       refinement=3, level=1),
+        ]
+        with pytest.raises(ConfigurationError):
+            namelist_from_domains(specs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        k=st.integers(1, 4),
+        seed=st.integers(0, 200),
+    )
+    def test_random_configurations_roundtrip(self, k, seed):
+        from repro.workloads.generator import random_siblings
+        from repro.workloads.regions import pacific_parent
+
+        parent = pacific_parent()
+        specs = [parent, *random_siblings(parent, k, seed=seed)]
+        back = domains_from_namelist(
+            parse_namelist(render_namelist(namelist_from_domains(specs)))
+        )
+        assert [(s.nx, s.ny, s.parent_start, s.refinement) for s in back] == [
+            (s.nx, s.ny, s.parent_start, s.refinement) for s in specs
+        ]

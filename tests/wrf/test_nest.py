@@ -1,0 +1,96 @@
+"""Tests for repro.wrf.nest."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wrf.fields import ModelState
+from repro.wrf.grid import DomainSpec
+from repro.wrf.nest import Nest
+
+
+@pytest.fixture
+def parent_spec():
+    return DomainSpec("d01", nx=60, ny=50, dx_km=24.0)
+
+
+@pytest.fixture
+def nest_spec():
+    return DomainSpec("d02", nx=30, ny=24, dx_km=8.0, parent="d01",
+                      parent_start=(5, 5), refinement=3, level=1)
+
+
+class TestSpawn:
+    def test_spawn_interpolates_uniform_exactly(self, parent_spec, nest_spec):
+        nest = Nest(nest_spec, parent_spec)
+        nest.spawn(ModelState.at_rest(60, 50, depth=9.0))
+        assert nest.state is not None
+        assert np.allclose(nest.state.h, 9.0)
+        assert nest.state.shape == (24, 30)
+
+    def test_advance_before_spawn_rejected(self, parent_spec, nest_spec):
+        nest = Nest(nest_spec, parent_spec)
+        with pytest.raises(ConfigurationError):
+            nest.advance(ModelState.at_rest(60, 50), 10.0)
+        with pytest.raises(ConfigurationError):
+            nest.feedback(ModelState.at_rest(60, 50))
+
+    def test_nest_must_fit(self, parent_spec):
+        bad = DomainSpec("d02", nx=300, ny=24, dx_km=8.0, parent="d01",
+                         parent_start=(5, 5), refinement=3, level=1)
+        with pytest.raises(ConfigurationError):
+            Nest(bad, parent_spec)
+
+    def test_wrong_parent_name(self, parent_spec, nest_spec):
+        other = DomainSpec("dXX", nx=60, ny=50, dx_km=24.0)
+        with pytest.raises(ConfigurationError):
+            Nest(nest_spec, other)
+
+    def test_non_nest_rejected(self, parent_spec):
+        with pytest.raises(ConfigurationError):
+            Nest(parent_spec, parent_spec)
+
+
+class TestAdvance:
+    def test_runs_r_fine_steps(self, parent_spec, nest_spec):
+        nest = Nest(nest_spec, parent_spec)
+        parent_state = ModelState.with_disturbances(60, 50, seed=4)
+        nest.spawn(parent_state)
+        assert nest.advance(parent_state, 30.0) == 3
+
+    def test_fine_dx_is_parent_over_r(self, parent_spec, nest_spec):
+        nest = Nest(nest_spec, parent_spec)
+        assert nest.solver.params.dx_m == pytest.approx(24_000.0 / 3)
+
+    def test_quiescent_parent_keeps_nest_quiescent(self, parent_spec, nest_spec):
+        nest = Nest(nest_spec, parent_spec)
+        parent_state = ModelState.at_rest(60, 50)
+        nest.spawn(parent_state)
+        nest.advance(parent_state, 30.0)
+        assert np.allclose(nest.state.h, 10.0)
+        assert np.allclose(nest.state.u, 0.0)
+
+
+class TestFeedback:
+    def test_feedback_writes_footprint_only(self, parent_spec, nest_spec):
+        nest = Nest(nest_spec, parent_spec)
+        parent_state = ModelState.at_rest(60, 50, depth=10.0)
+        nest.spawn(parent_state)
+        nest.state.h[:] = 20.0
+        nest.feedback(parent_state)
+        i0, j0 = nest_spec.parent_start
+        w, h = nest_spec.parent_extent()
+        assert np.allclose(parent_state.h[j0:j0 + h, i0:i0 + w], 20.0)
+        # Outside the footprint untouched.
+        assert parent_state.h[0, 0] == 10.0
+        assert parent_state.h[j0 + h, i0] == 10.0
+
+    def test_feedback_is_block_mean(self, parent_spec, nest_spec):
+        nest = Nest(nest_spec, parent_spec)
+        parent_state = ModelState.at_rest(60, 50)
+        nest.spawn(parent_state)
+        rng = np.random.default_rng(0)
+        nest.state.h[:] = rng.random(nest.state.h.shape) + 5.0
+        nest.feedback(parent_state)
+        i0, j0 = nest_spec.parent_start
+        assert parent_state.h[j0, i0] == pytest.approx(nest.state.h[:3, :3].mean())

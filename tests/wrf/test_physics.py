@@ -1,0 +1,79 @@
+"""Tests for the toy physics parameterisations."""
+
+import numpy as np
+import pytest
+
+from repro.wrf.fields import ModelState
+from repro.wrf.physics import PhysicsParams, apply_physics
+
+
+class TestRelaxation:
+    def test_relaxes_toward_reference(self):
+        params = PhysicsParams(relaxation_rate=1e-3, reference_depth=10.0)
+        state = ModelState.at_rest(8, 8, depth=12.0)
+        apply_physics(state, 100.0, params)
+        assert (state.h < 12.0).all()
+        assert (state.h > 10.0).all()
+
+    def test_reference_is_fixed_point(self):
+        params = PhysicsParams()
+        state = ModelState.at_rest(8, 8, depth=params.reference_depth)
+        before = state.h.copy()
+        apply_physics(state, 60.0, params)
+        assert np.allclose(state.h, before)
+
+
+class TestDrag:
+    def test_damps_momentum(self):
+        params = PhysicsParams(drag_rate=1e-3)
+        state = ModelState.at_rest(8, 8)
+        state.u[:] = 2.0
+        state.v[:] = -1.0
+        apply_physics(state, 100.0, params)
+        assert (np.abs(state.u) < 2.0).all()
+        assert (np.abs(state.v) < 1.0).all()
+        # Drag never reverses the wind.
+        assert (state.u > 0.0).all()
+
+    def test_huge_dt_clamps_to_zero(self):
+        params = PhysicsParams(drag_rate=1.0)
+        state = ModelState.at_rest(4, 4)
+        state.u[:] = 3.0
+        apply_physics(state, 100.0, params)
+        assert np.allclose(state.u, 0.0)
+
+
+class TestConvectiveAdjustment:
+    def test_rainout_above_saturation(self):
+        params = PhysicsParams(saturation=0.5, rainout_fraction=0.5, latent_factor=0.1)
+        state = ModelState.at_rest(4, 4)
+        state.q[:] = 0.9
+        h_before = state.h.copy()
+        apply_physics(state, 1e-9, params)  # dt-independent adjustment
+        # Half the 0.4 excess rains out.
+        assert np.allclose(state.q, 0.7)
+        assert np.allclose(state.h, h_before + 0.1 * 0.2)
+
+    def test_subsaturated_untouched(self):
+        params = PhysicsParams(saturation=0.7)
+        state = ModelState.at_rest(4, 4)
+        state.q[:] = 0.3
+        apply_physics(state, 60.0, params)
+        assert np.allclose(state.q, 0.3)
+
+    def test_no_negative_tracer(self):
+        params = PhysicsParams(saturation=0.1, rainout_fraction=1.0)
+        state = ModelState.at_rest(4, 4)
+        state.q[:] = 0.5
+        apply_physics(state, 60.0, params)
+        assert (state.q >= 0.0).all()
+
+
+class TestParams:
+    def test_rainout_fraction_range(self):
+        with pytest.raises(ValueError):
+            PhysicsParams(rainout_fraction=1.5)
+
+    def test_returns_same_state(self):
+        state = ModelState.at_rest(4, 4)
+        assert apply_physics(state, 1.0, PhysicsParams()) is state
