@@ -46,6 +46,24 @@ def test_route_full_exchange(benchmark):
     assert loads.total_bytes() > 0
 
 
+def test_route_full_exchange_vector(benchmark):
+    """The same 1024-rank exchange through the vectorized engine."""
+    from repro.netsim.engine import VECTOR, as_placement, reset_route_cache
+
+    grid = ProcessGrid(32, 32)
+    space = SlotSpace(Torus3D((8, 8, 8)), 2)
+    torus = space.torus
+    placement = as_placement(torus, ObliviousMapping().place(grid, space).nodes())
+    msgs = halo_messages(grid, grid.full_rect(), 415, 445, HaloSpec())
+
+    def cold_route():
+        reset_route_cache()
+        return VECTOR.route_exchange(torus, placement, msgs)
+
+    routed, loads = benchmark(cold_route)
+    assert loads.total_bytes() > 0
+
+
 def test_solver_step(benchmark):
     """One shallow-water step on a 286x307 grid (the Pacific parent)."""
     solver = ShallowWaterSolver(SolverParams(dx_m=24_000.0))

@@ -6,11 +6,29 @@ cost of a message is its serialisation time on the *most loaded* link of
 its route (bandwidth is shared), plus software and per-hop latencies —
 the standard max-link-contention estimate. A communication *round* (one
 of WRF's 36 per step) completes when its slowest message completes.
+
+Two engines implement this model: the vectorized NumPy engine
+(:mod:`repro.netsim.engine`, the default) and the scalar pure-Python
+oracle (:mod:`repro.netsim.traffic` / :mod:`repro.netsim.contention`).
+``REPRO_NETSIM=scalar`` selects the oracle; the two are bit-identical on
+every shared metric.
 """
 
 from repro.netsim.traffic import LinkLoads, route_messages, RoutedMessage
 from repro.netsim.contention import round_time, message_time, CommEstimate
 from repro.netsim.metrics import traffic_metrics, TrafficMetrics
+from repro.netsim.engine import (
+    LinkLoadVector,
+    PlacementVector,
+    RoutedExchange,
+    RouteCacheStats,
+    active_backend,
+    as_placement,
+    link_id_of,
+    link_of_id,
+    reset_route_cache,
+    route_cache_stats,
+)
 
 __all__ = [
     "LinkLoads",
@@ -21,4 +39,14 @@ __all__ = [
     "CommEstimate",
     "traffic_metrics",
     "TrafficMetrics",
+    "LinkLoadVector",
+    "PlacementVector",
+    "RoutedExchange",
+    "RouteCacheStats",
+    "active_backend",
+    "as_placement",
+    "link_id_of",
+    "link_of_id",
+    "reset_route_cache",
+    "route_cache_stats",
 ]

@@ -1,0 +1,533 @@
+"""Vectorized torus network engine.
+
+The scalar simulator (:mod:`repro.netsim.traffic` /
+:mod:`repro.netsim.contention`) routes every halo message hop-by-hop in
+Python and accumulates loads in a per-link dict — O(messages x hops)
+interpreter work repeated identically every round, timestep, and sweep
+configuration. This module replaces that hot path with NumPy array
+kernels that are bit-identical to the scalar oracle:
+
+* **Dense link ids.** Each directed link is an integer
+  ``(node_index * 3 + dim) * 2 + direction_bit`` (``direction_bit`` 0 for
+  the positive ring direction, 1 for the negative), so per-link state is a
+  flat ``int64`` vector of length ``num_nodes * 6`` instead of a dict of
+  :class:`~repro.topology.torus.Link` keys.
+* **Closed-form routing.** Dimension-ordered routes are computed for the
+  whole message set at once: per-dimension direction/hop-count via modular
+  ring arithmetic (:func:`repro.topology.routing.ring_steps_array`), then
+  expanded to a flat ``(message, link_id)`` array with ``repeat``/
+  ``cumsum`` index algebra — no per-hop Python loop.
+* **Array pricing.** Round link loads come from ``np.bincount``; each
+  message's worst-link bytes from a sorted-segment
+  ``np.maximum.reduceat``; ``round_time`` / ``CommEstimate`` from array
+  reductions, with the exact floating-point operation order of the scalar
+  model so results match bit for bit.
+* **Route cache.** The identical exchange repeats every round, timestep,
+  and sweep config, so routed exchanges are memoised under
+  ``(torus dims, placement digest, message-set digest)``; hit counters are
+  exposed for the profiling report via :func:`route_cache_stats`.
+
+The scalar implementation remains available as a parity oracle: set
+``REPRO_NETSIM=scalar`` to route every exchange through it (the
+hypothesis suite in ``tests/netsim/test_engine_parity.py`` proves the two
+agree exactly).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.netsim.contention import CommEstimate, round_time
+from repro.netsim.traffic import LinkLoads, RoutedMessage, route_messages
+from repro.runtime.halo import HaloMessage
+from repro.topology.routing import ring_steps_array
+from repro.topology.torus import Link, Torus3D, TorusCoord
+
+__all__ = [
+    "LINKS_PER_NODE",
+    "link_id_of",
+    "link_of_id",
+    "PlacementVector",
+    "as_placement",
+    "RoutedExchange",
+    "LinkLoadVector",
+    "VectorBackend",
+    "ScalarBackend",
+    "VECTOR",
+    "SCALAR",
+    "active_backend",
+    "RouteCacheStats",
+    "route_cache_stats",
+    "reset_route_cache",
+]
+
+#: Directed links encoded per node: 3 dimensions x 2 directions.
+LINKS_PER_NODE = 6
+
+
+# ----------------------------------------------------------------------
+# Link id encoding
+# ----------------------------------------------------------------------
+def link_id_of(torus: Torus3D, link: Link) -> int:
+    """Dense integer id of a directed link."""
+    node = torus.rank_of(link.src)
+    direction_bit = 0 if link.direction == 1 else 1
+    return (node * 3 + link.dim) * 2 + direction_bit
+
+
+def link_of_id(torus: Torus3D, link_id: int) -> Link:
+    """Inverse of :func:`link_id_of`."""
+    direction_bit = link_id & 1
+    dim = (link_id >> 1) % 3
+    node = link_id // LINKS_PER_NODE
+    return Link(
+        src=torus.coord_of(int(node)),
+        dim=int(dim),
+        direction=1 if direction_bit == 0 else -1,
+    )
+
+
+# ----------------------------------------------------------------------
+# Placement vector
+# ----------------------------------------------------------------------
+class PlacementVector:
+    """A rank placement prepared for array routing.
+
+    Holds the per-rank node coordinates both as the original sequence (for
+    the scalar oracle) and as an ``(N, 3)`` ``int64`` array, plus a digest
+    of the coordinate bytes that keys the route cache. Build one per
+    placement (``simulate_iteration`` does) so the conversion and digest
+    are shared by the parent and every sibling exchange.
+    """
+
+    __slots__ = ("torus", "nodes", "coords", "node_ranks", "digest")
+
+    def __init__(self, torus: Torus3D, nodes: Sequence[TorusCoord]):
+        self.torus = torus
+        self.nodes = nodes
+        self.coords = np.asarray(nodes, dtype=np.int64).reshape(len(nodes), 3)
+        x_dim, y_dim, _ = torus.dims
+        self.node_ranks = self.coords[:, 0] + x_dim * (
+            self.coords[:, 1] + y_dim * self.coords[:, 2]
+        )
+        self.digest = hashlib.blake2b(
+            self.coords.tobytes(), digest_size=16
+        ).digest()
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+PlacementLike = Union[PlacementVector, Sequence[TorusCoord]]
+
+
+def as_placement(torus: Torus3D, nodes: PlacementLike) -> PlacementVector:
+    """Wrap *nodes* for the engine (pass-through if already wrapped)."""
+    if isinstance(nodes, PlacementVector):
+        return nodes
+    return PlacementVector(torus, nodes)
+
+
+def _plain_nodes(nodes: PlacementLike) -> Sequence[TorusCoord]:
+    return nodes.nodes if isinstance(nodes, PlacementVector) else nodes
+
+
+# ----------------------------------------------------------------------
+# Routed exchange + link loads (array form)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RoutedExchange:
+    """One exchange round routed in array form.
+
+    Routes are stored per *unique* ``(src node, dst node)`` pair — with
+    several ranks per node, many messages share a pair, so routing work
+    and storage shrink accordingly. Message *i* uses the route of pair
+    ``pair_inverse[i]``, whose dense link ids are the slice
+    ``pair_link_ids[pair_starts[p]:pair_starts[p + 1]]`` (dimension
+    order, hop order preserved). All arrays are read-only: routed
+    exchanges live in the route cache and are shared between callers.
+    """
+
+    torus: Torus3D
+    src_ranks: np.ndarray
+    dst_ranks: np.ndarray
+    nbytes: np.ndarray
+    #: Per-message route length (== torus distance of its node pair).
+    hops: np.ndarray
+    #: Per-message index into the unique-pair arrays.
+    pair_inverse: np.ndarray
+    pair_hops: np.ndarray
+    pair_starts: np.ndarray
+    pair_link_ids: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.nbytes)
+
+    @property
+    def num_messages(self) -> int:
+        return len(self.nbytes)
+
+    def message_links(self, i: int) -> List[Link]:
+        """Decode message *i*'s route back to :class:`Link` objects."""
+        p = int(self.pair_inverse[i])
+        lo, hi = int(self.pair_starts[p]), int(self.pair_starts[p + 1])
+        return [
+            link_of_id(self.torus, int(lid)) for lid in self.pair_link_ids[lo:hi]
+        ]
+
+
+class LinkLoadVector:
+    """Accumulated bytes per directed link, as a dense ``int64`` vector.
+
+    Mirrors the :class:`~repro.netsim.traffic.LinkLoads` API so pricing
+    and tests can treat both uniformly. Indexed by the dense link id.
+    """
+
+    __slots__ = ("torus", "_loads")
+
+    def __init__(self, torus: Torus3D, loads: np.ndarray | None = None):
+        self.torus = torus
+        if loads is None:
+            loads = np.zeros(torus.num_nodes * LINKS_PER_NODE, dtype=np.int64)
+        self._loads = loads
+
+    @property
+    def array(self) -> np.ndarray:
+        """The dense per-link byte vector (index = dense link id)."""
+        return self._loads
+
+    def load(self, link: Link) -> int:
+        """Bytes accumulated on *link*."""
+        return int(self._loads[link_id_of(self.torus, link)])
+
+    def max_load(self) -> int:
+        """The heaviest link's byte count (0 when no traffic)."""
+        return int(self._loads.max(initial=0))
+
+    def total_bytes(self) -> int:
+        """Total link-byte volume (equals hop-bytes of the message set)."""
+        return int(self._loads.sum())
+
+    def num_loaded_links(self) -> int:
+        """Number of links that carried any traffic."""
+        return int(np.count_nonzero(self._loads))
+
+    def items(self):
+        """Iterate ``(link, bytes)`` pairs over loaded links."""
+        for lid in np.flatnonzero(self._loads):
+            yield link_of_id(self.torus, int(lid)), int(self._loads[lid])
+
+    def as_dict(self) -> dict[Link, int]:
+        """Loaded links as a dict (parity-test convenience)."""
+        return dict(self.items())
+
+    def merge(self, other: "LinkLoadVector") -> None:
+        """Accumulate another load set into this one (concurrent traffic)."""
+        self._loads = self._loads + other._loads
+
+    def __len__(self) -> int:
+        return self.num_loaded_links()
+
+
+# ----------------------------------------------------------------------
+# The array routing kernel
+# ----------------------------------------------------------------------
+def _message_arrays(
+    messages: Sequence[HaloMessage],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    n = len(messages)
+    src = np.fromiter((m.src for m in messages), dtype=np.int64, count=n)
+    dst = np.fromiter((m.dst for m in messages), dtype=np.int64, count=n)
+    nbytes = np.fromiter((m.nbytes for m in messages), dtype=np.int64, count=n)
+    return src, dst, nbytes
+
+
+def _coords_of_ranks(dims: tuple[int, int, int], ranks: np.ndarray) -> np.ndarray:
+    """Decode linear node ranks to ``(N, 3)`` coordinates (x fastest)."""
+    x_dim, y_dim, _ = dims
+    out = np.empty((len(ranks), 3), dtype=np.int64)
+    out[:, 0] = ranks % x_dim
+    out[:, 1] = (ranks // x_dim) % y_dim
+    out[:, 2] = ranks // (x_dim * y_dim)
+    return out
+
+
+def _route_arrays(
+    dims: tuple[int, int, int], src_c: np.ndarray, dst_c: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dimension-ordered routes of all messages, fully expanded.
+
+    Returns ``(hops, starts, link_ids)`` where ``hops[i]`` is message
+    *i*'s route length, ``starts`` the exclusive prefix sum (length
+    ``M + 1``), and ``link_ids`` the concatenated dense link ids.
+    """
+    m = len(src_c)
+    dims_a = np.asarray(dims, dtype=np.int64)
+    step, count = ring_steps_array(src_c, dst_c, dims_a)  # (M, 3) each
+    hops = count.sum(axis=1)
+    starts = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(hops, out=starts[1:])
+    total = int(starts[-1])
+    if total == 0:
+        return hops, starts, np.zeros(0, dtype=np.int64)
+
+    # Flat hop index algebra: msg[f] is the message of flat hop f and
+    # t[f] its position within that message's route.
+    msg = np.repeat(np.arange(m, dtype=np.int64), hops)
+    t = np.arange(total, dtype=np.int64) - np.repeat(starts[:-1], hops)
+
+    # Which dimension is being traversed at hop t (routes go x, y, z).
+    c0 = count[msg, 0]
+    c01 = c0 + count[msg, 1]
+    dim_sel = (t >= c0).astype(np.int64) + (t >= c01)
+    # Hop index within the selected dimension's run.
+    j = t - np.where(dim_sel >= 1, c0, 0) - np.where(dim_sel == 2, count[msg, 1], 0)
+
+    # Source node of each hop: dimensions before the selected one are
+    # already at the destination, later ones still at the source.
+    x_dim, y_dim, z_dim = (int(d) for d in dims)
+    x = np.where(
+        dim_sel == 0, (src_c[msg, 0] + j * step[msg, 0]) % x_dim, dst_c[msg, 0]
+    )
+    y = np.where(
+        dim_sel == 0,
+        src_c[msg, 1],
+        np.where(
+            dim_sel == 1, (src_c[msg, 1] + j * step[msg, 1]) % y_dim, dst_c[msg, 1]
+        ),
+    )
+    z = np.where(dim_sel == 2, (src_c[msg, 2] + j * step[msg, 2]) % z_dim, src_c[msg, 2])
+
+    node = x + x_dim * (y + y_dim * z)
+    direction_bit = (step[msg, dim_sel] < 0).astype(np.int64)
+    link_ids = (node * 3 + dim_sel) * 2 + direction_bit
+    return hops, starts, link_ids
+
+
+def _freeze(*arrays: np.ndarray) -> None:
+    for a in arrays:
+        a.flags.writeable = False
+
+
+# ----------------------------------------------------------------------
+# Route cache
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RouteCacheStats:
+    """Route-cache counters for the profiling report."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _RouteCache:
+    """Bounded LRU of routed exchanges.
+
+    Keyed by ``(torus dims, placement digest, message-set digest)`` — the
+    exact identity of an exchange round. Values are immutable
+    (read-only arrays), so cache hits are shared, not copied.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = maxsize
+        self._data: "OrderedDict[tuple, tuple[RoutedExchange, LinkLoadVector]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple):
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._data.move_to_end(key)
+        return entry
+
+    def put(self, key: tuple, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def stats(self) -> RouteCacheStats:
+        return RouteCacheStats(
+            hits=self.hits, misses=self.misses, entries=len(self._data)
+        )
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_ROUTE_CACHE = _RouteCache()
+
+
+def route_cache_stats() -> RouteCacheStats:
+    """Current route-cache counters."""
+    return _ROUTE_CACHE.stats()
+
+
+def reset_route_cache() -> None:
+    """Drop all cached routes and zero the counters (tests, benchmarks)."""
+    _ROUTE_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class VectorBackend:
+    """The NumPy array engine (default)."""
+
+    name = "vector"
+
+    def route_exchange(
+        self,
+        torus: Torus3D,
+        placement_nodes: PlacementLike,
+        messages: Iterable[HaloMessage],
+    ) -> tuple[RoutedExchange, LinkLoadVector]:
+        """Route one exchange round; loads are read-only (cache-shared)."""
+        placement = as_placement(torus, placement_nodes)
+        if not isinstance(messages, (list, tuple)):
+            messages = list(messages)
+        src, dst, nbytes = _message_arrays(messages)
+
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(src.tobytes())
+        digest.update(dst.tobytes())
+        digest.update(nbytes.tobytes())
+        key = (torus.dims, placement.digest, digest.digest())
+        cached = _ROUTE_CACHE.get(key)
+        if cached is not None:
+            return cached
+
+        # Dedup to unique (src node, dst node) pairs: co-located ranks and
+        # symmetric halo patterns make pairs far fewer than messages.
+        n_nodes = torus.num_nodes
+        pair_key = placement.node_ranks[src] * n_nodes + placement.node_ranks[dst]
+        uniq, inverse = np.unique(pair_key, return_inverse=True)
+        pair_hops, pair_starts, link_ids = _route_arrays(
+            torus.dims,
+            _coords_of_ranks(torus.dims, uniq // n_nodes),
+            _coords_of_ranks(torus.dims, uniq % n_nodes),
+        )
+        hops = pair_hops[inverse]
+        num_links = n_nodes * LINKS_PER_NODE
+        if link_ids.size:
+            # Integer byte counts stay exact through the float64 bincount
+            # accumulators (loads are far below 2**53).
+            pair_bytes = np.bincount(inverse, weights=nbytes, minlength=len(uniq))
+            load_arr = np.bincount(
+                link_ids, weights=np.repeat(pair_bytes, pair_hops), minlength=num_links
+            ).astype(np.int64)
+        else:
+            load_arr = np.zeros(num_links, dtype=np.int64)
+        _freeze(src, dst, nbytes, hops, inverse, pair_hops, pair_starts, link_ids, load_arr)
+        routed = RoutedExchange(
+            torus=torus,
+            src_ranks=src,
+            dst_ranks=dst,
+            nbytes=nbytes,
+            hops=hops,
+            pair_inverse=inverse,
+            pair_hops=pair_hops,
+            pair_starts=pair_starts,
+            pair_link_ids=link_ids,
+        )
+        loads = LinkLoadVector(torus, load_arr)
+        _ROUTE_CACHE.put(key, (routed, loads))
+        return routed, loads
+
+    def empty_loads(self, torus: Torus3D) -> LinkLoadVector:
+        """A zeroed accumulator for concurrent (multi-sibling) traffic."""
+        return LinkLoadVector(torus)
+
+    def round_estimate(
+        self, routed: RoutedExchange, loads: LinkLoadVector, machine
+    ) -> CommEstimate:
+        """Array form of :func:`repro.netsim.contention.round_time`.
+
+        Bit-identical to the scalar model: every elementwise expression
+        reproduces the scalar operation order.
+        """
+        m = routed.num_messages
+        if m == 0:
+            return CommEstimate(
+                time=0.0, ideal_time=0.0, average_hops=0.0, max_link_bytes=0
+            )
+        load_arr = loads.array
+        worst_pair = np.zeros(len(routed.pair_hops), dtype=np.int64)
+        if routed.pair_link_ids.size:
+            nonzero = routed.pair_hops > 0
+            per_hop = load_arr[routed.pair_link_ids]
+            # Segments are contiguous and zero-hop segments are empty, so
+            # the starts of the non-empty segments partition the flat
+            # array exactly.
+            worst_pair[nonzero] = np.maximum.reduceat(
+                per_hop, routed.pair_starts[:-1][nonzero]
+            )
+        worst = worst_pair[routed.pair_inverse]
+        t = machine.software_latency + routed.hops * machine.per_hop_latency
+        t = t + worst / machine.link_bandwidth
+        ideal = machine.software_latency + routed.nbytes / machine.link_bandwidth
+        return CommEstimate(
+            time=float(t.max()),
+            ideal_time=float(ideal.max()),
+            average_hops=int(routed.hops.sum()) / m,
+            max_link_bytes=int(load_arr.max(initial=0)),
+        )
+
+
+class ScalarBackend:
+    """The original pure-Python implementation, kept as a parity oracle."""
+
+    name = "scalar"
+
+    def route_exchange(
+        self,
+        torus: Torus3D,
+        placement_nodes: PlacementLike,
+        messages: Iterable[HaloMessage],
+    ) -> tuple[List[RoutedMessage], LinkLoads]:
+        return route_messages(torus, _plain_nodes(placement_nodes), messages)
+
+    def empty_loads(self, torus: Torus3D) -> LinkLoads:
+        return LinkLoads()
+
+    def round_estimate(
+        self, routed: Sequence[RoutedMessage], loads: LinkLoads, machine
+    ) -> CommEstimate:
+        return round_time(routed, loads, machine)
+
+
+VECTOR = VectorBackend()
+SCALAR = ScalarBackend()
+
+_BACKENDS = {"vector": VECTOR, "scalar": SCALAR}
+
+
+def active_backend() -> VectorBackend | ScalarBackend:
+    """The engine selected by ``REPRO_NETSIM`` (default: ``vector``)."""
+    name = os.environ.get("REPRO_NETSIM", "vector").strip().lower() or "vector"
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"REPRO_NETSIM={name!r}: expected one of {sorted(_BACKENDS)}"
+        ) from None

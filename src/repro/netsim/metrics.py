@@ -1,9 +1,17 @@
-"""Aggregate traffic metrics for reports (Fig 12-style numbers)."""
+"""Aggregate traffic metrics for reports (Fig 12-style numbers).
+
+Works on either engine's output: a scalar list of
+:class:`~repro.netsim.traffic.RoutedMessage` with dict-backed
+:class:`~repro.netsim.traffic.LinkLoads`, or the vectorized
+:class:`~repro.netsim.engine.RoutedExchange` with a dense
+:class:`~repro.netsim.engine.LinkLoadVector` — both reduce to the same
+:class:`TrafficMetrics`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Sequence, Union
 
 from repro.netsim.traffic import LinkLoads, RoutedMessage
 
@@ -29,10 +37,9 @@ class TrafficMetrics:
         )
 
 
-def traffic_metrics(routed: Sequence[RoutedMessage], loads: LinkLoads) -> TrafficMetrics:
-    """Summarise *routed* messages and their *loads*."""
-    if not routed:
-        return TrafficMetrics(0, 0, 0.0, 0, 0, 0, 0)
+def _scalar_metrics(
+    routed: Sequence[RoutedMessage], loads: LinkLoads
+) -> TrafficMetrics:
     hops = [m.hops for m in routed]
     return TrafficMetrics(
         num_messages=len(routed),
@@ -43,3 +50,29 @@ def traffic_metrics(routed: Sequence[RoutedMessage], loads: LinkLoads) -> Traffi
         max_link_bytes=loads.max_load(),
         loaded_links=loads.num_loaded_links(),
     )
+
+
+def _vector_metrics(routed, loads) -> TrafficMetrics:
+    return TrafficMetrics(
+        num_messages=routed.num_messages,
+        total_bytes=int(routed.nbytes.sum()),
+        average_hops=int(routed.hops.sum()) / routed.num_messages,
+        max_hops=int(routed.hops.max()),
+        hop_bytes=int((routed.hops * routed.nbytes).sum()),
+        max_link_bytes=loads.max_load(),
+        loaded_links=loads.num_loaded_links(),
+    )
+
+
+def traffic_metrics(
+    routed: Union[Sequence[RoutedMessage], "RoutedExchange"],  # noqa: F821
+    loads: Union[LinkLoads, "LinkLoadVector"],  # noqa: F821
+) -> TrafficMetrics:
+    """Summarise *routed* messages and their *loads* (either engine)."""
+    if not len(routed):
+        return TrafficMetrics(0, 0, 0.0, 0, 0, 0, 0)
+    from repro.netsim.engine import RoutedExchange
+
+    if isinstance(routed, RoutedExchange):
+        return _vector_metrics(routed, loads)
+    return _scalar_metrics(routed, loads)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
@@ -33,7 +34,7 @@ class LinkLoads:
     __slots__ = ("_loads",)
 
     def __init__(self) -> None:
-        self._loads: Dict[Link, int] = {}
+        self._loads: Counter[Link] = Counter()
 
     def add(self, link: Link, nbytes: int) -> None:
         """Charge *nbytes* against *link*."""
@@ -60,9 +61,12 @@ class LinkLoads:
         return self._loads.items()
 
     def merge(self, other: "LinkLoads") -> None:
-        """Accumulate another load set into this one (concurrent traffic)."""
-        for link, nbytes in other.items():
-            self.add(link, nbytes)
+        """Accumulate another load set into this one (concurrent traffic).
+
+        Bulk ``Counter.update`` — this runs once per sibling inside
+        ``concurrent_comm_costs``, so a per-key Python loop is hot.
+        """
+        self._loads.update(other._loads)
 
     def __len__(self) -> int:
         return len(self._loads)
@@ -81,21 +85,28 @@ def route_messages(
     loads = LinkLoads()
     routed: List[RoutedMessage] = []
     # Route cache: many ranks share node pairs (co-located ranks), and the
-    # same exchange repeats every round — avoid recomputing paths.
+    # same exchange repeats every round — avoid recomputing paths. The
+    # second level reuses whole RoutedMessage objects (they are frozen)
+    # when an identical message recurs, instead of allocating a fresh
+    # tuple-of-links wrapper per occurrence.
     cache: Dict[tuple[TorusCoord, TorusCoord], tuple[Link, ...]] = {}
+    msg_cache: Dict[tuple[int, int, int], RoutedMessage] = {}
     for msg in messages:
-        src = placement_nodes[msg.src]
-        dst = placement_nodes[msg.dst]
-        key = (src, dst)
-        links = cache.get(key)
-        if links is None:
-            links = tuple(path_links(torus, src, dst))
-            cache[key] = links
-        for link in links:
-            loads.add(link, msg.nbytes)
-        routed.append(
-            RoutedMessage(
+        mkey = (msg.src, msg.dst, msg.nbytes)
+        rm = msg_cache.get(mkey)
+        if rm is None:
+            src = placement_nodes[msg.src]
+            dst = placement_nodes[msg.dst]
+            key = (src, dst)
+            links = cache.get(key)
+            if links is None:
+                links = tuple(path_links(torus, src, dst))
+                cache[key] = links
+            rm = RoutedMessage(
                 src_rank=msg.src, dst_rank=msg.dst, nbytes=msg.nbytes, links=links
             )
-        )
+            msg_cache[mkey] = rm
+        for link in rm.links:
+            loads.add(link, msg.nbytes)
+        routed.append(rm)
     return routed, loads

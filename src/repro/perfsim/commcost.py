@@ -8,6 +8,15 @@ priced with the max-link contention model; the step performs
 network: link loads accumulate across siblings before any message is
 priced, so a bad placement of one sibling slows its neighbours — exactly
 the congestion effect the paper's mappings relieve.
+
+Routing and pricing go through the active network engine
+(:func:`repro.netsim.engine.active_backend`): the vectorized NumPy
+engine by default, or the scalar oracle when ``REPRO_NETSIM=scalar``.
+Callers may pass ``placement_nodes`` either as a plain coordinate
+sequence or pre-wrapped in a
+:class:`~repro.netsim.engine.PlacementVector` (as
+``simulate_iteration`` does) so one placement digest serves every
+exchange of an iteration.
 """
 
 from __future__ import annotations
@@ -15,13 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from repro.netsim.contention import round_time
-from repro.netsim.traffic import LinkLoads, RoutedMessage, route_messages
+from repro.netsim.contention import CommEstimate
+from repro.netsim.engine import PlacementLike, active_backend
 from repro.perfsim.params import WorkloadParams
 from repro.runtime.halo import halo_messages
 from repro.runtime.process_grid import GridRect, ProcessGrid
 from repro.topology.machines import Machine
-from repro.topology.torus import Torus3D, TorusCoord
+from repro.topology.torus import Torus3D
 
 __all__ = ["CommCost", "halo_comm_cost", "concurrent_comm_costs"]
 
@@ -47,15 +56,7 @@ class CommCost:
         return CommCost(0.0, 0.0, 0.0, 0.0, 0)
 
 
-def _cost_from_round(
-    routed: Sequence[RoutedMessage],
-    loads: LinkLoads,
-    machine: Machine,
-    rounds: int,
-) -> CommCost:
-    if not routed:
-        return CommCost.zero()
-    est = round_time(routed, loads, machine)
+def _cost_from_estimate(est: CommEstimate, rounds: int) -> CommCost:
     return CommCost(
         time=est.time * rounds,
         ideal_time=est.ideal_time * rounds,
@@ -71,14 +72,18 @@ def halo_comm_cost(
     nx: int,
     ny: int,
     torus: Torus3D,
-    placement_nodes: Sequence[TorusCoord],
+    placement_nodes: PlacementLike,
     machine: Machine,
     workload: WorkloadParams,
 ) -> CommCost:
     """Per-step halo cost of one domain exchanging alone on the network."""
     msgs = halo_messages(grid, rect, nx, ny, workload.halo)
-    routed, loads = route_messages(torus, placement_nodes, msgs)
-    return _cost_from_round(routed, loads, machine, workload.halo.rounds_per_step)
+    if not msgs:
+        return CommCost.zero()
+    engine = active_backend()
+    routed, loads = engine.route_exchange(torus, placement_nodes, msgs)
+    est = engine.round_estimate(routed, loads, machine)
+    return _cost_from_estimate(est, workload.halo.rounds_per_step)
 
 
 def concurrent_comm_costs(
@@ -86,7 +91,7 @@ def concurrent_comm_costs(
     rects: Sequence[GridRect],
     domains: Sequence[tuple[int, int]],
     torus: Torus3D,
-    placement_nodes: Sequence[TorusCoord],
+    placement_nodes: PlacementLike,
     machine: Machine,
     workload: WorkloadParams,
 ) -> List[CommCost]:
@@ -96,14 +101,19 @@ def concurrent_comm_costs(
     sibling's round time is then the max over *its own* messages under
     those shared loads.
     """
-    per_sibling: List[List[RoutedMessage]] = []
-    shared = LinkLoads()
+    engine = active_backend()
+    per_sibling = []
+    shared = engine.empty_loads(torus)
     for rect, (nx, ny) in zip(rects, domains):
         msgs = halo_messages(grid, rect, nx, ny, workload.halo)
-        routed, local = route_messages(torus, placement_nodes, msgs)
+        routed, local = engine.route_exchange(torus, placement_nodes, msgs)
         per_sibling.append(routed)
         shared.merge(local)
-    return [
-        _cost_from_round(routed, shared, machine, workload.halo.rounds_per_step)
-        for routed in per_sibling
-    ]
+    out: List[CommCost] = []
+    for routed in per_sibling:
+        if not len(routed):
+            out.append(CommCost.zero())
+            continue
+        est = engine.round_estimate(routed, shared, machine)
+        out.append(_cost_from_estimate(est, workload.halo.rounds_per_step))
+    return out

@@ -21,7 +21,27 @@ from repro.runtime.process_grid import ProcessGrid
 from repro.topology.machines import Machine
 from repro.wrf.grid import DomainSpec
 
-__all__ = ["profile_step", "profile_step_time"]
+__all__ = ["profile_step", "profile_step_time", "netsim_profile"]
+
+
+def netsim_profile() -> dict:
+    """Network-engine counters for the profiling report.
+
+    Reports which routing engine is active and how often the
+    placement-keyed route cache short-circuited routing — the dominant
+    effect when the same exchange repeats across rounds, timesteps, and
+    sweep configurations.
+    """
+    from repro.netsim.engine import active_backend, route_cache_stats
+
+    stats = route_cache_stats()
+    return {
+        "backend": active_backend().name,
+        "route_cache_hits": stats.hits,
+        "route_cache_misses": stats.misses,
+        "route_cache_entries": stats.entries,
+        "route_cache_hit_rate": stats.hit_rate,
+    }
 
 
 def profile_step(

@@ -17,6 +17,7 @@ from repro.core.mapping.oblivious import ObliviousMapping
 from repro.core.scheduler.plan import ExecutionPlan
 from repro.errors import SimulationError
 from repro.iosim.model import IoModel
+from repro.netsim.engine import as_placement
 from repro.perfsim.commcost import CommCost, concurrent_comm_costs, halo_comm_cost
 from repro.perfsim.compute import compute_time
 from repro.perfsim.iteration import StepCost, step_cost
@@ -132,7 +133,10 @@ def simulate_iteration(
             grid, space, plan.rects if plan.concurrent else None
         )
     torus = placement.space.torus
-    nodes = placement.nodes()
+    # One PlacementVector serves the parent and every sibling exchange:
+    # the coordinate array and cache digest are computed once per
+    # iteration instead of once per comm-cost call.
+    nodes = as_placement(torus, placement.nodes())
 
     # ------------------------------------------------------------ parent
     parent = plan.parent

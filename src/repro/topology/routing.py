@@ -9,11 +9,13 @@ routes share a link contend for its bandwidth.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
+
+import numpy as np
 
 from repro.topology.torus import Link, Torus3D, TorusCoord
 
-__all__ = ["route_dimension_ordered", "path_links"]
+__all__ = ["route_dimension_ordered", "path_links", "ring_steps_array"]
 
 
 def _ring_steps(src: int, dst: int, size: int) -> tuple[int, int]:
@@ -29,6 +31,24 @@ def _ring_steps(src: int, dst: int, size: int) -> tuple[int, int]:
     if forward <= backward:
         return (1, forward)
     return (-1, backward)
+
+
+def ring_steps_array(
+    src: np.ndarray, dst: np.ndarray, size: np.ndarray | int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Closed-form :func:`_ring_steps` over whole arrays.
+
+    ``src``/``dst`` are integer position arrays and ``size`` the ring
+    extent (scalar or broadcastable array). Returns ``(direction, count)``
+    arrays with the same tie-break as the scalar routine: a tie (even ring,
+    exactly half way) routes in the positive direction, and degenerate
+    cases (``size == 1`` or ``src == dst``) yield ``(+1, 0)``.
+    """
+    forward = (dst - src) % size
+    backward = (src - dst) % size
+    direction = np.where(forward <= backward, 1, -1).astype(np.int64)
+    count = np.minimum(forward, backward).astype(np.int64)
+    return direction, count
 
 
 def route_dimension_ordered(torus: Torus3D, src: TorusCoord, dst: TorusCoord) -> List[TorusCoord]:

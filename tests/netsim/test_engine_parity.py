@@ -1,0 +1,139 @@
+"""Hypothesis parity: the vectorized engine vs the scalar oracle.
+
+Every shared metric must agree *exactly* — routes link by link, per-link
+loads, ``max_link_bytes``, ``average_hops``, and ``round_time`` — across
+random tori (including size-1 and even rings), random placements
+(including co-located ranks), and random message sets (including
+``src == dst`` intra-node messages).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.contention import round_time
+from repro.netsim.engine import SCALAR, VECTOR
+from repro.netsim.metrics import traffic_metrics
+from repro.netsim.traffic import route_messages
+from repro.runtime.halo import HaloMessage
+from repro.topology.machines import BLUE_GENE_L, BLUE_GENE_P
+from repro.topology.torus import Torus3D
+
+
+@st.composite
+def exchange_case(draw):
+    """A random (torus, placement, message set) triple."""
+    dims = (
+        draw(st.integers(1, 5)),
+        draw(st.integers(1, 5)),
+        draw(st.integers(1, 6)),
+    )
+    torus = Torus3D(dims)
+    n_ranks = draw(st.integers(1, 16))
+    # Ranks land on arbitrary nodes, collisions allowed (co-located ranks).
+    nodes = [
+        torus.coord_of(r)
+        for r in draw(
+            st.lists(
+                st.integers(0, torus.num_nodes - 1),
+                min_size=n_ranks,
+                max_size=n_ranks,
+            )
+        )
+    ]
+    rank = st.integers(0, n_ranks - 1)
+    msgs = draw(
+        st.lists(
+            st.builds(HaloMessage, rank, rank, st.integers(1, 10**6)),
+            min_size=0,
+            max_size=24,
+        )
+    )
+    return torus, nodes, msgs
+
+
+def both_engines(torus, nodes, msgs):
+    routed_s, loads_s = SCALAR.route_exchange(torus, nodes, msgs)
+    routed_v, loads_v = VECTOR.route_exchange(torus, nodes, msgs)
+    return routed_s, loads_s, routed_v, loads_v
+
+
+@given(exchange_case())
+@settings(max_examples=200, deadline=None)
+def test_routes_identical_link_by_link(case):
+    torus, nodes, msgs = case
+    routed_s, _, routed_v, _ = both_engines(torus, nodes, msgs)
+    assert routed_v.num_messages == len(routed_s) == len(msgs)
+    for i, scalar_msg in enumerate(routed_s):
+        links_v = routed_v.message_links(i)
+        assert links_v == list(scalar_msg.links)
+        # Route length is the minimal torus distance (dimension-ordered
+        # routing never detours).
+        distance = torus.distance(nodes[msgs[i].src], nodes[msgs[i].dst])
+        assert int(routed_v.hops[i]) == scalar_msg.hops == distance
+
+
+@given(exchange_case())
+@settings(max_examples=200, deadline=None)
+def test_link_loads_identical(case):
+    torus, nodes, msgs = case
+    _, loads_s, _, loads_v = both_engines(torus, nodes, msgs)
+    assert loads_v.as_dict() == dict(loads_s.items())
+    assert loads_v.max_load() == loads_s.max_load()
+    assert loads_v.total_bytes() == loads_s.total_bytes()
+    assert loads_v.num_loaded_links() == loads_s.num_loaded_links()
+
+
+@given(exchange_case(), st.sampled_from([BLUE_GENE_L, BLUE_GENE_P]))
+@settings(max_examples=200, deadline=None)
+def test_round_time_bit_identical(case, machine):
+    torus, nodes, msgs = case
+    routed_s, loads_s, routed_v, loads_v = both_engines(torus, nodes, msgs)
+    est_s = round_time(routed_s, loads_s, machine)
+    est_v = VECTOR.round_estimate(routed_v, loads_v, machine)
+    # Exact float equality: the vector kernel reproduces the scalar
+    # operation order.
+    assert est_v == est_s
+
+
+@given(exchange_case())
+@settings(max_examples=200, deadline=None)
+def test_traffic_metrics_identical(case):
+    torus, nodes, msgs = case
+    routed_s, loads_s, routed_v, loads_v = both_engines(torus, nodes, msgs)
+    assert traffic_metrics(routed_v, loads_v) == traffic_metrics(routed_s, loads_s)
+
+
+class TestKnownCases:
+    def test_even_ring_tie_breaks_positive(self):
+        """Half way around an even ring routes in the + direction."""
+        torus = Torus3D((4, 1, 1))
+        nodes = [(0, 0, 0), (2, 0, 0)]
+        msgs = [HaloMessage(0, 1, 10)]
+        routed_v, _ = VECTOR.route_exchange(torus, nodes, msgs)
+        links = routed_v.message_links(0)
+        assert [(l.src, l.dim, l.direction) for l in links] == [
+            ((0, 0, 0), 0, 1),
+            ((1, 0, 0), 0, 1),
+        ]
+        routed_s, _ = route_messages(torus, nodes, msgs)
+        assert links == list(routed_s[0].links)
+
+    def test_intra_node_message_no_links(self):
+        torus = Torus3D((3, 3, 3))
+        nodes = [(1, 1, 1), (1, 1, 1)]
+        routed_v, loads_v = VECTOR.route_exchange(
+            torus, nodes, [HaloMessage(0, 1, 99)]
+        )
+        assert int(routed_v.hops[0]) == 0
+        assert loads_v.total_bytes() == 0
+
+    def test_shared_pair_routes_deduplicated(self):
+        """Messages between the same node pair share one stored route."""
+        torus = Torus3D((4, 4, 4))
+        nodes = [(0, 0, 0), (0, 0, 0), (2, 1, 0), (2, 1, 0)]
+        msgs = [HaloMessage(0, 2, 10), HaloMessage(1, 3, 20)]
+        routed_v, loads_v = VECTOR.route_exchange(torus, nodes, msgs)
+        assert len(routed_v.pair_hops) == 1
+        assert routed_v.message_links(0) == routed_v.message_links(1)
+        # Both messages' bytes accumulate on the shared route.
+        assert loads_v.max_load() == 30

@@ -1,0 +1,88 @@
+"""Cross-engine regressions on the perfsim comm-cost layer.
+
+Two invariants, each checked under both the vectorized engine and the
+scalar oracle (selected via ``REPRO_NETSIM``):
+
+* ``concurrent_comm_costs`` with a single sibling must equal
+  ``halo_comm_cost`` — the shared-load accounting adds nothing when
+  there is nothing to share with.
+* The two engines must produce identical ``CommCost`` values for the
+  same configuration (field-exact, floats included).
+"""
+
+import pytest
+
+from repro.core.mapping.base import SlotSpace
+from repro.core.mapping.oblivious import ObliviousMapping
+from repro.netsim.engine import reset_route_cache
+from repro.perfsim.commcost import concurrent_comm_costs, halo_comm_cost
+from repro.perfsim.params import WorkloadParams
+from repro.runtime.process_grid import GridRect, ProcessGrid
+from repro.topology.machines import BLUE_GENE_L
+from repro.topology.torus import Torus3D
+
+WL = WorkloadParams()
+
+ENGINES = ["vector", "scalar"]
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    reset_route_cache()
+    yield
+    reset_route_cache()
+
+
+def setup(grid_shape=(8, 8), torus_dims=(4, 4, 4), rpn=1):
+    grid = ProcessGrid(*grid_shape)
+    torus = Torus3D(torus_dims)
+    placement = ObliviousMapping().place(grid, SlotSpace(torus, rpn))
+    return grid, torus, placement.nodes()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_single_sibling_concurrent_equals_alone(engine, monkeypatch):
+    """Shared-load accounting sanity: one sibling shares with nobody."""
+    monkeypatch.setenv("REPRO_NETSIM", engine)
+    grid, torus, nodes = setup()
+    rect = GridRect(0, 0, 8, 4)
+    domain = (300, 200)
+    alone = halo_comm_cost(grid, rect, *domain, torus, nodes, BLUE_GENE_L, WL)
+    (conc,) = concurrent_comm_costs(
+        grid, [rect], [domain], torus, nodes, BLUE_GENE_L, WL
+    )
+    assert conc == alone
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_single_rank_zero_either_engine(engine, monkeypatch):
+    monkeypatch.setenv("REPRO_NETSIM", engine)
+    grid, torus, nodes = setup()
+    c = halo_comm_cost(
+        grid, GridRect(0, 0, 1, 1), 100, 100, torus, nodes, BLUE_GENE_L, WL
+    )
+    assert c.time == 0.0
+
+
+def test_engines_agree_on_halo_cost(monkeypatch):
+    grid, torus, nodes = setup(rpn=1)
+    costs = {}
+    for engine in ENGINES:
+        monkeypatch.setenv("REPRO_NETSIM", engine)
+        costs[engine] = halo_comm_cost(
+            grid, grid.full_rect(), 415, 445, torus, nodes, BLUE_GENE_L, WL
+        )
+    assert costs["vector"] == costs["scalar"]
+
+
+def test_engines_agree_on_concurrent_costs(monkeypatch):
+    grid, torus, nodes = setup()
+    rects = [GridRect(0, 0, 4, 8), GridRect(4, 0, 4, 8)]
+    domains = [(200, 200), (300, 250)]
+    results = {}
+    for engine in ENGINES:
+        monkeypatch.setenv("REPRO_NETSIM", engine)
+        results[engine] = concurrent_comm_costs(
+            grid, rects, domains, torus, nodes, BLUE_GENE_L, WL
+        )
+    assert results["vector"] == results["scalar"]
