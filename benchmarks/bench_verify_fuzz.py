@@ -1,0 +1,52 @@
+"""Verification fuzz throughput: scenarios/second through all oracles.
+
+The fuzzer's usefulness scales with how many scenarios a CI budget can
+afford, so this benchmark tracks end-to-end throughput (generation +
+both-strategy simulation + all seven oracles, including the scalar
+netsim parity leg) and records it next to the paper tables.
+"""
+
+import time
+
+import pytest
+
+from conftest import record
+from repro.verify import all_oracles, fuzz
+
+
+@pytest.fixture(scope="module")
+def fuzz_report():
+    start = time.perf_counter()
+    report = fuzz(30, seed=7)
+    elapsed = time.perf_counter() - start
+    return report, elapsed
+
+
+def test_fuzz_clean_and_recorded(fuzz_report):
+    report, elapsed = fuzz_report
+    assert report.ok, report.render()
+    rate = report.scenarios_run / elapsed
+    record(
+        "verify_fuzz",
+        f"{report.scenarios_run} scenarios x {len(report.oracle_names)} "
+        f"oracles in {elapsed:.2f}s ({rate:.1f} scenarios/s)\n"
+        f"oracles: {', '.join(report.oracle_names)}",
+    )
+    # Floor: a 200-scenario CI budget must stay inside a couple of minutes.
+    assert rate > 2.0, f"fuzz throughput collapsed: {rate:.2f} scenarios/s"
+
+
+def test_fuzz_kernel_benchmark(benchmark):
+    """Time a single-scenario verification through every oracle."""
+    from repro.verify import Scenario, failures_for
+
+    scenario = Scenario(
+        machine="bgl", ranks=256, num_siblings=3, parent_nx=286,
+        parent_ny=307, sibling_seed=42, mapping="partition",
+    )
+    failures = benchmark(failures_for, scenario)
+    assert failures == []
+
+
+def test_oracle_registry_complete():
+    assert len(all_oracles()) >= 6

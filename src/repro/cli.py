@@ -11,6 +11,9 @@ Commands
     Step-time breakdown of a single domain on a rank count.
 ``experiment``
     Run one of the paper's table/figure drivers and print its output.
+``verify``
+    Differential verification: run the invariant oracles over a fuzzed
+    scenario budget and/or diff the golden table snapshots.
 """
 
 from __future__ import annotations
@@ -219,6 +222,52 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from pathlib import Path
+
+    from repro.verify import all_oracles, check_goldens, fuzz, write_goldens
+
+    registered = sorted(all_oracles())
+    if args.list_oracles:
+        for name in registered:
+            doc = (all_oracles()[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:22s} {doc}")
+        return 0
+
+    golden_dir = Path(args.golden_dir) if args.golden_dir else None
+    if args.update_goldens:
+        for path in write_goldens(golden_dir):
+            print(f"wrote {path}")
+        return 0
+
+    exit_code = 0
+    if not args.skip_fuzz:
+        for name in args.oracle or []:
+            if name not in registered:
+                print(f"error: unknown oracle {name!r}; registered: "
+                      f"{', '.join(registered)}", file=sys.stderr)
+                return 2
+        report = fuzz(
+            args.budget,
+            seed=args.seed,
+            oracle_names=args.oracle or None,
+        )
+        print(report.render())
+        if not report.ok:
+            exit_code = 1
+
+    if args.goldens:
+        problems = check_goldens(golden_dir)
+        if problems:
+            print(f"golden snapshots: {len(problems)} mismatches")
+            for p in problems:
+                print(f"  {p}")
+            exit_code = 1
+        else:
+            print("golden snapshots: all within tolerance")
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -264,6 +313,27 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="efficiency_floor")
     p.add_argument("--io", choices=["none", "pnetcdf", "split"], default="none")
     p.set_defaults(func=_cmd_recommend)
+
+    p = sub.add_parser(
+        "verify",
+        help="run invariant oracles over fuzzed scenarios and check goldens")
+    p.add_argument("--budget", type=int, default=200,
+                   help="number of fuzzed scenarios (default: 200)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="master fuzz seed (default: 7)")
+    p.add_argument("--oracle", action="append",
+                   help="restrict to one oracle (repeatable; default: all)")
+    p.add_argument("--list-oracles", action="store_true",
+                   help="list registered invariant oracles and exit")
+    p.add_argument("--skip-fuzz", action="store_true",
+                   help="skip the fuzz phase (e.g. goldens only)")
+    p.add_argument("--goldens", action="store_true",
+                   help="also diff the golden table snapshots")
+    p.add_argument("--update-goldens", action="store_true",
+                   help="regenerate golden snapshots and exit")
+    p.add_argument("--golden-dir",
+                   help="snapshot directory (default: tests/golden)")
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("report",
                        help="run experiment drivers and write a markdown report")

@@ -160,6 +160,22 @@ class Placement:
         """Per-rank node coordinates (index = world rank)."""
         return [self.space.node_of(s) for s in self.slots]
 
+    def slot_indices(self) -> List[int]:
+        """Linear slot id of every rank, in rank order.
+
+        The placement is a bijection onto a slot subset exactly when
+        these ids are pairwise distinct; computed from raw coordinates
+        (not ``__post_init__`` state) so verification oracles can
+        re-check placements mutated after construction.
+        """
+        X, Y, S = self.space.dims
+        out: List[int] = []
+        for x, y, s in self.slots:
+            if not (0 <= x < X and 0 <= y < Y and 0 <= s < S):
+                raise MappingError(f"slot ({x}, {y}, {s}) outside slot box {self.space.dims}")
+            out.append(x + X * (y + Y * s))
+        return out
+
     def hops_between(self, rank_a: int, rank_b: int) -> int:
         """Torus hop distance between two ranks (0 if co-located)."""
         return self.space.torus.distance(self.node_of(rank_a), self.node_of(rank_b))

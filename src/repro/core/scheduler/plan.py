@@ -89,6 +89,21 @@ class ExecutionPlan:
         """The per-sibling rectangles in plan order."""
         return tuple(a.rect for a in self.assignments)
 
+    def covered_positions(self) -> Tuple[int, ...]:
+        """Multiset of grid positions claimed by sibling rectangles.
+
+        Returns one linear position id (``py * Px + px``) per rectangle
+        cell, duplicates included — a concurrent plan is rank-conserving
+        exactly when these ids are pairwise distinct. Kept independent of
+        ``__post_init__`` validation so verification oracles can re-check
+        plans that were corrupted after construction.
+        """
+        ids = []
+        for a in self.assignments:
+            for px, py in a.rect.positions():
+                ids.append(py * self.grid.px + px)
+        return tuple(ids)
+
     def describe(self) -> str:
         """Human-readable one-plan summary."""
         lines = [

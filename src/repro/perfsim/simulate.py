@@ -23,6 +23,7 @@ from repro.perfsim.compute import compute_time
 from repro.perfsim.iteration import StepCost, step_cost
 from repro.perfsim.params import WorkloadParams
 from repro.perfsim.waits import WaitBreakdown
+from repro.runtime.process_grid import GridRect
 from repro.topology.machines import Machine
 
 __all__ = ["SiblingReport", "IterationReport", "simulate_iteration", "effective_rect"]
@@ -37,8 +38,6 @@ def effective_rect(rect, nx: int, ny: int):
     generous to the sequential baseline, which is the strategy that runs
     small nests on the full machine.
     """
-    from repro.runtime.process_grid import GridRect
-
     w = min(rect.width, nx)
     h = min(rect.height, ny)
     if w == rect.width and h == rect.height:

@@ -1,0 +1,54 @@
+"""Differential verification: invariant oracles, fuzzing, golden tables.
+
+Three layers, usable separately:
+
+* :mod:`repro.verify.oracles` — a registry of named invariant checkers
+  over built scenarios (plans, placements, iteration reports);
+* :mod:`repro.verify.fuzzer` — seeded random scenario generation that
+  runs every oracle per scenario and minimizes failures to repro dicts;
+* :mod:`repro.verify.golden` — canonical-JSON snapshots of the paper's
+  tables/figures with tolerance-aware diffing.
+
+``repro verify`` on the command line and ``tests/verify/`` in the tier-1
+suite both drive these layers.
+"""
+
+from repro.verify.fuzzer import FuzzFailure, FuzzReport, failures_for, fuzz, shrink
+from repro.verify.golden import (
+    GOLDEN_SPECS,
+    check_goldens,
+    diff_values,
+    regenerate,
+    write_goldens,
+)
+from repro.verify.oracles import (
+    OracleFailure,
+    OracleViolation,
+    all_oracles,
+    get_oracle,
+    oracle,
+    run_oracles,
+)
+from repro.verify.scenarios import Scenario, ScenarioRun, random_scenario
+
+__all__ = [
+    "Scenario",
+    "ScenarioRun",
+    "random_scenario",
+    "oracle",
+    "all_oracles",
+    "get_oracle",
+    "run_oracles",
+    "OracleFailure",
+    "OracleViolation",
+    "fuzz",
+    "shrink",
+    "failures_for",
+    "FuzzFailure",
+    "FuzzReport",
+    "GOLDEN_SPECS",
+    "regenerate",
+    "check_goldens",
+    "write_goldens",
+    "diff_values",
+]

@@ -1,0 +1,229 @@
+"""Golden-table snapshots of the paper's key tables and figures.
+
+Each golden regenerates one experiment driver into a *canonical* JSON
+structure (dataclasses to dicts, tuples to lists, keys sorted) and diffs
+it against the committed snapshot under ``tests/golden/`` with numeric
+tolerances. The model is deterministic — every driver seeds its own RNG —
+so the default tolerance only has to absorb cross-platform floating-point
+noise, not run-to-run variance.
+
+Tolerance policy
+----------------
+* floats: ``isclose(rel_tol=1e-6, abs_tol=1e-9)`` — libm/BLAS-level slack;
+* ints, strings, bools: exact;
+* structure (keys, lengths, types): exact.
+
+An intentional model change shifts numbers beyond 1e-6 and fails the
+diff; regenerate with ``repro verify --update-goldens`` (or
+``pytest tests/verify/test_golden.py --update-goldens``) and commit the
+new snapshots alongside the change so the diff is reviewable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "GOLDEN_SPECS",
+    "default_golden_dir",
+    "regenerate",
+    "canonicalize",
+    "diff_values",
+    "check_goldens",
+    "write_goldens",
+]
+
+REL_TOL = 1e-6
+ABS_TOL = 1e-9
+
+
+def _table1():
+    from repro.analysis.experiments import table1_wait_improvement
+
+    # Same reduced sweep the CLI `experiment table1` command runs: large
+    # enough to pin every (machine, ranks) row, small enough for CI.
+    return table1_wait_improvement(num_configs=6)
+
+
+def _table4():
+    from repro.analysis.experiments import table4_fig11_mappings_bgl
+
+    return table4_fig11_mappings_bgl()
+
+
+def _table5():
+    from repro.analysis.experiments import table5_fig12_mappings_bgp
+
+    return table5_fig12_mappings_bgp()
+
+
+def _fig15():
+    from repro.analysis.experiments import fig15_speedup
+
+    return fig15_speedup()
+
+
+#: name -> zero-argument driver returning the experiment result object.
+GOLDEN_SPECS: Dict[str, Callable[[], object]] = {
+    "table1": _table1,
+    "table4": _table4,
+    "table5": _table5,
+    "fig15": _fig15,
+}
+
+
+def default_golden_dir() -> Path:
+    """The committed snapshot directory, resolved from the working tree.
+
+    The package can be imported from an installed location, so goldens
+    are looked up relative to the current working directory (the repo
+    root in CI and local runs).
+    """
+    return Path.cwd() / "tests" / "golden"
+
+
+# ------------------------------------------------------------ canonical
+def canonicalize(obj):
+    """Reduce an experiment result to JSON-able canonical form."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): canonicalize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise ValueError(f"non-finite value {obj!r} in golden data")
+        return obj
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
+def regenerate(name: str) -> dict:
+    """Regenerate the canonical snapshot for golden *name*."""
+    try:
+        driver = GOLDEN_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown golden {name!r}; available: {sorted(GOLDEN_SPECS)}"
+        ) from None
+    return {"experiment": name, "data": canonicalize(driver())}
+
+
+# ----------------------------------------------------------------- diff
+def diff_values(
+    expected,
+    actual,
+    *,
+    rel_tol: float = REL_TOL,
+    abs_tol: float = ABS_TOL,
+    path: str = "$",
+) -> List[str]:
+    """All paths where *actual* deviates from *expected* beyond tolerance."""
+    # bool is an int subclass: compare exactly and before the number case.
+    if isinstance(expected, bool) or isinstance(actual, bool):
+        if expected is not actual:
+            return [f"{path}: expected {expected!r}, got {actual!r}"]
+        return []
+    if isinstance(expected, (int, float)) and isinstance(actual, (int, float)):
+        if isinstance(expected, int) and isinstance(actual, int):
+            if expected != actual:
+                return [f"{path}: expected {expected}, got {actual}"]
+            return []
+        if not math.isclose(expected, actual, rel_tol=rel_tol, abs_tol=abs_tol):
+            return [f"{path}: expected {expected!r}, got {actual!r}"]
+        return []
+    if type(expected) is not type(actual):
+        return [
+            f"{path}: type changed from {type(expected).__name__} "
+            f"to {type(actual).__name__}"
+        ]
+    if isinstance(expected, dict):
+        out: List[str] = []
+        missing = sorted(set(expected) - set(actual))
+        extra = sorted(set(actual) - set(expected))
+        for key in missing:
+            out.append(f"{path}.{key}: missing")
+        for key in extra:
+            out.append(f"{path}.{key}: unexpected")
+        for key in sorted(set(expected) & set(actual)):
+            out.extend(
+                diff_values(expected[key], actual[key], rel_tol=rel_tol,
+                            abs_tol=abs_tol, path=f"{path}.{key}")
+            )
+        return out
+    if isinstance(expected, list):
+        if len(expected) != len(actual):
+            return [
+                f"{path}: length changed from {len(expected)} to {len(actual)}"
+            ]
+        out = []
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            out.extend(
+                diff_values(e, a, rel_tol=rel_tol, abs_tol=abs_tol,
+                            path=f"{path}[{i}]")
+            )
+        return out
+    if expected != actual:
+        return [f"{path}: expected {expected!r}, got {actual!r}"]
+    return []
+
+
+# ------------------------------------------------------------ check/update
+def _golden_path(golden_dir: Path, name: str) -> Path:
+    return golden_dir / f"{name}.json"
+
+
+def write_goldens(
+    golden_dir: Optional[Path] = None, names: Optional[Sequence[str]] = None
+) -> List[Path]:
+    """Regenerate and write the selected (default: all) snapshots."""
+    golden_dir = golden_dir or default_golden_dir()
+    golden_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for name in names or sorted(GOLDEN_SPECS):
+        path = _golden_path(golden_dir, name)
+        path.write_text(
+            json.dumps(regenerate(name), indent=2, sort_keys=True) + "\n"
+        )
+        written.append(path)
+    return written
+
+
+def check_goldens(
+    golden_dir: Optional[Path] = None,
+    names: Optional[Sequence[str]] = None,
+    *,
+    rel_tol: float = REL_TOL,
+    abs_tol: float = ABS_TOL,
+) -> List[str]:
+    """Diff regenerated snapshots against the committed goldens.
+
+    Returns a flat list of problems (empty means everything matches).
+    """
+    golden_dir = golden_dir or default_golden_dir()
+    problems: List[str] = []
+    for name in names or sorted(GOLDEN_SPECS):
+        path = _golden_path(golden_dir, name)
+        if not path.exists():
+            problems.append(
+                f"{name}: missing snapshot {path} "
+                "(run `repro verify --update-goldens`)"
+            )
+            continue
+        expected = json.loads(path.read_text())
+        actual = regenerate(name)
+        problems.extend(
+            f"{name}: {line}"
+            for line in diff_values(expected, actual, rel_tol=rel_tol,
+                                    abs_tol=abs_tol)
+        )
+    return problems

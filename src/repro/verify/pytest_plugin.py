@@ -1,0 +1,63 @@
+"""Pytest integration for the verification subsystem.
+
+Re-exported by ``tests/conftest.py`` so the tier-1 suite gains:
+
+* ``--update-goldens`` — regenerate the golden snapshots instead of
+  diffing against them (commit the result);
+* ``--fuzz-budget N`` — scenarios the in-suite fuzz smoke runs (default
+  keeps tier-1 fast; CI and ``repro verify`` run the full budget);
+* ``--fuzz-seed N`` — master seed of the in-suite fuzz smoke.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+__all__ = ["pytest_addoption", "update_goldens", "fuzz_budget", "fuzz_seed"]
+
+DEFAULT_FUZZ_BUDGET = 25
+DEFAULT_FUZZ_SEED = 7
+
+
+def pytest_addoption(parser) -> None:
+    """Register the verification options on the pytest CLI."""
+    group = parser.getgroup("repro-verify")
+    group.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate golden snapshots under tests/golden/ instead of "
+             "diffing against them",
+    )
+    group.addoption(
+        "--fuzz-budget",
+        type=int,
+        default=DEFAULT_FUZZ_BUDGET,
+        help=f"scenario budget of the in-suite fuzz smoke "
+             f"(default {DEFAULT_FUZZ_BUDGET})",
+    )
+    group.addoption(
+        "--fuzz-seed",
+        type=int,
+        default=DEFAULT_FUZZ_SEED,
+        help=f"master seed of the in-suite fuzz smoke "
+             f"(default {DEFAULT_FUZZ_SEED})",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """Whether this run should rewrite the golden snapshots."""
+    return bool(request.config.getoption("--update-goldens"))
+
+
+@pytest.fixture
+def fuzz_budget(request) -> int:
+    """Scenario budget for fuzz-driven tests."""
+    return int(request.config.getoption("--fuzz-budget"))
+
+
+@pytest.fixture
+def fuzz_seed(request) -> int:
+    """Master seed for fuzz-driven tests."""
+    return int(request.config.getoption("--fuzz-seed"))

@@ -16,7 +16,7 @@ from repro.errors import ConfigurationError
 from repro.util.rng import SeedLike, make_rng
 from repro.wrf.grid import DomainSpec
 
-__all__ = ["NestSizeRange", "random_siblings"]
+__all__ = ["NestSizeRange", "random_parent", "random_siblings"]
 
 
 @dataclass(frozen=True)
@@ -33,6 +33,28 @@ class NestSizeRange:
             raise ConfigurationError("invalid point range")
         if self.min_aspect <= 0 or self.max_aspect < self.min_aspect:
             raise ConfigurationError("invalid aspect range")
+
+
+def random_parent(
+    seed: SeedLike = None,
+    *,
+    min_dim: int = 80,
+    max_dim: int = 320,
+    dx_km: float = 24.0,
+    name: str = "d01",
+) -> DomainSpec:
+    """Sample a random top-level parent domain.
+
+    Dimensions are drawn uniformly from ``[min_dim, max_dim]`` in each
+    direction — wide enough to cover both degenerate small parents and
+    paper-scale regions like the 286x307 Pacific domain.
+    """
+    if min_dim < 8 or max_dim < min_dim:
+        raise ConfigurationError(f"invalid parent dim range [{min_dim}, {max_dim}]")
+    rng = make_rng(seed)
+    nx = int(rng.integers(min_dim, max_dim + 1))
+    ny = int(rng.integers(min_dim, max_dim + 1))
+    return DomainSpec(name=name, nx=nx, ny=ny, dx_km=dx_km)
 
 
 def _sample_size(rng, size_range: NestSizeRange) -> Tuple[int, int]:

@@ -4,6 +4,15 @@ from __future__ import annotations
 
 import pytest
 
+# Verification options (--update-goldens, --fuzz-budget, --fuzz-seed) and
+# their fixtures come from the library's pytest plugin so `repro verify`
+# and the test suite share one implementation.
+from repro.verify.pytest_plugin import (  # noqa: F401
+    fuzz_budget,
+    fuzz_seed,
+    pytest_addoption,
+    update_goldens,
+)
 from repro.runtime.process_grid import GridRect, ProcessGrid
 from repro.topology.machines import BLUE_GENE_L, BLUE_GENE_P
 from repro.topology.torus import Torus3D

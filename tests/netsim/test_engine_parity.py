@@ -7,6 +7,7 @@ random tori (including size-1 and even rings), random placements
 ``src == dst`` intra-node messages).
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -101,6 +102,51 @@ def test_traffic_metrics_identical(case):
     torus, nodes, msgs = case
     routed_s, loads_s, routed_v, loads_v = both_engines(torus, nodes, msgs)
     assert traffic_metrics(routed_v, loads_v) == traffic_metrics(routed_s, loads_s)
+
+
+class TestFuzzedScenarioParity:
+    """Parity on exchanges drawn from the verification scenario generator.
+
+    The hypothesis cases above explore tiny hand-bounded tori; these pull
+    whole-system scenarios (real machines, mapped placements, plan-shaped
+    halo exchanges) from ``repro.verify``, so parity coverage grows with
+    the scenario space instead of staying at the hand-picked cases.
+    """
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_scenario_parity(self, seed):
+        import dataclasses
+
+        from repro.verify import random_scenario
+        from repro.verify.oracles import check_netsim_parity
+
+        scenario = random_scenario(seed)
+        # Cap the rank count so the scalar oracle stays cheap; shapes,
+        # machines, mappings, and placements still come from the generator.
+        scenario = dataclasses.replace(scenario, ranks=min(scenario.ranks, 256))
+        run = scenario.build()
+        check_netsim_parity(run)  # raises OracleViolation on divergence
+
+    def test_generated_exchange_metrics_identical(self):
+        from repro.netsim.metrics import traffic_metrics
+        from repro.runtime.halo import HaloSpec, halo_messages
+        from repro.verify import Scenario
+
+        run = Scenario(
+            machine="bgp", ranks=64, num_siblings=2, parent_nx=250,
+            parent_ny=240, sibling_seed=12, mapping="multilevel",
+        ).build()
+        torus = run.placement.space.torus
+        nodes = run.placement.nodes()
+        a = run.par_plan.assignments[0]
+        msgs = halo_messages(
+            run.grid, a.rect, a.domain.nx, a.domain.ny, HaloSpec()
+        )
+        routed_s, loads_s = SCALAR.route_exchange(torus, nodes, msgs)
+        routed_v, loads_v = VECTOR.route_exchange(torus, nodes, msgs)
+        assert traffic_metrics(routed_s, loads_s) == traffic_metrics(
+            routed_v, loads_v
+        )
 
 
 class TestKnownCases:

@@ -1,0 +1,54 @@
+"""Property tests for processor-rectangle clamping (`effective_rect`).
+
+Clamping a rectangle to what an ``nx x ny`` domain can decompose over
+must never *add* ranks, must be idempotent (clamping twice is clamping
+once), and must preserve the rectangle's origin.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.perfsim.simulate import effective_rect
+from repro.runtime.process_grid import GridRect
+
+rects = st.builds(
+    GridRect,
+    st.integers(0, 64),   # x0
+    st.integers(0, 64),   # y0
+    st.integers(1, 200),  # width
+    st.integers(1, 200),  # height
+)
+domains = st.tuples(st.integers(1, 600), st.integers(1, 600))
+
+
+@given(rects, domains)
+def test_clamping_never_increases_area(rect, domain):
+    nx, ny = domain
+    out = effective_rect(rect, nx, ny)
+    assert out.area <= rect.area
+    assert out.width == min(rect.width, nx)
+    assert out.height == min(rect.height, ny)
+
+
+@given(rects, domains)
+def test_clamping_is_idempotent(rect, domain):
+    nx, ny = domain
+    once = effective_rect(rect, nx, ny)
+    twice = effective_rect(once, nx, ny)
+    assert twice == once
+    # Idempotence is by identity when nothing needs clamping.
+    assert effective_rect(once, nx, ny) is once
+
+
+@given(rects, domains)
+def test_clamping_preserves_origin(rect, domain):
+    nx, ny = domain
+    out = effective_rect(rect, nx, ny)
+    assert (out.x0, out.y0) == (rect.x0, rect.y0)
+
+
+@given(rects, domains)
+def test_unclamped_rect_returned_unchanged(rect, domain):
+    nx, ny = domain
+    if rect.width <= nx and rect.height <= ny:
+        assert effective_rect(rect, nx, ny) is rect

@@ -1,0 +1,127 @@
+"""The seeded fuzzer: bounded tier-1 budget, determinism, and shrinking.
+
+The in-suite budget is intentionally small (``--fuzz-budget``, default
+25) — the full 200-scenario sweep runs in CI via ``repro verify``. The
+shrinking tests seed a deliberate model break (the parallel pricing path
+corrupted the way reverting the one-sibling regression fix would) and
+assert the fuzzer both catches it and minimizes the repro dict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+import repro.verify.scenarios as scenarios_mod
+from repro.util.rng import make_rng
+from repro.verify import Scenario, fuzz, random_scenario, shrink
+from repro.verify.fuzzer import BUILD_CRASH
+from repro.verify.oracles import oracle
+
+
+def test_bounded_fuzz_budget_is_clean(fuzz_budget, fuzz_seed):
+    """Tier-1 smoke: every oracle holds over the bounded budget."""
+    report = fuzz(fuzz_budget, seed=fuzz_seed)
+    assert report.ok, report.render()
+    assert report.scenarios_run == fuzz_budget
+    assert len(report.oracle_names) >= 6
+
+
+def test_fuzz_is_deterministic():
+    a = fuzz(8, seed=3)
+    b = fuzz(8, seed=3)
+    assert a.render() == b.render()
+    assert [random_scenario(s) for s in range(5)] == [
+        random_scenario(s) for s in range(5)
+    ]
+
+
+def test_scenario_params_round_trip():
+    rng = make_rng(99)
+    for _ in range(10):
+        s = random_scenario(rng)
+        assert Scenario.from_params(s.params()) == s
+
+
+def test_budget_must_be_positive():
+    with pytest.raises(ValueError):
+        fuzz(0)
+
+
+def _break_parallel_pricing(monkeypatch):
+    """Corrupt concurrent reports like a reverted one-sibling fix would."""
+    real = scenarios_mod.simulate_iteration
+
+    def broken(plan, machine, **kwargs):
+        report = real(plan, machine, **kwargs)
+        if plan.concurrent:
+            report = dataclasses.replace(
+                report, integration_time=report.integration_time * 1.07
+            )
+        return report
+
+    monkeypatch.setattr(scenarios_mod, "simulate_iteration", broken)
+
+
+def test_seeded_break_is_caught_and_minimized(monkeypatch):
+    _break_parallel_pricing(monkeypatch)
+    report = fuzz(30, seed=7, max_failures=2)
+    assert not report.ok
+    failure = report.failures[0]
+    assert failure.oracle == "timeline-consistency"
+    # The minimized repro collapsed to the canonical smallest scenario.
+    assert failure.minimized["num_siblings"] == 1
+    assert failure.minimized["ranks"] == 64
+    assert failure.minimized["mapping"] == "oblivious"
+    assert failure.minimized["io"] == "none"
+    # And it still reproduces on its own.
+    from repro.verify import failures_for
+
+    replayed = failures_for(Scenario.from_params(failure.minimized))
+    assert any(f.oracle == "timeline-consistency" for f in replayed)
+
+
+def test_shrink_respects_the_failing_oracle(monkeypatch):
+    """Shrinking only tracks the oracle that failed, and reaches a fixpoint."""
+    _break_parallel_pricing(monkeypatch)
+    start = Scenario(
+        machine="bgp", ranks=1024, num_siblings=4, parent_nx=300,
+        parent_ny=280, sibling_seed=17, mapping="multilevel", io="split",
+    )
+    small = shrink(start, "timeline-consistency")
+    assert small.num_siblings == 1
+    assert small.ranks == 64
+    assert small.mapping == "oblivious"
+
+
+def test_build_crash_reported_with_pseudo_oracle(monkeypatch):
+    def exploding(plan, machine, **kwargs):
+        raise RuntimeError("kaboom")
+
+    monkeypatch.setattr(scenarios_mod, "simulate_iteration", exploding)
+    report = fuzz(3, seed=1, shrink_failures=False, max_failures=1)
+    assert not report.ok
+    assert report.failures[0].oracle == BUILD_CRASH
+    assert "kaboom" in report.failures[0].message
+
+
+def test_max_failures_stops_early(monkeypatch):
+    _break_parallel_pricing(monkeypatch)
+    report = fuzz(30, seed=7, max_failures=1, shrink_failures=False)
+    assert len(report.failures) == 1
+    assert report.scenarios_run < 30
+
+
+def test_oracle_subset_runs_only_selected():
+    report = fuzz(3, seed=5, oracle_names=["report-sanity"])
+    assert report.oracle_names == ("report-sanity",)
+    assert report.ok
+
+
+def test_render_mentions_failures(monkeypatch):
+    _break_parallel_pricing(monkeypatch)
+    report = fuzz(10, seed=7, max_failures=1)
+    text = report.render()
+    assert "FAILURES" in text
+    assert "minimized" in text

@@ -1,0 +1,95 @@
+"""Golden-table snapshots: committed goldens match, regeneration is stable.
+
+Run ``pytest tests/verify/test_golden.py --update-goldens`` after an
+intentional model change to rewrite the snapshots under ``tests/golden/``
+(commit them with the change). See ``docs/verification.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.verify import GOLDEN_SPECS, check_goldens, regenerate, write_goldens
+from repro.verify.golden import diff_values
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+
+def test_every_golden_is_committed():
+    for name in GOLDEN_SPECS:
+        assert (GOLDEN_DIR / f"{name}.json").exists(), (
+            f"missing golden {name}.json — run "
+            "`pytest tests/verify/test_golden.py --update-goldens`"
+        )
+
+
+def test_goldens_cover_the_papers_key_tables():
+    assert {"table1", "table4", "table5", "fig15"} <= set(GOLDEN_SPECS)
+
+
+def test_goldens_match_within_tolerance(update_goldens):
+    """The headline check: regenerated tables diff clean vs the goldens."""
+    if update_goldens:
+        written = write_goldens(GOLDEN_DIR)
+        assert len(written) == len(GOLDEN_SPECS)
+    problems = check_goldens(GOLDEN_DIR)
+    assert problems == [], "\n".join(problems)
+
+
+def test_regeneration_is_deterministic():
+    """Two consecutive regenerations agree exactly (acceptance criterion)."""
+    first = regenerate("fig15")
+    second = regenerate("fig15")
+    assert first == second
+    assert diff_values(first, second) == []
+
+
+def test_snapshot_files_are_canonical_json():
+    for name in GOLDEN_SPECS:
+        path = GOLDEN_DIR / f"{name}.json"
+        data = json.loads(path.read_text())
+        assert data["experiment"] == name
+        # Canonical serialisation: sorted keys, trailing newline.
+        assert path.read_text() == json.dumps(data, indent=2, sort_keys=True) + "\n"
+
+
+def test_unknown_golden_rejected():
+    with pytest.raises(KeyError, match="unknown golden"):
+        regenerate("table99")
+
+
+def test_missing_snapshot_reported(tmp_path):
+    problems = check_goldens(tmp_path, names=["fig15"])
+    assert len(problems) == 1
+    assert "missing snapshot" in problems[0]
+
+
+def test_update_then_check_round_trips(tmp_path):
+    write_goldens(tmp_path, names=["fig15"])
+    assert check_goldens(tmp_path, names=["fig15"]) == []
+
+
+class TestDiffValues:
+    def test_within_tolerance_passes(self):
+        assert diff_values({"t": 1.0}, {"t": 1.0 + 1e-9}) == []
+
+    def test_beyond_tolerance_fails_with_path(self):
+        out = diff_values({"a": {"b": [1.0, 2.0]}}, {"a": {"b": [1.0, 2.1]}})
+        assert out == ["$.a.b[1]: expected 2.0, got 2.1"]
+
+    def test_int_compares_exactly(self):
+        assert diff_values({"n": 1024}, {"n": 1025}) != []
+
+    def test_int_float_mix_uses_tolerance(self):
+        assert diff_values({"n": 25}, {"n": 25.0 + 1e-9}) == []
+
+    def test_bool_is_not_a_number(self):
+        assert diff_values({"flag": True}, {"flag": 1}) != []
+
+    def test_structure_changes_flagged(self):
+        assert diff_values({"a": 1}, {"b": 1}) == ["$.a: missing", "$.b: unexpected"]
+        assert diff_values([1, 2], [1]) == ["$: length changed from 2 to 1"]
+        assert diff_values({"a": "x"}, {"a": 3.0}) != []
