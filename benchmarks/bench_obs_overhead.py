@@ -1,0 +1,101 @@
+"""Benchmark: tracing overhead on a tier-1 subset (traced vs. untraced).
+
+The observability contract is that instrumentation hides behind cheap
+``tracer.enabled`` guards: with tracing *off* the hot paths pay one
+attribute read per site, and even with tracing *on* a full scenario
+build (both strategies planned, placed, and simulated — the same kernel
+the tier-1 suite and the verify fuzzer hammer) must stay within the
+overhead budget.
+
+The budget defaults to 5% and can be widened for noisy CI runners via
+``REPRO_OBS_OVERHEAD_MAX`` (a ratio: ``0.05`` = 5%).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import record
+
+from repro.netsim.engine import reset_route_cache
+from repro.obs.trace import TraceBuffer, tracer, tracing
+from repro.verify.scenarios import Scenario
+
+#: Maximum tolerated slowdown of the traced run over the untraced one.
+MAX_OVERHEAD = float(os.environ.get("REPRO_OBS_OVERHEAD_MAX", "0.05"))
+
+REPEATS = 9
+
+
+def _interleaved_best(a, b, repeats: int = REPEATS):
+    """Min-of-N for two kernels, alternating A/B every round.
+
+    Timing the arms as two sequential blocks lets ambient load drift
+    (another bench finishing, turbo states) bias whichever ran second;
+    alternating exposes both arms to the same conditions.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        a()
+        best_a = min(best_a, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        b()
+        best_b = min(best_b, time.perf_counter() - t0)
+    return best_a, best_b
+
+
+def test_tracing_overhead_within_budget():
+    scenario = Scenario(ranks=1024, num_siblings=2)
+    buf = TraceBuffer()
+
+    def untraced():
+        assert not tracer().enabled
+        scenario.build()
+
+    def traced():
+        buf.clear()
+        with tracing(buf):
+            scenario.build()
+
+    # Warm every cache the kernel touches (route cache, lru placements)
+    # so both arms time the same steady-state work.
+    reset_route_cache()
+    untraced()
+    traced()
+    assert buf.records, "traced run produced no records"
+
+    untraced_s, traced_s = _interleaved_best(untraced, traced)
+    overhead = traced_s / untraced_s - 1.0
+
+    record(
+        "obs_overhead",
+        "\n".join(
+            [
+                f"tracing overhead, scenario build at {scenario.ranks} ranks "
+                f"({len(buf.records)} records per traced build):",
+                f"  untraced   {untraced_s * 1e3:9.3f} ms",
+                f"  traced     {traced_s * 1e3:9.3f} ms",
+                f"  overhead   {overhead * 100:8.2f} %   "
+                f"(budget {MAX_OVERHEAD * 100:.0f}%)",
+            ]
+        ),
+    )
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"tracing overhead {overhead * 100:.2f}% exceeds the "
+        f"{MAX_OVERHEAD * 100:.0f}% budget "
+        "(REPRO_OBS_OVERHEAD_MAX widens it for noisy runners)"
+    )
+
+
+def test_disabled_tracer_emits_nothing_during_simulation():
+    assert not tracer().enabled
+    buf = TraceBuffer()
+    tracer().configure(buf)
+    try:
+        Scenario(num_siblings=1).build()
+    finally:
+        tracer().configure(None)
+    assert buf.records == []

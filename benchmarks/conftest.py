@@ -29,15 +29,37 @@ def config_count(full_size: int, quick_size: int) -> int:
     return full_size if FULL else quick_size
 
 
+def ensure_results_dir() -> Path:
+    """Create ``benchmarks/results``, failing loudly when impossible.
+
+    Benchmark tables are the before/after record of every perf PR; a
+    results directory that cannot be written (wrong permissions, a stray
+    file squatting on the path) must abort the run with a clear error,
+    never let results silently evaporate.
+    """
+    try:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        # Probe an actual write: permission bits alone lie to root, and
+        # exist_ok=True masks a directory that is there but read-only.
+        probe = RESULTS_DIR / ".write-probe"
+        probe.write_text("")
+        probe.unlink()
+    except OSError as exc:
+        raise RuntimeError(
+            f"benchmark results directory {RESULTS_DIR} is not writable: "
+            f"{exc}. Benchmarks persist their rendered tables there; "
+            "refusing to run and silently drop results."
+        ) from exc
+    return RESULTS_DIR
+
+
 def record(name: str, text: str) -> None:
     """Persist a rendered table/figure and echo it."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.txt"
+    path = ensure_results_dir() / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{'=' * 72}\n{text}\n[written to {path}]")
 
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    return RESULTS_DIR
+    return ensure_results_dir()

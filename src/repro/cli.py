@@ -14,6 +14,13 @@ Commands
 ``verify``
     Differential verification: run the invariant oracles over a fuzzed
     scenario budget and/or diff the golden table snapshots.
+``trace``
+    Trace one seeded scenario end to end: JSONL events, a Chrome
+    trace-event file, and a per-phase profile report reconciled against
+    the simulated iteration reports.
+
+Every command that runs the simulator also accepts ``--trace PATH`` to
+stream structured trace events (JSONL + Chrome export) while it runs.
 """
 
 from __future__ import annotations
@@ -99,6 +106,14 @@ def _load_domains(args) -> tuple[DomainSpec, List[DomainSpec]]:
 def _grid_for(ranks: int) -> ProcessGrid:
     px, py = choose_process_grid(ranks)
     return ProcessGrid(px, py)
+
+
+def _add_trace_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", metavar="PATH", dest="trace",
+        help="stream trace events to PATH as JSONL (a Chrome trace-event "
+             "export is written alongside)",
+    )
 
 
 def _add_domain_source(p: argparse.ArgumentParser) -> None:
@@ -268,6 +283,47 @@ def _cmd_verify(args) -> int:
     return exit_code
 
 
+def _cmd_trace(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import TraceSession, build_report, reconcile, registry
+    from repro.verify.scenarios import Scenario, random_scenario
+
+    if args.params:
+        with open(args.params) as fh:
+            scenario = Scenario.from_params(json.load(fh))
+    elif args.seed is not None:
+        scenario = random_scenario(args.seed)
+    else:
+        scenario = Scenario()
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    with TraceSession(out / "trace.jsonl") as session:
+        run = scenario.build()
+
+    report = build_report(session.records, registry().snapshot())
+    profile_path = out / "profile.json"
+    profile_path.write_text(
+        json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"scenario: {scenario.params()}")
+    print(report.render())
+    print(f"trace   : {session.path} ({len(session.records)} records)")
+    print(f"chrome  : {session.chrome_path}")
+    print(f"profile : {profile_path}")
+
+    problems = reconcile(session.records, [run.seq_report, run.par_report])
+    if problems:
+        print(f"reconciliation FAILED ({len(problems)} problems):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print("per-phase totals reconcile with the iteration reports (<= 1e-9)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -285,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--io", choices=["none", "pnetcdf", "split"], default="none")
     p.add_argument("--timeline", action="store_true",
                    help="print per-group Gantt charts")
+    _add_trace_flag(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("plan", help="print the parallel execution plan")
@@ -301,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiment", help="run a paper table/figure driver")
     p.add_argument("name", choices=sorted(_EXPERIMENTS))
+    _add_trace_flag(p)
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser("recommend",
@@ -333,7 +391,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="regenerate golden snapshots and exit")
     p.add_argument("--golden-dir",
                    help="snapshot directory (default: tests/golden)")
+    _add_trace_flag(p)
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace one seeded scenario and write JSONL + Chrome trace + "
+             "per-phase profile")
+    p.add_argument("--seed", type=int, default=None,
+                   help="draw the scenario from this fuzz seed "
+                        "(default: the canonical default scenario)")
+    p.add_argument("--params", metavar="FILE",
+                   help="JSON repro dict (as printed by `repro verify`) "
+                        "to trace instead of a seeded draw")
+    p.add_argument("--out", default="trace-out",
+                   help="output directory (default: trace-out)")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("report",
                        help="run experiment drivers and write a markdown report")
@@ -351,6 +424,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        trace_path = getattr(args, "trace", None)
+        if trace_path:
+            from repro.obs import TraceSession
+
+            with TraceSession(trace_path) as session:
+                code = args.func(args)
+            print(
+                f"trace: {session.path} ({len(session.records)} records), "
+                f"chrome trace {session.chrome_path}",
+                file=sys.stderr,
+            )
+            return code
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -8,9 +8,20 @@ from typing import Literal, Sequence
 from repro.errors import ConfigurationError
 from repro.iosim.pnetcdf import pnetcdf_write_time
 from repro.iosim.split_io import split_write_time
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.metrics import histogram as _obs_histogram
 from repro.topology.machines import Machine
 
 __all__ = ["IoCost", "IoModel"]
+
+# Observability: one event counter, one byte counter, and a model-time
+# histogram (simulated seconds, decade buckets from 1 ms to 10^4 s) per
+# history-write event. Bound once; registry resets zero them in place.
+_IO_EVENTS = _obs_counter("iosim.events")
+_IO_BYTES = _obs_counter("iosim.bytes")
+_IO_EVENT_TIME = _obs_histogram(
+    "iosim.event_time_s", [10.0 ** k for k in range(-3, 5)]
+)
 
 
 @dataclass(frozen=True)
@@ -73,4 +84,7 @@ class IoModel:
             total = parent + (max(siblings) if siblings else 0.0)
         else:
             total = sum(per_file)
+        _IO_EVENTS.inc()
+        _IO_BYTES.inc(int(sum(file_bytes)))
+        _IO_EVENT_TIME.observe(total)
         return IoCost(time=total, per_file=per_file)

@@ -45,6 +45,9 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.netsim.contention import CommEstimate, round_time
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.metrics import gauge as _obs_gauge
+from repro.obs.metrics import histogram as _obs_histogram
 from repro.netsim.traffic import LinkLoads, RoutedMessage, route_messages
 from repro.runtime.halo import HaloMessage
 from repro.topology.routing import ring_steps_array
@@ -70,6 +73,21 @@ __all__ = [
 
 #: Directed links encoded per node: 3 dimensions x 2 directions.
 LINKS_PER_NODE = 6
+
+# Metrics published into the observability registry. Bound once at import
+# (registry resets zero in place, so these references never go stale) and
+# incremented unconditionally: one attribute add per exchange is far below
+# the digest hashing that keys the cache. The hit/miss counters are zeroed
+# together with the cache by :func:`reset_route_cache`, so they match
+# :func:`route_cache_stats` exactly at all times.
+_HITS = _obs_counter("netsim.route_cache.hits")
+_MISSES = _obs_counter("netsim.route_cache.misses")
+_MAX_LINK_BYTES = _obs_gauge("netsim.link_load.max_bytes")
+#: Per routed (cache-miss) exchange: worst-link bytes, power-of-4 buckets.
+_LINK_EXTREMES = _obs_histogram(
+    "netsim.exchange.max_link_bytes",
+    [4 ** k for k in range(2, 16)],
+)
 
 
 # ----------------------------------------------------------------------
@@ -353,8 +371,10 @@ class _RouteCache:
         entry = self._data.get(key)
         if entry is None:
             self.misses += 1
+            _MISSES.inc()
             return None
         self.hits += 1
+        _HITS.inc()
         self._data.move_to_end(key)
         return entry
 
@@ -373,6 +393,8 @@ class _RouteCache:
         self._data.clear()
         self.hits = 0
         self.misses = 0
+        _HITS.reset()
+        _MISSES.reset()
 
 
 _ROUTE_CACHE = _RouteCache()
@@ -438,6 +460,9 @@ class VectorBackend:
             ).astype(np.int64)
         else:
             load_arr = np.zeros(num_links, dtype=np.int64)
+        max_link = int(load_arr.max(initial=0))
+        _MAX_LINK_BYTES.set_max(max_link)
+        _LINK_EXTREMES.observe(max_link)
         _freeze(src, dst, nbytes, hops, inverse, pair_hops, pair_starts, link_ids, load_arr)
         routed = RoutedExchange(
             torus=torus,

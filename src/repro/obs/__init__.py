@@ -1,0 +1,149 @@
+"""Observability: structured tracing, metrics, and per-phase profiling.
+
+The reproduction's argument rests on attributing time to phases —
+compute vs. halo communication vs. sync waits vs. I/O — so the
+simulation stack publishes into this zero-dependency subsystem:
+
+* :mod:`repro.obs.trace` — a structured tracer: wall-clock spans with
+  nesting, instant events, and model-time *phase* samples, streamed as
+  append-only JSONL; a shared no-op singleton makes the disabled path
+  allocation-free.
+* :mod:`repro.obs.metrics` — a process-global registry of counters,
+  gauges, and fixed-boundary histograms (``netsim.route_cache.hits``,
+  ``iosim.event_time_s``, ...), with associative snapshot merging.
+* :mod:`repro.obs.report` — aggregates one trace into a wall profile
+  plus a per-phase/per-sibling model-time breakdown, and exports Chrome
+  ``chrome://tracing`` trace-event files.
+
+``repro trace <scenario>`` and the ``--trace PATH`` flag on the other
+CLI commands drive all three; see ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    merge_snapshots,
+    registry,
+)
+from repro.obs.report import (
+    IterationProfile,
+    ProfileReport,
+    WallAggregate,
+    aggregate_wall,
+    build_report,
+    chrome_trace,
+    phase_breakdown,
+    reconcile,
+    write_chrome_trace,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    JsonlSink,
+    TraceBuffer,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    read_jsonl,
+    tracer,
+    tracing,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "JsonlSink",
+    "TraceBuffer",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "read_jsonl",
+    "tracer",
+    "tracing",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "merge_snapshots",
+    "registry",
+    "IterationProfile",
+    "ProfileReport",
+    "WallAggregate",
+    "aggregate_wall",
+    "build_report",
+    "chrome_trace",
+    "phase_breakdown",
+    "reconcile",
+    "write_chrome_trace",
+    "TraceSession",
+]
+
+
+class _Tee:
+    """Fan one record stream out to several sinks."""
+
+    __slots__ = ("_sinks",)
+
+    def __init__(self, *sinks) -> None:
+        self._sinks = sinks
+
+    def __call__(self, record: Dict[str, Any]) -> None:
+        for sink in self._sinks:
+            sink(record)
+
+
+class TraceSession:
+    """Enable global tracing to a JSONL file for a ``with`` block.
+
+    Records stream to *path* as they complete (and to an in-memory
+    buffer); on exit the tracer is restored and a Chrome trace-event
+    export is written next to the JSONL file (``foo.jsonl`` ->
+    ``foo.chrome.json``, any other name gets ``.chrome.json`` appended).
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        if self.path.suffix == ".jsonl":
+            self.chrome_path = self.path.with_suffix(".chrome.json")
+        else:
+            self.chrome_path = Path(str(self.path) + ".chrome.json")
+        self.buffer = TraceBuffer()
+        self._fh = None
+        self._prev_enabled = False
+        self._prev_sink = None
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """Records captured so far, in completion order."""
+        return self.buffer.records
+
+    def __enter__(self) -> "TraceSession":
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w")
+        tr = tracer()
+        self._prev_enabled = tr.enabled
+        self._prev_sink = tr._sink
+        enable_tracing(_Tee(JsonlSink(self._fh), self.buffer))
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tr = tracer()
+        tr.enabled = self._prev_enabled
+        tr._sink = self._prev_sink
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        write_chrome_trace(self.buffer.records, self.chrome_path)
+        return False

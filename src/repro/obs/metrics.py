@@ -1,0 +1,275 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+Every instrumented subsystem publishes named metrics into one process
+global :class:`MetricsRegistry`:
+
+* :class:`Counter` — a monotonically increasing integer/float total
+  (``netsim.route_cache.hits``),
+* :class:`Gauge` — a last-or-extreme value sample
+  (``netsim.link_load.max_bytes``),
+* :class:`Histogram` — counts over **fixed, ascending bucket boundaries**
+  with an implicit ``+inf`` overflow bucket, plus running sum and count
+  (``iosim.event_time_s``).
+
+Naming convention: ``<subsystem>.<component>.<metric>``, lower-case,
+dot-separated (see ``docs/observability.md``).
+
+Metric objects are created once and then mutated in place;
+:meth:`MetricsRegistry.reset` zeroes values but preserves object
+identity, so module-level references held by hot paths (the netsim
+engine keeps its counters in locals of the module) never go stale.
+
+Merging
+-------
+:func:`merge_snapshots` combines two registry snapshots (e.g. from
+sharded runs) and is **associative and commutative**: counters and
+histogram buckets add, gauges take the extreme (max) value. That makes
+fold order irrelevant when aggregating many shards.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from math import isfinite
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "merge_snapshots",
+]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add *amount* (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount!r}")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A sampled value; ``set`` overwrites, ``set_max`` keeps the extreme."""
+
+    __slots__ = ("name", "value", "updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+        self.updates = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+        self.updates += 1
+
+    def set_max(self, value: Number) -> None:
+        """Record *value* only if it exceeds everything seen so far."""
+        if self.updates == 0 or value > self.value:
+            self.value = value
+        self.updates += 1
+
+    def reset(self) -> None:
+        self.value = 0
+        self.updates = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value, "updates": self.updates}
+
+
+class Histogram:
+    """Counts over fixed ascending bucket boundaries.
+
+    Bucket *i* (for ``i < len(bounds)``) counts observations with
+    ``value <= bounds[i]`` and greater than the previous boundary —
+    boundary-exact values land in the bucket they bound (Prometheus
+    ``le`` semantics). The final bucket is the implicit ``+inf``
+    overflow: everything above ``bounds[-1]``.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum")
+
+    def __init__(self, name: str, bounds: Sequence[Number]) -> None:
+        if not bounds:
+            raise ValueError(f"histogram {name}: no bucket boundaries")
+        clean = tuple(float(b) for b in bounds)
+        if any(not isfinite(b) for b in clean):
+            raise ValueError(f"histogram {name}: boundaries must be finite")
+        if any(a >= b for a, b in zip(clean, clean[1:])):
+            raise ValueError(
+                f"histogram {name}: boundaries must be strictly ascending"
+            )
+        self.name = name
+        self.bounds = clean
+        self.counts: List[int] = [0] * (len(clean) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name -> metric map with get-or-create registration."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, name: str, kind: type, *args) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not kind:
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, requested {kind.__name__}"
+                    )
+                return existing
+            metric = kind(name, *args)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._register(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._register(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str, bounds: Sequence[Number]) -> Histogram:
+        metric = self._register(name, Histogram, bounds)
+        assert isinstance(metric, Histogram)
+        if metric.bounds != tuple(float(b) for b in bounds):
+            raise ValueError(
+                f"histogram {name!r} already registered with boundaries "
+                f"{metric.bounds}, requested {tuple(bounds)}"
+            )
+        return metric
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._metrics))
+
+    def snapshot(self, prefix: str = "") -> Dict[str, Dict[str, Any]]:
+        """JSON-able view of every metric (optionally name-filtered)."""
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(self._metrics.items())
+            if name.startswith(prefix)
+        }
+
+    def reset(self, prefix: str = "") -> None:
+        """Zero matching metrics in place (object identity preserved)."""
+        for name, metric in self._metrics.items():
+            if name.startswith(prefix):
+                metric.reset()
+
+
+def merge_snapshots(
+    a: Dict[str, Dict[str, Any]], b: Dict[str, Dict[str, Any]]
+) -> Dict[str, Dict[str, Any]]:
+    """Associatively combine two registry snapshots.
+
+    Counters add; gauges keep the max value and add update counts;
+    histograms add bucket counts, totals, and sums (boundaries must
+    match). Metrics present in only one snapshot pass through.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(set(a) | set(b)):
+        if name not in a:
+            merged[name] = dict(b[name])
+            continue
+        if name not in b:
+            merged[name] = dict(a[name])
+            continue
+        left, right = a[name], b[name]
+        if left["type"] != right["type"]:
+            raise TypeError(
+                f"metric {name!r}: cannot merge {left['type']} with {right['type']}"
+            )
+        if left["type"] == "counter":
+            merged[name] = {"type": "counter", "value": left["value"] + right["value"]}
+        elif left["type"] == "gauge":
+            merged[name] = {
+                "type": "gauge",
+                "value": max(left["value"], right["value"]),
+                "updates": left["updates"] + right["updates"],
+            }
+        else:
+            if left["bounds"] != right["bounds"]:
+                raise ValueError(f"histogram {name!r}: boundary mismatch")
+            merged[name] = {
+                "type": "histogram",
+                "bounds": list(left["bounds"]),
+                "counts": [x + y for x, y in zip(left["counts"], right["counts"])],
+                "count": left["count"] + right["count"],
+                "sum": left["sum"] + right["sum"],
+            }
+    return merged
+
+
+#: The process-global registry every subsystem publishes into.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The global metrics registry."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    """Get or create a counter in the global registry."""
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get or create a gauge in the global registry."""
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str, bounds: Sequence[Number]) -> Histogram:
+    """Get or create a histogram in the global registry."""
+    return _REGISTRY.histogram(name, bounds)

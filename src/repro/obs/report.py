@@ -1,0 +1,409 @@
+"""Profile reports over trace records.
+
+Two aggregations over one trace stream:
+
+* **Wall time** — spans grouped by name into count/total/self/min/max
+  (self time = a span's duration minus its direct children's), the
+  classic flat profile of where real time went.
+* **Model time** — ``phase`` records grouped by their enclosing
+  ``perfsim.simulate_iteration`` span into an :class:`IterationProfile`:
+  parent step, per-sibling nest phase, feedback sync, and history I/O in
+  *simulated* seconds — the paper's Table 1/2 phase columns, recomputed
+  from the trace rather than read off the report object, so tests can
+  prove tracing measures exactly what the simulator returned.
+
+The same records also export as a Chrome ``chrome://tracing`` /
+Perfetto trace-event file (:func:`chrome_trace`): wall spans on pid 0
+(one row per thread), instant events as ``i`` marks, and each
+iteration's model-time phases laid out sequentially on pid 1 as a
+synthetic simulated-time track.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "WallAggregate",
+    "IterationProfile",
+    "ProfileReport",
+    "aggregate_wall",
+    "phase_breakdown",
+    "build_report",
+    "reconcile",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Span name the perfsim instrumentation wraps one iteration in.
+ITERATION_SPAN = "perfsim.simulate_iteration"
+
+
+# ------------------------------------------------------------ wall profile
+@dataclass(frozen=True)
+class WallAggregate:
+    """Flat wall-clock profile of one span name."""
+
+    name: str
+    count: int
+    total_ns: int
+    self_ns: int
+    min_ns: int
+    max_ns: int
+
+
+def aggregate_wall(records: Iterable[Mapping[str, Any]]) -> Tuple[WallAggregate, ...]:
+    """Per-name wall aggregates, heaviest total first."""
+    spans = [r for r in records if r.get("type") == "span"]
+    child_ns: Dict[int, int] = defaultdict(int)
+    for r in spans:
+        child_ns[r["parent"]] += r["dur"]
+    stats: Dict[str, List[int]] = {}
+    for r in spans:
+        dur = r["dur"]
+        self_ns = dur - child_ns.get(r["id"], 0)
+        s = stats.get(r["name"])
+        if s is None:
+            stats[r["name"]] = [1, dur, self_ns, dur, dur]
+        else:
+            s[0] += 1
+            s[1] += dur
+            s[2] += self_ns
+            s[3] = min(s[3], dur)
+            s[4] = max(s[4], dur)
+    return tuple(
+        sorted(
+            (
+                WallAggregate(name, c, total, self_ns, mn, mx)
+                for name, (c, total, self_ns, mn, mx) in stats.items()
+            ),
+            key=lambda a: -a.total_ns,
+        )
+    )
+
+
+# ----------------------------------------------------------- model profile
+@dataclass(frozen=True)
+class IterationProfile:
+    """Model-time phase breakdown of one simulated iteration.
+
+    All times are simulated seconds recomputed from the trace's phase
+    records; ``nest_phase_time``/``integration_time``/``mpi_wait`` apply
+    the same aggregation rules as the simulator (sum vs max under the
+    sequential vs parallel strategy, rank-share-weighted waits).
+    """
+
+    span_id: int
+    strategy: str
+    machine: str
+    ranks: int
+    concurrent: bool
+    parent_time: float
+    parent_wait: float
+    nests: Tuple[Tuple[str, float], ...]
+    #: Per-sibling contribution to the average per-rank nest wait.
+    nest_wait_contribs: Tuple[float, ...]
+    #: Per-sibling contribution to the average per-rank sync wait.
+    sync_wait_contribs: Tuple[float, ...]
+    io_time: float
+
+    @property
+    def nest_phase_time(self) -> float:
+        times = [t for _, t in self.nests]
+        if self.concurrent:
+            return max(times, default=0.0)
+        return sum(times)
+
+    @property
+    def integration_time(self) -> float:
+        return self.parent_time + self.nest_phase_time
+
+    @property
+    def total_time(self) -> float:
+        return self.integration_time + self.io_time
+
+    @property
+    def nest_wait(self) -> float:
+        return sum(self.nest_wait_contribs)
+
+    @property
+    def sync_wait(self) -> float:
+        return sum(self.sync_wait_contribs)
+
+    @property
+    def mpi_wait(self) -> float:
+        return self.parent_wait + self.nest_wait + self.sync_wait
+
+
+def phase_breakdown(
+    records: Iterable[Mapping[str, Any]],
+) -> Tuple[IterationProfile, ...]:
+    """Group phase records by iteration span, in emission order."""
+    groups: "Dict[int, List[Mapping[str, Any]]]" = {}
+    order: List[int] = []
+    for r in records:
+        if r.get("type") != "phase":
+            continue
+        parent = r["parent"]
+        if parent not in groups:
+            groups[parent] = []
+            order.append(parent)
+        groups[parent].append(r)
+
+    profiles: List[IterationProfile] = []
+    for span_id in order:
+        parent_time = parent_wait = io_time = 0.0
+        nests: List[Tuple[str, float]] = []
+        nest_contribs: List[float] = []
+        sync_contribs: List[float] = []
+        meta: Dict[str, Any] = {}
+        for r in groups[span_id]:
+            attrs = r.get("attrs", {})
+            if not meta and attrs:
+                meta = attrs
+            kind = r["phase"]
+            if kind == "parent":
+                parent_time = r["model_time"]
+                parent_wait = attrs.get("wait", 0.0)
+            elif kind == "nest":
+                nests.append((attrs.get("sibling", "?"), r["model_time"]))
+                nest_contribs.append(attrs.get("wait_contrib", 0.0))
+                sync_contribs.append(attrs.get("sync_contrib", 0.0))
+            elif kind == "io":
+                io_time = r["model_time"]
+        profiles.append(
+            IterationProfile(
+                span_id=span_id,
+                strategy=str(meta.get("strategy", "?")),
+                machine=str(meta.get("machine", "?")),
+                ranks=int(meta.get("ranks", 0)),
+                concurrent=bool(meta.get("concurrent", False)),
+                parent_time=parent_time,
+                parent_wait=parent_wait,
+                nests=tuple(nests),
+                nest_wait_contribs=tuple(nest_contribs),
+                sync_wait_contribs=tuple(sync_contribs),
+                io_time=io_time,
+            )
+        )
+    return tuple(profiles)
+
+
+def reconcile(
+    records: Iterable[Mapping[str, Any]],
+    reports: Sequence[Any],
+    *,
+    abs_tol: float = 1e-9,
+) -> List[str]:
+    """Check trace-derived phase totals against ``IterationReport``s.
+
+    Pairs the trace's iteration profiles with *reports* in order and
+    returns every discrepancy beyond *abs_tol* (empty list: the trace
+    measures exactly what the simulator returned).
+    """
+    profiles = phase_breakdown(records)
+    problems: List[str] = []
+    if len(profiles) != len(reports):
+        problems.append(
+            f"trace holds {len(profiles)} iteration profiles, "
+            f"expected {len(reports)}"
+        )
+    for i, (profile, report) in enumerate(zip(profiles, reports)):
+        checks = [
+            ("parent", profile.parent_time, report.parent.total),
+            ("nest_phase", profile.nest_phase_time, report.nest_phase_time),
+            ("integration", profile.integration_time, report.integration_time),
+            ("io", profile.io_time, report.io_time),
+            ("total", profile.total_time, report.total_time),
+            ("mpi_wait", profile.mpi_wait, report.mpi_wait),
+        ]
+        if profile.strategy != report.strategy:
+            problems.append(
+                f"iteration {i}: strategy {profile.strategy!r} "
+                f"!= report {report.strategy!r}"
+            )
+        for label, traced, simulated in checks:
+            if abs(traced - simulated) > abs_tol:
+                problems.append(
+                    f"iteration {i} [{profile.strategy}] {label}: "
+                    f"traced {traced!r} vs report {simulated!r}"
+                )
+    return problems
+
+
+# ---------------------------------------------------------------- report
+@dataclass(frozen=True)
+class ProfileReport:
+    """Wall + model profile of one traced run, with a metrics snapshot."""
+
+    wall: Tuple[WallAggregate, ...]
+    iterations: Tuple[IterationProfile, ...]
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Canonical JSON-able form of the report."""
+        return {
+            "wall": [
+                {
+                    "name": w.name,
+                    "count": w.count,
+                    "total_ns": w.total_ns,
+                    "self_ns": w.self_ns,
+                    "min_ns": w.min_ns,
+                    "max_ns": w.max_ns,
+                }
+                for w in self.wall
+            ],
+            "iterations": [
+                {
+                    "strategy": p.strategy,
+                    "machine": p.machine,
+                    "ranks": p.ranks,
+                    "concurrent": p.concurrent,
+                    "parent_time": p.parent_time,
+                    "nests": {name: t for name, t in p.nests},
+                    "nest_phase_time": p.nest_phase_time,
+                    "integration_time": p.integration_time,
+                    "io_time": p.io_time,
+                    "total_time": p.total_time,
+                    "mpi_wait": p.mpi_wait,
+                }
+                for p in self.iterations
+            ],
+            "metrics": self.metrics,
+        }
+
+    def render(self) -> str:
+        """Human-readable per-phase/per-sibling breakdown."""
+        lines: List[str] = []
+        if self.iterations:
+            lines.append("model time per iteration (simulated seconds)")
+            header = (
+                f"  {'strategy':<12} {'machine':<12} {'ranks':>6} "
+                f"{'parent':>10} {'nest phase':>10} {'sync':>10} "
+                f"{'I/O':>10} {'total':>10} {'MPI_Wait':>10}"
+            )
+            lines.append(header)
+            for p in self.iterations:
+                lines.append(
+                    f"  {p.strategy:<12} {p.machine:<12} {p.ranks:>6d} "
+                    f"{p.parent_time:>10.4f} {p.nest_phase_time:>10.4f} "
+                    f"{p.sync_wait:>10.4f} {p.io_time:>10.4f} "
+                    f"{p.total_time:>10.4f} {p.mpi_wait:>10.4f}"
+                )
+                for name, t in p.nests:
+                    lines.append(f"      nest {name:<8} {t:>10.4f}")
+        if self.wall:
+            lines.append("wall time by span (ms)")
+            lines.append(
+                f"  {'span':<32} {'count':>7} {'total':>10} {'self':>10} "
+                f"{'min':>10} {'max':>10}"
+            )
+            for w in self.wall:
+                lines.append(
+                    f"  {w.name:<32} {w.count:>7d} {w.total_ns / 1e6:>10.3f} "
+                    f"{w.self_ns / 1e6:>10.3f} {w.min_ns / 1e6:>10.3f} "
+                    f"{w.max_ns / 1e6:>10.3f}"
+                )
+        if self.metrics:
+            lines.append("metrics")
+            for name, snap in self.metrics.items():
+                if snap["type"] == "histogram":
+                    lines.append(
+                        f"  {name:<40} count={snap['count']} sum={snap['sum']:.6g}"
+                    )
+                else:
+                    lines.append(f"  {name:<40} {snap['value']}")
+        return "\n".join(lines)
+
+
+def build_report(
+    records: Iterable[Mapping[str, Any]],
+    metrics_snapshot: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> ProfileReport:
+    """Aggregate one record stream into a :class:`ProfileReport`."""
+    records = list(records)
+    return ProfileReport(
+        wall=aggregate_wall(records),
+        iterations=phase_breakdown(records),
+        metrics=metrics_snapshot or {},
+    )
+
+
+# ---------------------------------------------------------- chrome export
+def chrome_trace(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Records as a Chrome trace-event JSON object.
+
+    Wall spans become complete (``X``) events on pid 0, instant events
+    ``i`` marks; each iteration's model-time phases are laid out
+    sequentially (simulated seconds scaled to microseconds) on pid 1 so
+    the simulated timeline is inspectable next to the real one.
+    """
+    events: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": "wall clock"}},
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "model time (simulated)"}},
+    ]
+    model_cursor: Dict[int, float] = defaultdict(float)
+    model_track: Dict[int, int] = {}
+    for r in records:
+        kind = r.get("type")
+        if kind == "span":
+            events.append(
+                {
+                    "name": r["name"],
+                    "cat": "wall",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": r["tid"],
+                    "ts": r["ts"] / 1000.0,
+                    "dur": r["dur"] / 1000.0,
+                    "args": {"id": r["id"], "parent": r["parent"],
+                             **r.get("attrs", {})},
+                }
+            )
+        elif kind == "event":
+            events.append(
+                {
+                    "name": r["name"],
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": r["tid"],
+                    "ts": r["ts"] / 1000.0,
+                    "args": dict(r.get("attrs", {})),
+                }
+            )
+        elif kind == "phase":
+            group = r["parent"]
+            tid = model_track.setdefault(group, len(model_track))
+            start = model_cursor[group]
+            dur_us = r["model_time"] * 1e6
+            model_cursor[group] = start + dur_us
+            events.append(
+                {
+                    "name": r["phase"],
+                    "cat": "model",
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": start,
+                    "dur": dur_us,
+                    "args": {"model_time_s": r["model_time"],
+                             **r.get("attrs", {})},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: Iterable[Mapping[str, Any]], path) -> Path:
+    """Write :func:`chrome_trace` output to *path*; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(records)) + "\n")
+    return path

@@ -26,6 +26,7 @@ from typing import List, Sequence
 
 from repro.netsim.contention import CommEstimate
 from repro.netsim.engine import PlacementLike, active_backend
+from repro.obs.trace import tracer
 from repro.perfsim.params import WorkloadParams
 from repro.runtime.halo import halo_messages
 from repro.runtime.process_grid import GridRect, ProcessGrid
@@ -81,8 +82,19 @@ def halo_comm_cost(
     if not msgs:
         return CommCost.zero()
     engine = active_backend()
-    routed, loads = engine.route_exchange(torus, placement_nodes, msgs)
-    est = engine.round_estimate(routed, loads, machine)
+    tr = tracer()
+    if tr.enabled:
+        # Attrs are built only on the enabled path: halo_exchange is on
+        # the sweep hot path and must stay allocation-free when off.
+        with tr.span(
+            "netsim.halo_exchange",
+            {"nx": nx, "ny": ny, "messages": len(msgs), "backend": engine.name},
+        ):
+            routed, loads = engine.route_exchange(torus, placement_nodes, msgs)
+            est = engine.round_estimate(routed, loads, machine)
+    else:
+        routed, loads = engine.route_exchange(torus, placement_nodes, msgs)
+        est = engine.round_estimate(routed, loads, machine)
     return _cost_from_estimate(est, workload.halo.rounds_per_step)
 
 
@@ -102,13 +114,15 @@ def concurrent_comm_costs(
     those shared loads.
     """
     engine = active_backend()
+    tr = tracer()
     per_sibling = []
     shared = engine.empty_loads(torus)
-    for rect, (nx, ny) in zip(rects, domains):
-        msgs = halo_messages(grid, rect, nx, ny, workload.halo)
-        routed, local = engine.route_exchange(torus, placement_nodes, msgs)
-        per_sibling.append(routed)
-        shared.merge(local)
+    with tr.span("netsim.concurrent_exchange"):
+        for rect, (nx, ny) in zip(rects, domains):
+            msgs = halo_messages(grid, rect, nx, ny, workload.halo)
+            routed, local = engine.route_exchange(torus, placement_nodes, msgs)
+            per_sibling.append(routed)
+            shared.merge(local)
     out: List[CommCost] = []
     for routed in per_sibling:
         if not len(routed):

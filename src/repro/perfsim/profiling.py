@@ -33,6 +33,7 @@ def netsim_profile() -> dict:
     sweep configurations.
     """
     from repro.netsim.engine import active_backend, route_cache_stats
+    from repro.obs.metrics import registry
 
     stats = route_cache_stats()
     return {
@@ -41,6 +42,9 @@ def netsim_profile() -> dict:
         "route_cache_misses": stats.misses,
         "route_cache_entries": stats.entries,
         "route_cache_hit_rate": stats.hit_rate,
+        # The same counters plus link-load extremes, as published into
+        # the observability registry (see docs/observability.md).
+        "metrics": registry().snapshot("netsim."),
     }
 
 

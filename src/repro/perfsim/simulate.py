@@ -18,6 +18,7 @@ from repro.core.scheduler.plan import ExecutionPlan
 from repro.errors import SimulationError
 from repro.iosim.model import IoModel
 from repro.netsim.engine import as_placement
+from repro.obs.trace import tracer
 from repro.perfsim.commcost import CommCost, concurrent_comm_costs, halo_comm_cost
 from repro.perfsim.compute import compute_time
 from repro.perfsim.iteration import StepCost, step_cost
@@ -119,6 +120,69 @@ def simulate_iteration(
         Pre-computed placement (lets callers share one across repeated
         simulations of the same configuration).
     """
+    tr = tracer()
+    if not tr.enabled:
+        return _simulate(plan, machine, mapping, mode, workload, io_model, placement)
+    with tr.span(
+        "perfsim.simulate_iteration",
+        {"strategy": plan.strategy, "machine": machine.name,
+         "ranks": plan.grid.size},
+    ):
+        report = _simulate(
+            plan, machine, mapping, mode, workload, io_model, placement
+        )
+        _emit_phases(tr, plan.concurrent, report)
+    return report
+
+
+def _emit_phases(tr, concurrent: bool, report: IterationReport) -> None:
+    """Publish the iteration's model-time phase samples to the tracer.
+
+    Per-sibling wait contributions repeat the exact expressions of the
+    wait accounting below, so the profile report can re-aggregate
+    ``mpi_wait`` from the trace and reconcile with the report to 1e-9.
+    """
+    common = {
+        "strategy": report.strategy,
+        "machine": report.machine,
+        "ranks": report.ranks,
+        "concurrent": concurrent,
+    }
+    ranks = report.ranks
+    tr.phase("parent", report.parent.total, {**common, "wait": report.parent.wait})
+    for s in report.siblings:
+        share = s.ranks / ranks if concurrent else 1.0
+        tr.phase(
+            "nest",
+            s.phase_time,
+            {
+                **common,
+                "sibling": s.name,
+                "sibling_ranks": s.ranks,
+                "steps": s.steps_per_iteration,
+                "wait_contrib": share * s.steps_per_iteration * s.step.wait,
+                "sync_contrib": share * s.sync_wait if concurrent else 0.0,
+            },
+        )
+    tr.phase("io", report.io_time, common)
+    tr.event(
+        "perfsim.waits",
+        {**common, "parent": report.waits.parent, "nests": report.waits.nests,
+         "sync": report.waits.sync, "total": report.waits.total},
+    )
+
+
+def _simulate(
+    plan: ExecutionPlan,
+    machine: Machine,
+    mapping: Optional[Mapping],
+    mode: Optional[str],
+    workload: Optional[WorkloadParams],
+    io_model: Optional[IoModel],
+    placement: Optional[Placement],
+) -> IterationReport:
+    """The untraced pricing body of :func:`simulate_iteration`."""
+    tr = tracer()
     workload = workload or WorkloadParams()
     grid = plan.grid
     ranks = grid.size
@@ -138,42 +202,47 @@ def simulate_iteration(
     nodes = as_placement(torus, placement.nodes())
 
     # ------------------------------------------------------------ parent
-    parent = plan.parent
-    parent_rect = effective_rect(grid.full_rect(), parent.nx, parent.ny)
-    p_comp = compute_time(
-        parent.nx, parent.ny, parent_rect.width, parent_rect.height, machine, workload
-    )
-    p_comm = halo_comm_cost(
-        grid, parent_rect, parent.nx, parent.ny, torus, nodes, machine, workload
-    )
-    parent_cost = step_cost(p_comp, p_comm, machine, workload, parent_rect.area)
+    with tr.span("perfsim.parent_step"):
+        parent = plan.parent
+        parent_rect = effective_rect(grid.full_rect(), parent.nx, parent.ny)
+        p_comp = compute_time(
+            parent.nx, parent.ny, parent_rect.width, parent_rect.height,
+            machine, workload
+        )
+        p_comm = halo_comm_cost(
+            grid, parent_rect, parent.nx, parent.ny, torus, nodes, machine, workload
+        )
+        parent_cost = step_cost(p_comp, p_comm, machine, workload, parent_rect.area)
 
     # ---------------------------------------------------------- siblings
-    sib_rects = [
-        effective_rect(a.rect, a.domain.nx, a.domain.ny) for a in plan.assignments
-    ]
-    sib_domains = [(a.domain.nx, a.domain.ny) for a in plan.assignments]
-    if plan.concurrent:
-        comms = concurrent_comm_costs(
-            grid, sib_rects, sib_domains, torus, nodes, machine, workload
-        )
-    else:
-        comms = [
-            halo_comm_cost(
-                grid, rect, a.domain.nx, a.domain.ny, torus, nodes, machine, workload
-            )
-            for a, rect in zip(plan.assignments, sib_rects)
+    with tr.span("perfsim.sibling_steps"):
+        sib_rects = [
+            effective_rect(a.rect, a.domain.nx, a.domain.ny)
+            for a in plan.assignments
         ]
+        sib_domains = [(a.domain.nx, a.domain.ny) for a in plan.assignments]
+        if plan.concurrent:
+            comms = concurrent_comm_costs(
+                grid, sib_rects, sib_domains, torus, nodes, machine, workload
+            )
+        else:
+            comms = [
+                halo_comm_cost(
+                    grid, rect, a.domain.nx, a.domain.ny, torus, nodes,
+                    machine, workload
+                )
+                for a, rect in zip(plan.assignments, sib_rects)
+            ]
 
-    sib_steps: List[StepCost] = []
-    phase_times: List[float] = []
-    for a, rect, comm in zip(plan.assignments, sib_rects, comms):
-        comp = compute_time(
-            a.domain.nx, a.domain.ny, rect.width, rect.height, machine, workload
-        )
-        sc = step_cost(comp, comm, machine, workload, rect.area)
-        sib_steps.append(sc)
-        phase_times.append(a.domain.steps_per_parent_step * sc.total)
+        sib_steps: List[StepCost] = []
+        phase_times: List[float] = []
+        for a, rect, comm in zip(plan.assignments, sib_rects, comms):
+            comp = compute_time(
+                a.domain.nx, a.domain.ny, rect.width, rect.height, machine, workload
+            )
+            sc = step_cost(comp, comm, machine, workload, rect.area)
+            sib_steps.append(sc)
+            phase_times.append(a.domain.steps_per_parent_step * sc.total)
 
     if plan.concurrent:
         nest_phase = max(phase_times, default=0.0)
@@ -211,25 +280,26 @@ def simulate_iteration(
     # --------------------------------------------------------------- I/O
     io_time = 0.0
     if io_model is not None and workload.output.enabled:
-        file_bytes = [
-            a.domain.points * workload.output.bytes_per_point
-            for a in plan.assignments
-        ]
-        writers = [
-            rect.area if plan.concurrent else ranks for rect in sib_rects
-        ]
-        if workload.output.include_parent:
-            file_bytes.insert(0, parent.points * workload.output.bytes_per_point)
-            writers.insert(0, ranks)
-        elif plan.concurrent:
-            # event_cost treats the first file as the all-ranks parent
-            # write; without one, siblings simply overlap.
-            file_bytes.insert(0, 0.0)
-            writers.insert(0, 1)
-        event = io_model.event_cost(
-            file_bytes, writers, concurrent=plan.concurrent, machine=machine
-        )
-        io_time = event.time / workload.output.interval_steps
+        with tr.span("perfsim.history_io"):
+            file_bytes = [
+                a.domain.points * workload.output.bytes_per_point
+                for a in plan.assignments
+            ]
+            writers = [
+                rect.area if plan.concurrent else ranks for rect in sib_rects
+            ]
+            if workload.output.include_parent:
+                file_bytes.insert(0, parent.points * workload.output.bytes_per_point)
+                writers.insert(0, ranks)
+            elif plan.concurrent:
+                # event_cost treats the first file as the all-ranks parent
+                # write; without one, siblings simply overlap.
+                file_bytes.insert(0, 0.0)
+                writers.insert(0, 1)
+            event = io_model.event_cost(
+                file_bytes, writers, concurrent=plan.concurrent, machine=machine
+            )
+            io_time = event.time / workload.output.interval_steps
 
     # --------------------------------------------------------- avg hops
     weights = [1.0] + [float(s.steps_per_iteration) for s in siblings]

@@ -22,6 +22,8 @@ from typing import List, Optional, Sequence
 from repro.core.scheduler.plan import ExecutionPlan
 from repro.core.scheduler.strategies import ParallelSiblingsStrategy, Predictor
 from repro.errors import ConfigurationError
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.trace import tracer
 from repro.runtime.process_grid import ProcessGrid
 from repro.steering.mover import NestMove, plan_moves
 from repro.steering.tracker import TrackedFeature, find_depressions
@@ -30,6 +32,12 @@ from repro.wrf.model import NestedModel
 from repro.wrf.nest import Nest
 
 __all__ = ["SteeringEvent", "SteeredRun"]
+
+# Observability: steering decisions per run. Bound once at import;
+# registry resets zero them in place.
+_STEER_CALLS = _obs_counter("steering.steer_calls")
+_STEER_MOVES = _obs_counter("steering.nest_moves")
+_STEER_REPLANS = _obs_counter("steering.replans")
 
 
 @dataclass(frozen=True)
@@ -122,15 +130,23 @@ class SteeredRun:
 
     def steer(self) -> SteeringEvent:
         """Run one tracking/moving/replanning pass right now."""
-        features = find_depressions(
-            self.model.state, max_count=len(self.model.sibling_names)
-        )
-        specs = self._current_specs()
-        moved_specs, moves = plan_moves(specs, self.model.parent_spec, features)
-        changed = self._apply_moves(moved_specs)
-        replanned = changed > 0
-        if replanned:
-            self.plan = self._replan()
+        tr = tracer()
+        with tr.span(
+            "steering.steer",
+            {"iteration": self.model.iteration} if tr.enabled else None,
+        ):
+            features = find_depressions(
+                self.model.state, max_count=len(self.model.sibling_names)
+            )
+            specs = self._current_specs()
+            moved_specs, moves = plan_moves(specs, self.model.parent_spec, features)
+            changed = self._apply_moves(moved_specs)
+            replanned = changed > 0
+            if replanned:
+                self.plan = self._replan()
+        _STEER_CALLS.inc()
+        _STEER_MOVES.inc(changed)
+        _STEER_REPLANS.inc(1 if replanned else 0)
         event = SteeringEvent(
             iteration=self.model.iteration,
             features=tuple(features),

@@ -19,6 +19,8 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.trace import tracer
 from repro.util.rng import make_rng
 from repro.verify.oracles import OracleFailure, all_oracles, run_oracles
 from repro.verify.scenarios import Scenario, ScenarioRun, random_scenario
@@ -30,6 +32,12 @@ BUILD_CRASH = "no-crash"
 
 #: Upper bound on shrink candidate evaluations per failure.
 MAX_SHRINK_STEPS = 60
+
+# Observability: fuzzing throughput and outcomes. Bound once at import;
+# registry resets zero them in place.
+_FUZZ_SCENARIOS = _obs_counter("verify.fuzz.scenarios_run")
+_FUZZ_SKIPS = _obs_counter("verify.fuzz.infeasible_skips")
+_FUZZ_FAILURES = _obs_counter("verify.fuzz.failures")
 
 
 @dataclass(frozen=True)
@@ -213,35 +221,52 @@ def fuzz(
     selected = tuple(oracle_names) if oracle_names is not None else tuple(
         sorted(all_oracles())
     )
+    tr = tracer()
     failures: List[FuzzFailure] = []
     ran = 0
     skipped = 0
     attempts = 0
     max_attempts = budget * 3
-    while ran < budget and attempts < max_attempts:
-        attempts += 1
-        scenario = random_scenario(rng)
-        if not _is_feasible(scenario):
-            skipped += 1
-            continue
-        if on_scenario is not None:
-            on_scenario(ran, scenario)
-        found = failures_for(scenario, selected)
-        ran += 1
-        for failure in found:
-            minimized = scenario
-            if shrink_failures:
-                minimized = shrink(scenario, failure.oracle)
-            failures.append(
-                FuzzFailure(
-                    oracle=failure.oracle,
-                    message=failure.message,
-                    scenario=scenario.params(),
-                    minimized=minimized.params(),
+    with tr.span(
+        "verify.fuzz",
+        {"budget": budget, "seed": seed} if tr.enabled else None,
+    ):
+        while ran < budget and attempts < max_attempts:
+            attempts += 1
+            scenario = random_scenario(rng)
+            if not _is_feasible(scenario):
+                skipped += 1
+                _FUZZ_SKIPS.inc()
+                continue
+            if on_scenario is not None:
+                on_scenario(ran, scenario)
+            with tr.span(
+                "verify.scenario", scenario.params() if tr.enabled else None
+            ):
+                found = failures_for(scenario, selected)
+            ran += 1
+            _FUZZ_SCENARIOS.inc()
+            for failure in found:
+                _FUZZ_FAILURES.inc()
+                if tr.enabled:
+                    tr.event(
+                        "verify.failure",
+                        {"oracle": failure.oracle, "message": failure.message,
+                         **scenario.params()},
+                    )
+                minimized = scenario
+                if shrink_failures:
+                    minimized = shrink(scenario, failure.oracle)
+                failures.append(
+                    FuzzFailure(
+                        oracle=failure.oracle,
+                        message=failure.message,
+                        scenario=scenario.params(),
+                        minimized=minimized.params(),
+                    )
                 )
-            )
-        if len(failures) >= max_failures:
-            break
+            if len(failures) >= max_failures:
+                break
     return FuzzReport(
         budget=budget,
         seed=seed,

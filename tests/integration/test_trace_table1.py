@@ -1,0 +1,64 @@
+"""Tracing must not change what it measures: Table 1 under the tracer.
+
+Runs the full Table 1 sweep (the same reduced configuration the golden
+snapshot pins) with the global tracer enabled, then makes two claims:
+
+1. the published result is unchanged — it diffs against
+   ``tests/golden/table1.json`` with **zero relative tolerance** and the
+   1e-9 absolute floor, and
+2. the trace is sufficient — every (machine, ranks) row of the table can
+   be *recomputed from the per-phase profile records alone* to within
+   1e-9, because each phase record carries the exact simulator floats.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.report import phase_breakdown
+from repro.obs.trace import tracing
+from repro.util.stats import mean, percent_improvement
+from repro.verify.golden import canonicalize, diff_values
+
+GOLDEN = Path(__file__).resolve().parents[1] / "golden" / "table1.json"
+
+
+def test_traced_table1_matches_golden_and_reconciles():
+    from repro.analysis.experiments import table1_wait_improvement
+
+    golden = json.loads(GOLDEN.read_text())
+    num_configs = golden["data"]["num_configs"]
+    rows = golden["data"]["rows"]
+
+    with tracing() as buf:
+        result = table1_wait_improvement(num_configs=num_configs)
+
+    # 1. Tracing does not perturb the experiment result.
+    assert diff_values(
+        golden["data"], canonicalize(result), rel_tol=0.0, abs_tol=1e-9
+    ) == []
+
+    # 2. The trace alone reconstructs the table. compare_strategies runs
+    # sequential then parallel per configuration, so profiles pair up in
+    # emission order.
+    profiles = phase_breakdown(buf.records)
+    assert len(profiles) == 2 * num_configs * len(rows)
+    improvements = {}
+    for seq, par in zip(profiles[0::2], profiles[1::2]):
+        assert seq.strategy == "sequential"
+        assert par.strategy == "parallel"
+        assert (seq.machine, seq.ranks) == (par.machine, par.ranks)
+        imp = (
+            0.0
+            if seq.mpi_wait <= 0
+            else percent_improvement(seq.mpi_wait, par.mpi_wait)
+        )
+        improvements.setdefault((seq.machine, seq.ranks), []).append(imp)
+
+    assert set(improvements) == {(m, r) for m, r, _, _ in rows}
+    for machine, ranks, avg, mx in rows:
+        imps = improvements[(machine, ranks)]
+        assert len(imps) == num_configs
+        assert abs(mean(imps) - avg) <= 1e-9
+        assert abs(max(imps) - mx) <= 1e-9

@@ -1,0 +1,225 @@
+"""Tests for the profile report layer and Chrome trace export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import TraceSession
+from repro.obs.metrics import registry
+from repro.obs.report import (
+    ITERATION_SPAN,
+    aggregate_wall,
+    build_report,
+    chrome_trace,
+    phase_breakdown,
+    reconcile,
+    write_chrome_trace,
+)
+from repro.obs.trace import read_jsonl, tracer, tracing
+from repro.verify.scenarios import Scenario
+
+
+def _span(id, parent, name, dur, ts=0, depth=0):
+    return {"type": "span", "name": name, "id": id, "parent": parent,
+            "depth": depth, "tid": 1, "ts": ts, "dur": dur}
+
+
+def _phase(parent, phase, model_time, attrs):
+    return {"type": "phase", "phase": phase, "model_time": model_time,
+            "id": 99, "parent": parent, "depth": 1, "tid": 1, "ts": 0,
+            "attrs": attrs}
+
+
+# ------------------------------------------------------------ wall profile
+class TestAggregateWall:
+    def test_self_time_subtracts_direct_children_only(self):
+        records = [
+            _span(3, 2, "leaf", 10),
+            _span(2, 1, "mid", 40),
+            _span(1, 0, "root", 100),
+        ]
+        by_name = {a.name: a for a in aggregate_wall(records)}
+        assert by_name["root"].self_ns == 60   # 100 - mid(40); leaf is not direct
+        assert by_name["mid"].self_ns == 30    # 40 - leaf(10)
+        assert by_name["leaf"].self_ns == 10
+
+    def test_groups_by_name_with_min_max(self):
+        records = [
+            _span(1, 0, "work", 5),
+            _span(2, 0, "work", 9),
+            _span(3, 0, "other", 100),
+        ]
+        aggs = aggregate_wall(records)
+        assert [a.name for a in aggs] == ["other", "work"]  # heaviest first
+        work = aggs[1]
+        assert (work.count, work.total_ns, work.min_ns, work.max_ns) == (2, 14, 5, 9)
+
+    def test_non_span_records_ignored(self):
+        records = [_phase(1, "parent", 1.0, {}), _span(1, 0, "root", 7)]
+        (agg,) = aggregate_wall(records)
+        assert agg.name == "root"
+
+
+# ----------------------------------------------------------- model profile
+class TestPhaseBreakdown:
+    def test_sequential_iteration_sums_nests(self):
+        common = {"strategy": "sequential", "machine": "BlueGene/L",
+                  "ranks": 256, "concurrent": False}
+        records = [
+            _phase(1, "parent", 2.0, {**common, "wait": 0.25}),
+            _phase(1, "nest", 1.0, {**common, "sibling": "d02",
+                                    "wait_contrib": 0.125, "sync_contrib": 0.0}),
+            _phase(1, "nest", 0.5, {**common, "sibling": "d03",
+                                    "wait_contrib": 0.0625, "sync_contrib": 0.0}),
+            _phase(1, "io", 0.75, common),
+        ]
+        (p,) = phase_breakdown(records)
+        assert p.strategy == "sequential"
+        assert not p.concurrent
+        assert p.nest_phase_time == 1.5          # sum under the default strategy
+        assert p.integration_time == 3.5
+        assert p.total_time == 4.25
+        assert p.mpi_wait == 0.25 + 0.125 + 0.0625
+        assert p.nests == (("d02", 1.0), ("d03", 0.5))
+
+    def test_parallel_iteration_takes_the_slowest_nest(self):
+        common = {"strategy": "parallel", "machine": "BlueGene/P",
+                  "ranks": 512, "concurrent": True}
+        records = [
+            _phase(2, "parent", 2.0, {**common, "wait": 0.1}),
+            _phase(2, "nest", 1.0, {**common, "sibling": "d02",
+                                    "wait_contrib": 0.05, "sync_contrib": 0.01}),
+            _phase(2, "nest", 0.4, {**common, "sibling": "d03",
+                                    "wait_contrib": 0.02, "sync_contrib": 0.03}),
+        ]
+        (p,) = phase_breakdown(records)
+        assert p.concurrent
+        assert p.nest_phase_time == 1.0          # max: siblings run concurrently
+        assert p.sync_wait == 0.04
+        assert p.mpi_wait == 0.1 + 0.07 + 0.04
+
+    def test_groups_split_by_enclosing_span(self):
+        common = {"strategy": "sequential", "machine": "m", "ranks": 1,
+                  "concurrent": False}
+        records = [
+            _phase(1, "parent", 1.0, common),
+            _phase(2, "parent", 3.0, common),
+        ]
+        profiles = phase_breakdown(records)
+        assert [p.span_id for p in profiles] == [1, 2]
+        assert [p.parent_time for p in profiles] == [1.0, 3.0]
+
+
+# ------------------------------------------------------------ reconcile
+class TestReconcile:
+    def test_real_scenario_reconciles_exactly(self):
+        scenario = Scenario()  # seeded default: bgl, 256 ranks, 2 siblings
+        with tracing() as buf:
+            run = scenario.build()
+        assert reconcile(buf.records, run.reports) == []
+
+    def test_tampered_model_time_is_reported(self):
+        scenario = Scenario(num_siblings=1)
+        with tracing() as buf:
+            run = scenario.build()
+        for r in buf.records:
+            if r.get("type") == "phase" and r["phase"] == "parent":
+                r["model_time"] += 1e-6
+        problems = reconcile(buf.records, run.reports)
+        assert problems
+        assert any("parent" in p for p in problems)
+
+    def test_count_mismatch_is_reported(self):
+        scenario = Scenario(num_siblings=1)
+        with tracing() as buf:
+            run = scenario.build()
+        problems = reconcile(buf.records, list(run.reports) + [run.seq_report])
+        assert any("expected 3" in p for p in problems)
+
+
+# ---------------------------------------------------------- chrome export
+class TestChromeTrace:
+    def test_valid_trace_event_structure(self):
+        with tracing() as buf:
+            Scenario(num_siblings=1).build()
+        doc = chrome_trace(buf.records)
+        json.loads(json.dumps(doc))  # JSON-serialisable round trip
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert isinstance(events, list) and events
+        for e in events:
+            assert {"name", "ph", "pid", "tid"} <= set(e)
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {e["args"]["name"] for e in metadata} == {
+            "wall clock", "model time (simulated)"
+        }
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        for e in complete:
+            assert isinstance(e["ts"], float) and isinstance(e["dur"], float)
+
+    def test_model_phases_lay_out_sequentially_on_pid_1(self):
+        with tracing() as buf:
+            Scenario(num_siblings=2).build()
+        doc = chrome_trace(buf.records)
+        model = [e for e in doc["traceEvents"]
+                 if e["ph"] == "X" and e["pid"] == 1]
+        assert model
+        cursor = {}
+        for e in model:
+            tid = e["tid"]
+            assert e["ts"] == cursor.get(tid, 0.0)  # no gaps, no overlap
+            cursor[tid] = e["ts"] + e["dur"]
+        # Two iterations (sequential + parallel) -> two model tracks.
+        assert len(cursor) == 2
+
+    def test_write_chrome_trace(self, tmp_path):
+        records = [_span(1, 0, "root", 7)]
+        path = write_chrome_trace(records, tmp_path / "t.chrome.json")
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+# -------------------------------------------------------------- report
+class TestBuildReport:
+    def test_report_render_and_json(self):
+        with tracing() as buf:
+            Scenario(num_siblings=1).build()
+        report = build_report(buf.records, registry().snapshot("netsim."))
+        doc = report.to_json()
+        json.dumps(doc)
+        assert doc["iterations"][0]["strategy"] == "sequential"
+        assert doc["iterations"][1]["strategy"] == "parallel"
+        assert any(w["name"] == ITERATION_SPAN for w in doc["wall"])
+        text = report.render()
+        assert "model time per iteration" in text
+        assert "wall time by span" in text
+        assert "sequential" in text and "parallel" in text
+
+    def test_empty_trace_builds_an_empty_report(self):
+        report = build_report([])
+        assert report.wall == ()
+        assert report.iterations == ()
+        assert report.render() == ""
+
+
+# ------------------------------------------------------------- sessions
+class TestTraceSession:
+    def test_writes_jsonl_and_chrome_and_restores_tracer(self, tmp_path):
+        path = tmp_path / "out" / "trace.jsonl"
+        assert not tracer().enabled
+        with TraceSession(path) as session:
+            assert tracer().enabled
+            with tracer().span("root"):
+                tracer().phase("parent", 1.0)
+        assert not tracer().enabled
+        assert session.chrome_path == tmp_path / "out" / "trace.chrome.json"
+        assert read_jsonl(path) == session.records
+        assert len(session.records) == 2
+        chrome = json.loads(session.chrome_path.read_text())
+        assert chrome["traceEvents"]
+
+    def test_non_jsonl_name_gets_chrome_suffix_appended(self, tmp_path):
+        path = tmp_path / "trace.log"
+        with TraceSession(path):
+            tracer().event("ping")
+        assert (tmp_path / "trace.log.chrome.json").exists()

@@ -1,0 +1,71 @@
+"""Regression tests: benchmark infrastructure fails loudly, never silently.
+
+``benchmarks/`` is not a package, so its conftest is loaded by file path
+into a private module name — the same module pytest itself would execute.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+CONFTEST = Path(__file__).resolve().parents[1] / "benchmarks" / "conftest.py"
+
+
+def load_bench_conftest():
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest_under_test", CONFTEST
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_record_creates_dir_and_writes_table(tmp_path, monkeypatch, capsys):
+    mod = load_bench_conftest()
+    monkeypatch.setattr(mod, "RESULTS_DIR", tmp_path / "results")
+    mod.record("demo", "row1")
+    assert (tmp_path / "results" / "demo.txt").read_text() == "row1\n"
+    assert "row1" in capsys.readouterr().out
+
+
+def test_file_squatting_on_results_dir_fails_loudly(tmp_path, monkeypatch):
+    mod = load_bench_conftest()
+    squatter = tmp_path / "results"
+    squatter.write_text("not a directory")
+    monkeypatch.setattr(mod, "RESULTS_DIR", squatter)
+    with pytest.raises(RuntimeError, match="not writable"):
+        mod.ensure_results_dir()
+
+
+def test_uncreatable_results_dir_fails_loudly(tmp_path, monkeypatch):
+    mod = load_bench_conftest()
+    parent_file = tmp_path / "file"
+    parent_file.write_text("")
+    monkeypatch.setattr(mod, "RESULTS_DIR", parent_file / "results")
+    with pytest.raises(RuntimeError, match="not writable"):
+        mod.ensure_results_dir()
+
+
+def test_record_propagates_the_failure(tmp_path, monkeypatch):
+    # The old behaviour swallowed nothing but also probed nothing: a bad
+    # results dir surfaced (if at all) as an OSError deep inside a bench.
+    # record() must now refuse up front with the actionable message.
+    mod = load_bench_conftest()
+    parent_file = tmp_path / "file"
+    parent_file.write_text("")
+    monkeypatch.setattr(mod, "RESULTS_DIR", parent_file / "results")
+    with pytest.raises(RuntimeError, match="refusing to run"):
+        mod.record("demo", "row1")
+
+
+def test_results_dir_fixture_uses_the_loud_path(tmp_path, monkeypatch):
+    mod = load_bench_conftest()
+    target = tmp_path / "results"
+    monkeypatch.setattr(mod, "RESULTS_DIR", target)
+    assert mod.ensure_results_dir() == target
+    assert target.is_dir()
+    # The probe file must not linger between runs.
+    assert list(target.iterdir()) == []

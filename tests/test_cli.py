@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -101,8 +103,69 @@ class TestParser:
 
     def test_help_lists_commands(self):
         help_text = build_parser().format_help()
-        for cmd in ("simulate", "plan", "profile", "experiment"):
+        for cmd in ("simulate", "plan", "profile", "experiment", "trace"):
             assert cmd in help_text
+
+
+class TestTrace:
+    def test_default_scenario_traces_and_reconciles(self, tmp_path, capsys):
+        out = tmp_path / "trace-out"
+        assert main(["trace", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "model time per iteration" in text
+        assert "reconcile" in text
+        records = [
+            json.loads(l)
+            for l in (out / "trace.jsonl").read_text().splitlines()
+            if l
+        ]
+        assert any(r["type"] == "phase" for r in records)
+        chrome = json.loads((out / "trace.chrome.json").read_text())
+        assert chrome["traceEvents"]
+        profile = json.loads((out / "profile.json").read_text())
+        assert [it["strategy"] for it in profile["iterations"]] == [
+            "sequential", "parallel",
+        ]
+
+    def test_seeded_scenario(self, tmp_path, capsys):
+        out = tmp_path / "seeded"
+        assert main(["trace", "--seed", "7", "--out", str(out)]) == 0
+        assert "scenario:" in capsys.readouterr().out
+        assert (out / "profile.json").exists()
+
+    def test_params_file_round_trip(self, tmp_path, capsys):
+        from repro.verify.scenarios import Scenario
+
+        params = tmp_path / "params.json"
+        params.write_text(json.dumps(Scenario(num_siblings=1).params()))
+        out = tmp_path / "from-params"
+        assert main(["trace", "--params", str(params), "--out", str(out)]) == 0
+        assert "'num_siblings': 1" in capsys.readouterr().out
+
+    def test_trace_flag_on_simulate(self, tmp_path, capsys):
+        trace = tmp_path / "sim.jsonl"
+        assert main(["simulate", "--ranks", "256", "--trace", str(trace)]) == 0
+        err = capsys.readouterr().err
+        assert "records" in err
+        assert trace.exists()
+        assert (tmp_path / "sim.chrome.json").exists()
+
+    def test_trace_flag_on_verify(self, tmp_path, capsys):
+        trace = tmp_path / "verify.jsonl"
+        assert main(["verify", "--budget", "2", "--seed", "1",
+                     "--trace", str(trace)]) == 0
+        records = [
+            json.loads(l) for l in trace.read_text().splitlines() if l
+        ]
+        assert any(
+            r["type"] == "span" and r["name"] == "verify.fuzz" for r in records
+        )
+
+    def test_tracer_left_disabled_after_cli_run(self, tmp_path):
+        from repro.obs.trace import tracer
+
+        assert main(["trace", "--out", str(tmp_path / "t")]) == 0
+        assert not tracer().enabled
 
 
 class TestRecommend:
