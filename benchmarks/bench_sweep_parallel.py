@@ -1,0 +1,182 @@
+"""Benchmark: the parallel sweep fabric and batched prediction.
+
+Two acceptance floors ride on this module:
+
+* **Batched prediction** — ``predict_features_batch`` must beat the
+  scalar ``predict_features`` loop by >= 5x at 1024 queries (it is the
+  same arithmetic, vectorized; parity is enforced bit-for-bit by
+  ``tests/core/prediction/test_batch_parity.py``).
+* **Process-pool sweeps** — planner + fuzz-batch wall-clock at
+  ``jobs=N`` vs ``jobs=1`` must clear 2x with >= 4 effective workers
+  (relaxed to 1.2x for the 2-worker CI smoke). Runners without enough
+  cores skip with a recorded reason instead of asserting noise.
+
+Both trajectories append to ``BENCH_sweep.json`` at the repo root.
+Environment knobs: ``REPRO_SWEEP_JOBS`` (worker count, default: all
+cores), ``REPRO_SWEEP_BUDGET`` (fuzz scenarios, default 24).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import record
+
+from repro.analysis.planner import recommend
+from repro.core.prediction.basis import generate_candidates, select_basis
+from repro.core.prediction.model import PerformanceModel
+from repro.exec import plan_cache_stats, reset_plan_cache
+from repro.topology.machines import BLUE_GENE_P
+from repro.util.rng import make_rng
+from repro.verify.fuzzer import _draw_scenarios, _fuzz_task
+from repro.exec.pool import SweepRunner
+from repro.workloads.regions import pacific_configurations
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+BATCH_QUERIES = 1024
+BATCH_FLOOR = 5.0
+
+SWEEP_FLOOR_FULL = 2.0  # >= 4 effective workers
+SWEEP_FLOOR_SMOKE = 1.2  # 2-3 effective workers (CI --jobs 2 smoke)
+
+JOBS = int(os.environ.get("REPRO_SWEEP_JOBS", os.cpu_count() or 1))
+BUDGET = int(os.environ.get("REPRO_SWEEP_BUDGET", "24"))
+FUZZ_SEED = 7
+
+
+def _append(entry: dict) -> None:
+    data = {"benchmark": "parallel sweep fabric", "trajectory": []}
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text())
+    entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    data["trajectory"].append(entry)
+    BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ------------------------------------------------------- batch prediction
+def test_batched_prediction_throughput():
+    basis = select_basis(generate_candidates(200, seed=13))
+    times = [1e-5 * b.points + 2e-3 * (b.nx + b.ny) for b in basis]
+    model = PerformanceModel.from_measurements(basis, times)
+
+    rng = make_rng(99)
+    # Mixed regimes: in-hull, scaled points, clamped aspect.
+    aspects = rng.uniform(0.2, 3.0, BATCH_QUERIES).tolist()
+    points = rng.uniform(5e3, 8e5, BATCH_QUERIES).tolist()
+
+    def scalar():
+        return [
+            model.predict_features(a, p) for a, p in zip(aspects, points)
+        ]
+
+    def batch():
+        return model.predict_features_batch(aspects, points)
+
+    assert batch().tolist() == scalar()  # parity before timing
+
+    scalar_s = _best_of(scalar)
+    batch_s = _best_of(batch, repeats=5)
+    speedup = scalar_s / batch_s
+
+    _append(
+        {
+            "kind": "batch_prediction",
+            "queries": BATCH_QUERIES,
+            "scalar_s": scalar_s,
+            "batch_s": batch_s,
+            "speedup": round(speedup, 2),
+        }
+    )
+    record(
+        "sweep_batch_prediction",
+        "\n".join(
+            [
+                f"batched prediction, {BATCH_QUERIES} mixed-regime queries:",
+                f"  scalar loop   {scalar_s * 1e3:9.2f} ms",
+                f"  batch         {batch_s * 1e3:9.2f} ms   {speedup:6.1f}x",
+                f"  [appended to {BENCH_JSON.name}]",
+            ]
+        ),
+    )
+    assert speedup >= BATCH_FLOOR, (
+        f"batched prediction only {speedup:.1f}x over the scalar loop "
+        f"(floor {BATCH_FLOOR}x at {BATCH_QUERIES} queries)"
+    )
+
+
+# ----------------------------------------------------------- pool sweeps
+def test_parallel_sweep_speedup():
+    cores = os.cpu_count() or 1
+    effective = min(JOBS, cores)
+    if effective < 2:
+        reason = (
+            f"parallel sweep needs >= 2 effective workers, have "
+            f"{cores} core(s) and REPRO_SWEEP_JOBS="
+            f"{os.environ.get('REPRO_SWEEP_JOBS', '<unset>')}"
+        )
+        _append({"kind": "sweep_skip", "reason": reason, "cores": cores})
+        record("sweep_parallel", f"SKIPPED: {reason}")
+        pytest.skip(reason)
+    floor = SWEEP_FLOOR_FULL if effective >= 4 else SWEEP_FLOOR_SMOKE
+
+    config = pacific_configurations(1, seed=2010)[0]
+    scenarios, _, _ = _draw_scenarios(make_rng(FUZZ_SEED), BUDGET)
+    items = [(s, None) for s in scenarios]
+
+    def sweep(jobs: int):
+        reset_plan_cache()
+        recommend(config, BLUE_GENE_P, max_ranks=4096, jobs=jobs)
+        SweepRunner(jobs).map(_fuzz_task, items)
+
+    t1 = _best_of(lambda: sweep(1), repeats=1)
+    # Plan-cache stats from the inline pass: jobs=N plans in workers,
+    # so the parent-side counters only reflect jobs=1.
+    cache = plan_cache_stats()
+    tn = _best_of(lambda: sweep(JOBS), repeats=2)
+    speedup = t1 / tn
+
+    _append(
+        {
+            "kind": "sweep",
+            "jobs": JOBS,
+            "cores": cores,
+            "budget": BUDGET,
+            "jobs1_s": t1,
+            "jobsN_s": tn,
+            "speedup": round(speedup, 2),
+            "floor": floor,
+            "plan_cache": {"hits": cache.hits, "misses": cache.misses},
+        }
+    )
+    record(
+        "sweep_parallel",
+        "\n".join(
+            [
+                f"parallel sweep (planner + {BUDGET}-scenario fuzz batch), "
+                f"{JOBS} workers on {cores} cores:",
+                f"  jobs=1      {t1:8.2f} s",
+                f"  jobs={JOBS:<2d}     {tn:8.2f} s   {speedup:5.2f}x "
+                f"(floor {floor}x)",
+                f"  [appended to {BENCH_JSON.name}]",
+            ]
+        ),
+    )
+    assert speedup >= floor, (
+        f"parallel sweep only {speedup:.2f}x at jobs={JOBS} "
+        f"({effective} effective workers; floor {floor}x)"
+    )

@@ -8,6 +8,8 @@ paper reports. The benchmarks under ``benchmarks/`` call these drivers.
 from repro.analysis.experiments.common import (
     fitted_model,
     compare_strategies,
+    compare_strategies_sweep,
+    warm_worker,
     StrategyComparison,
 )
 from repro.analysis.experiments.exp_scaling import fig2_scaling, fig15_speedup
@@ -38,6 +40,8 @@ from repro.analysis.experiments.exp_io import fig13_fig14_io_scaling
 __all__ = [
     "fitted_model",
     "compare_strategies",
+    "compare_strategies_sweep",
+    "warm_worker",
     "StrategyComparison",
     "fig2_scaling",
     "fig15_speedup",

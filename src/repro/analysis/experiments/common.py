@@ -4,14 +4,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mapping.base import Mapping, Placement, SlotSpace
 from repro.core.mapping.oblivious import ObliviousMapping
 from repro.core.prediction.basis import generate_candidates, select_basis
 from repro.core.prediction.model import PerformanceModel
 from repro.core.scheduler.plan import ExecutionPlan
-from repro.core.scheduler.strategies import ParallelSiblingsStrategy, SequentialStrategy
+from repro.exec.plancache import parallel_plan, sequential_plan
+from repro.exec.pool import SweepRunner
 from repro.iosim.model import IoModel
 from repro.perfsim.params import WorkloadParams
 from repro.perfsim.profiling import profile_step_time
@@ -27,6 +28,8 @@ __all__ = [
     "grid_for",
     "oblivious_placement",
     "compare_strategies",
+    "compare_strategies_sweep",
+    "warm_worker",
     "StrategyComparison",
 ]
 
@@ -129,14 +132,16 @@ def compare_strategies(
 
     The parallel plan's ratios come from the fitted Delaunay model —
     the complete paper pipeline (predict -> allocate -> map -> run).
+    Plans are memoized (:mod:`repro.exec.plancache`): rank sweeps and
+    fuzz shrink loops revisit the same (grid, siblings) pairs heavily.
     """
     grid = grid_for(num_ranks)
     model = fitted_model(machine)
+    siblings = list(config.siblings)
 
-    seq_plan = SequentialStrategy().plan(grid, config.parent, list(config.siblings))
-    par_plan = ParallelSiblingsStrategy(model).plan(
-        grid, config.parent, list(config.siblings)
-    )
+    seq_plan = sequential_plan(grid, config.parent, siblings)
+    ratios = model.predict_ratios(siblings)
+    par_plan = parallel_plan(grid, config.parent, siblings, ratios)
 
     seq_placement = None
     if mapping is None:
@@ -165,3 +170,56 @@ def compare_strategies(
     return StrategyComparison(
         config=config, ranks=num_ranks, sequential=seq, parallel=par
     )
+
+
+def warm_worker(machine_name: str, seed: int = 7) -> None:
+    """Pool-worker initializer: fit the shared model once per worker.
+
+    Fitting costs 13 cost-model profiling runs; doing it in the
+    initializer keeps it off every task's critical path. Safe (and a
+    no-op beyond cache warming) in the parent process too.
+    """
+    fitted_model(_machine_by_name(machine_name), seed=seed)
+
+
+def _compare_task(item) -> StrategyComparison:
+    """Picklable per-(config, ranks) sweep task for the pool."""
+    (config, num_ranks, machine, mapping, workload, io_model, mode) = item
+    return compare_strategies(
+        config,
+        num_ranks,
+        machine,
+        mapping=mapping,
+        workload=workload,
+        io_model=io_model,
+        mode=mode,
+    )
+
+
+def compare_strategies_sweep(
+    pairs: Sequence[Tuple[Configuration, int]],
+    machine: Machine,
+    *,
+    mapping: Optional[Mapping] = None,
+    workload: Optional[WorkloadParams] = None,
+    io_model: Optional[IoModel] = None,
+    mode: Optional[str] = None,
+    jobs: int = 1,
+) -> List[StrategyComparison]:
+    """Run :func:`compare_strategies` over many (config, ranks) pairs.
+
+    With ``jobs > 1`` the pairs fan out over a process pool whose
+    workers pre-fit the performance model in their initializer. Results
+    come back in input order and are byte-identical to ``jobs=1`` — the
+    comparison is a pure function of the pair, and per-worker caches
+    (model fit, placements, plans) only change *when* work happens, not
+    its value.
+    """
+    items = [
+        (config, ranks, machine, mapping, workload, io_model, mode)
+        for config, ranks in pairs
+    ]
+    runner = SweepRunner(
+        jobs, initializer=warm_worker, initargs=(machine.name,)
+    )
+    return list(runner.map(_compare_task, items).results)

@@ -7,7 +7,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments.common import (
     StrategyComparison,
-    compare_strategies,
+    compare_strategies_sweep,
     fitted_model,
     grid_for,
 )
@@ -68,18 +68,19 @@ def fig8_improvement_with_io(
     *,
     num_configs: int = 30,
     seed: int = 2010,
+    jobs: int = 1,
 ) -> Fig8Result:
     """Reproduce Fig 8: improvements with and without PnetCDF I/O."""
     configs = pacific_configurations(num_configs, seed=seed)
     io = IoModel("pnetcdf")
+    pairs = [(c, r) for r in ranks for c in configs]
+    comps = compare_strategies_sweep(pairs, machine, io_model=io, jobs=jobs)
     excl: List[float] = []
     incl: List[float] = []
-    for r in ranks:
-        comps = [
-            compare_strategies(c, r, machine, io_model=io) for c in configs
-        ]
-        excl.append(mean(c.improvement for c in comps))
-        incl.append(mean(c.improvement_with_io for c in comps))
+    for i, _ in enumerate(ranks):
+        group = comps[i * len(configs):(i + 1) * len(configs)]
+        excl.append(mean(c.improvement for c in group))
+        incl.append(mean(c.improvement_with_io for c in group))
     return Fig8Result(
         ranks=tuple(ranks),
         improvement_excl_io=tuple(excl),
@@ -112,15 +113,17 @@ def table1_wait_improvement(
     seed: int = 2010,
     bgl_ranks: Sequence[int] = (1024,),
     bgp_ranks: Sequence[int] = (512, 1024, 2048, 4096),
+    jobs: int = 1,
 ) -> Table1Result:
     """Reproduce Table 1: MPI_Wait improvements on BG/L and BG/P."""
     configs = pacific_configurations(num_configs, seed=seed)
     rows: List[Tuple[str, int, float, float]] = []
     for machine, rank_list in ((BLUE_GENE_L, bgl_ranks), (BLUE_GENE_P, bgp_ranks)):
-        for r in rank_list:
-            imps = [
-                compare_strategies(c, r, machine).wait_improvement for c in configs
-            ]
+        pairs = [(c, r) for r in rank_list for c in configs]
+        comps = compare_strategies_sweep(pairs, machine, jobs=jobs)
+        for i, r in enumerate(rank_list):
+            group = comps[i * len(configs):(i + 1) * len(configs)]
+            imps = [c.wait_improvement for c in group]
             rows.append((machine.name, r, mean(imps), max(imps)))
     return Table1Result(rows=tuple(rows), num_configs=num_configs)
 
@@ -218,14 +221,18 @@ class Fig10Result:
 def fig10_large_siblings(
     machine: Machine = BLUE_GENE_P,
     ranks: Sequence[int] = (1024, 2048, 4096, 8192),
+    *,
+    jobs: int = 1,
 ) -> Fig10Result:
     """Reproduce Fig 10: gains grow with scale for large nests."""
     config = fig10_domains()
+    comps = compare_strategies_sweep(
+        [(config, r) for r in ranks], machine, jobs=jobs
+    )
     seqs: List[float] = []
     pars: List[float] = []
     imps: List[float] = []
-    for r in ranks:
-        cmp = compare_strategies(config, r, machine)
+    for cmp in comps:
         seqs.append(cmp.sequential.integration_time)
         pars.append(cmp.parallel.integration_time)
         imps.append(cmp.improvement)
@@ -260,6 +267,7 @@ def sibling_count_effect(
     *,
     configs_per_count: int = 12,
     seed: int = 424,
+    jobs: int = 1,
 ) -> SiblingCountResult:
     """Reproduce Sec 4.3.4: more siblings -> larger improvement."""
     from repro.workloads.generator import random_siblings
@@ -268,14 +276,21 @@ def sibling_count_effect(
 
     rng = make_rng(seed)
     parent = pacific_parent()
-    result: Dict[int, float] = {}
-    for k in (2, 4):
-        imps: List[float] = []
+    # Draw every configuration first (one shared RNG stream, unchanged
+    # order), then sweep them all in one pool dispatch.
+    counts = (2, 4)
+    configs: List[Configuration] = []
+    for k in counts:
         for _ in range(configs_per_count):
             siblings = random_siblings(parent, k, seed=rng)
-            config = Configuration(f"sc{k}", parent, tuple(siblings))
-            imps.append(compare_strategies(config, num_ranks, machine).improvement)
-        result[k] = mean(imps)
+            configs.append(Configuration(f"sc{k}", parent, tuple(siblings)))
+    comps = compare_strategies_sweep(
+        [(c, num_ranks) for c in configs], machine, jobs=jobs
+    )
+    result: Dict[int, float] = {}
+    for i, k in enumerate(counts):
+        group = comps[i * configs_per_count:(i + 1) * configs_per_count]
+        result[k] = mean(c.improvement for c in group)
     return SiblingCountResult(
         improvement_by_count=result, num_configs=configs_per_count
     )
@@ -303,6 +318,8 @@ class Table3Result:
 def table3_nest_size_effect(
     machine: Machine = BLUE_GENE_P,
     ranks: Sequence[int] = (1024, 2048, 4096, 8192),
+    *,
+    jobs: int = 1,
 ) -> Table3Result:
     """Reproduce Table 3: larger nests benefit less.
 
@@ -310,16 +327,17 @@ def table3_nest_size_effect(
     BG/P cores"; we average the improvement over the processor counts up
     to 8192, matching that phrasing.
     """
+    configs = list(table3_configurations())
+    comps = compare_strategies_sweep(
+        [(c, r) for c in configs for r in ranks], machine, jobs=jobs
+    )
     sizes: List[str] = []
     imps: List[float] = []
-    for config in table3_configurations():
+    for i, config in enumerate(configs):
         biggest = max(config.siblings, key=lambda s: s.points)
         sizes.append(f"{biggest.nx}x{biggest.ny}")
-        imps.append(
-            mean(
-                compare_strategies(config, r, machine).improvement for r in ranks
-            )
-        )
+        group = comps[i * len(ranks):(i + 1) * len(ranks)]
+        imps.append(mean(c.improvement for c in group))
     return Table3Result(
         max_nest_sizes=tuple(sizes), improvements=tuple(imps), ranks=max(ranks)
     )

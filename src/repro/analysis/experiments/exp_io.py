@@ -6,7 +6,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.ascii_plot import ascii_series
-from repro.analysis.experiments.common import compare_strategies
+from repro.analysis.experiments.common import compare_strategies_sweep
 from repro.analysis.tables import Table
 from repro.iosim.model import IoModel
 from repro.perfsim.params import OutputParams, WorkloadParams
@@ -68,6 +68,7 @@ def fig13_fig14_io_scaling(
     *,
     num_configs: int = 8,
     seed: int = 2010,
+    jobs: int = 1,
 ) -> IoScalingResult:
     """Reproduce Figs 13/14: high-frequency (10-minute) output runs.
 
@@ -81,14 +82,16 @@ def fig13_fig14_io_scaling(
     io = IoModel("pnetcdf")
     configs = pacific_configurations(num_configs, seed=seed)
 
+    pairs = [(c, r) for r in ranks for c in configs]
+    all_comps = compare_strategies_sweep(
+        pairs, machine, workload=workload, io_model=io, jobs=jobs
+    )
+
     integration: Dict[str, List[float]] = {"sequential": [], "parallel": []}
     io_times: Dict[str, List[float]] = {"sequential": [], "parallel": []}
     totals: Dict[str, List[float]] = {"sequential": [], "parallel": []}
-    for r in ranks:
-        comps = [
-            compare_strategies(c, r, machine, workload=workload, io_model=io)
-            for c in configs
-        ]
+    for i, _ in enumerate(ranks):
+        comps = all_comps[i * len(configs):(i + 1) * len(configs)]
         for key, pick in (("sequential", lambda c: c.sequential),
                           ("parallel", lambda c: c.parallel)):
             integration[key].append(mean(pick(c).integration_time for c in comps))

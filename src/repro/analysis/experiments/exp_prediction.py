@@ -107,12 +107,16 @@ def prediction_error_study(
     tests = generate_candidates(
         num_tests, seed=seed, min_points=55_900, max_points=94_990
     )
+    # Batched prediction (bit-identical to per-spec predict() calls,
+    # which the parity tests enforce) — one pass per model.
+    d_pred = model.predict_batch(tests)
+    n_pred = naive.predict_batch(tests)
     d_errs: List[float] = []
     n_errs: List[float] = []
-    for spec in tests:
+    for i, spec in enumerate(tests):
         actual = profile_step_time(spec, PROFILE_RANKS, machine)
-        d_errs.append(abs(model.predict(spec) - actual) / actual * 100.0)
-        n_errs.append(abs(naive.predict(spec) - actual) / actual * 100.0)
+        d_errs.append(abs(float(d_pred[i]) - actual) / actual * 100.0)
+        n_errs.append(abs(float(n_pred[i]) - actual) / actual * 100.0)
     return PredictionErrorResult(
         num_tests=num_tests,
         delaunay_mean_error=sum(d_errs) / len(d_errs),

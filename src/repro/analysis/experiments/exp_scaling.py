@@ -6,7 +6,11 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.ascii_plot import ascii_series
-from repro.analysis.experiments.common import compare_strategies, grid_for, fitted_model
+from repro.analysis.experiments.common import (
+    compare_strategies_sweep,
+    fitted_model,
+    grid_for,
+)
 from repro.analysis.tables import Table
 from repro.core.scheduler.strategies import SequentialStrategy
 from repro.iosim.model import IoModel
@@ -118,13 +122,17 @@ class Fig15Result:
 def fig15_speedup(
     machine: Machine = BLUE_GENE_L,
     ranks: Sequence[int] = DEFAULT_RANKS,
+    *,
+    jobs: int = 1,
 ) -> Fig15Result:
     """Reproduce Fig 15: both strategies from 32 to 1024 processors."""
     config = fig15_domains()
+    comps = compare_strategies_sweep(
+        [(config, r) for r in ranks], machine, jobs=jobs
+    )
     seq_times: List[float] = []
     par_times: List[float] = []
-    for r in ranks:
-        cmp = compare_strategies(config, r, machine)
+    for cmp in comps:
         seq_times.append(cmp.sequential.integration_time)
         par_times.append(cmp.parallel.integration_time)
     return Fig15Result(

@@ -5,18 +5,25 @@ configuration and a machine, how many cores should I ask for, and with
 which strategy/mapping?* This module sweeps the candidate space with the
 cost simulator and returns ranked recommendations, including the
 efficiency cliff — the scale beyond which extra cores are mostly wasted.
+
+The sweep is embarrassingly parallel over rank counts: pass ``jobs=N``
+to fan the per-scale evaluation out over a process pool
+(:class:`~repro.exec.pool.SweepRunner`). Results are byte-identical for
+every worker count — each rank count is priced by a pure function of
+the picklable task spec.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import Table
 from repro.core.mapping.base import Mapping
 from repro.core.mapping.multilevel import MultiLevelMapping
-from repro.core.scheduler.strategies import ParallelSiblingsStrategy, SequentialStrategy
 from repro.errors import ConfigurationError
+from repro.exec.plancache import parallel_plan, sequential_plan
+from repro.exec.pool import SweepRunner
 from repro.iosim.model import IoModel
 from repro.perfsim.params import WorkloadParams
 from repro.perfsim.simulate import simulate_iteration
@@ -90,6 +97,41 @@ def _rank_candidates(max_ranks: int, min_ranks: int) -> List[int]:
     return out
 
 
+def _evaluate_scale(item) -> List[PlanOption]:
+    """Price one rank count under all three strategy/mapping combos.
+
+    Module-level and driven by a picklable tuple so the planner sweep
+    can dispatch it to pool workers. Efficiency is filled by the caller
+    once the cheapest option across the whole sweep is known.
+    """
+    (config, machine, mapping, workload, io_model, ratios, ranks) = item
+    px, py = choose_process_grid(ranks)
+    grid = ProcessGrid(px, py)
+    siblings = list(config.siblings)
+    seq_plan = sequential_plan(grid, config.parent, siblings)
+    par_plan = parallel_plan(grid, config.parent, siblings, ratios)
+    candidates = [
+        ("sequential", "oblivious", simulate_iteration(
+            seq_plan, machine, workload=workload, io_model=io_model)),
+        ("parallel", "oblivious", simulate_iteration(
+            par_plan, machine, workload=workload, io_model=io_model)),
+        ("parallel", mapping.name, simulate_iteration(
+            par_plan, machine, mapping=mapping, workload=workload,
+            io_model=io_model)),
+    ]
+    return [
+        PlanOption(
+            ranks=ranks,
+            strategy=strategy,
+            mapping=map_name,
+            time_per_iteration=rep.total_time,
+            core_seconds=rep.total_time * ranks,
+            efficiency=0.0,  # filled by recommend() once the sweep is in
+        )
+        for strategy, map_name, rep in candidates
+    ]
+
+
 def recommend(
     config: Configuration,
     machine: Machine,
@@ -100,6 +142,7 @@ def recommend(
     mapping: Optional[Mapping] = None,
     workload: Optional[WorkloadParams] = None,
     io_model: Optional[IoModel] = None,
+    jobs: int = 1,
 ) -> PlanRecommendation:
     """Sweep scales and strategies; recommend the efficient sweet spot.
 
@@ -107,49 +150,28 @@ def recommend(
     core-seconds)`` — 1.0 for the most work-efficient run. The
     *recommended* option is the fastest one whose efficiency stays at or
     above *efficiency_floor* (default: don't waste more than half the
-    machine); the *fastest* option ignores efficiency.
+    machine); the *fastest* option ignores efficiency. *jobs* fans the
+    per-scale evaluations out over a process pool; the recommendation is
+    identical for every worker count.
     """
     if not (0.0 < efficiency_floor <= 1.0):
         raise ConfigurationError("efficiency_floor must be in (0, 1]")
     mapping = mapping or MultiLevelMapping()
     siblings = list(config.siblings)
-    ratios = [s.points * s.steps_per_parent_step for s in siblings]
+    ratios = tuple(
+        float(s.points * s.steps_per_parent_step) for s in siblings
+    )
 
-    options: List[PlanOption] = []
-    for ranks in _rank_candidates(max_ranks, min_ranks):
-        px, py = choose_process_grid(ranks)
-        grid = ProcessGrid(px, py)
-        seq_plan = SequentialStrategy().plan(grid, config.parent, siblings)
-        par_plan = ParallelSiblingsStrategy().plan(
-            grid, config.parent, siblings, ratios=ratios
-        )
-        candidates = [
-            ("sequential", "oblivious", simulate_iteration(
-                seq_plan, machine, workload=workload, io_model=io_model)),
-            ("parallel", "oblivious", simulate_iteration(
-                par_plan, machine, workload=workload, io_model=io_model)),
-            ("parallel", mapping.name, simulate_iteration(
-                par_plan, machine, mapping=mapping, workload=workload,
-                io_model=io_model)),
-        ]
-        for strategy, map_name, rep in candidates:
-            options.append(PlanOption(
-                ranks=ranks,
-                strategy=strategy,
-                mapping=map_name,
-                time_per_iteration=rep.total_time,
-                core_seconds=rep.total_time * ranks,
-                efficiency=0.0,  # filled below
-            ))
+    items = [
+        (config, machine, mapping, workload, io_model, ratios, ranks)
+        for ranks in _rank_candidates(max_ranks, min_ranks)
+    ]
+    sweep = SweepRunner(jobs).map(_evaluate_scale, items)
+    options: List[PlanOption] = [o for group in sweep.results for o in group]
 
     best_core_seconds = min(o.core_seconds for o in options)
     options = [
-        PlanOption(
-            ranks=o.ranks, strategy=o.strategy, mapping=o.mapping,
-            time_per_iteration=o.time_per_iteration,
-            core_seconds=o.core_seconds,
-            efficiency=best_core_seconds / o.core_seconds,
-        )
+        replace(o, efficiency=best_core_seconds / o.core_seconds)
         for o in options
     ]
     options.sort(key=lambda o: o.time_per_iteration)

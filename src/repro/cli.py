@@ -108,6 +108,14 @@ def _grid_for(ranks: int) -> ProcessGrid:
     return ProcessGrid(px, py)
 
 
+def _add_jobs_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (default: 1 = inline; "
+             "results are identical for every value)",
+    )
+
+
 def _add_trace_flag(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--trace", metavar="PATH", dest="trace",
@@ -191,10 +199,19 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    import inspect
+
     import repro.analysis.experiments as exp
 
     func_name, kwargs = _EXPERIMENTS[args.name]
-    result = getattr(exp, func_name)(**kwargs)
+    func = getattr(exp, func_name)
+    if args.jobs != 1:
+        if "jobs" in inspect.signature(func).parameters:
+            kwargs = {**kwargs, "jobs": args.jobs}
+        else:
+            print(f"note: {args.name} does not sweep; --jobs ignored",
+                  file=sys.stderr)
+    result = func(**kwargs)
     print(result.render())
     return 0
 
@@ -213,6 +230,7 @@ def _cmd_recommend(args) -> int:
         min_ranks=args.min_ranks,
         efficiency_floor=args.efficiency_floor,
         io_model=io,
+        jobs=args.jobs,
     )
     print(plan.render())
     return 0
@@ -266,6 +284,7 @@ def _cmd_verify(args) -> int:
             args.budget,
             seed=args.seed,
             oracle_names=args.oracle or None,
+            jobs=args.jobs,
         )
         print(report.render())
         if not report.ok:
@@ -358,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiment", help="run a paper table/figure driver")
     p.add_argument("name", choices=sorted(_EXPERIMENTS))
+    _add_jobs_flag(p)
     _add_trace_flag(p)
     p.set_defaults(func=_cmd_experiment)
 
@@ -370,6 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--efficiency-floor", type=float, default=0.5,
                    dest="efficiency_floor")
     p.add_argument("--io", choices=["none", "pnetcdf", "split"], default="none")
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_recommend)
 
     p = sub.add_parser(
@@ -391,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="regenerate golden snapshots and exit")
     p.add_argument("--golden-dir",
                    help="snapshot directory (default: tests/golden)")
+    _add_jobs_flag(p)
     _add_trace_flag(p)
     p.set_defaults(func=_cmd_verify)
 

@@ -19,7 +19,11 @@ to the point count alone — is in :mod:`~repro.core.prediction.naive`.
 """
 
 from repro.core.prediction.delaunay import Triangulation, delaunay_triangulation
-from repro.core.prediction.barycentric import barycentric_coordinates, interpolate
+from repro.core.prediction.barycentric import (
+    barycentric_batch,
+    barycentric_coordinates,
+    interpolate,
+)
 from repro.core.prediction.model import PerformanceModel, ProfiledDomain
 from repro.core.prediction.naive import NaivePointsModel
 from repro.core.prediction.basis import select_basis, generate_candidates
@@ -27,6 +31,7 @@ from repro.core.prediction.basis import select_basis, generate_candidates
 __all__ = [
     "Triangulation",
     "delaunay_triangulation",
+    "barycentric_batch",
     "barycentric_coordinates",
     "interpolate",
     "PerformanceModel",

@@ -25,9 +25,11 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import GeometryError
 
-__all__ = ["barycentric_coordinates", "interpolate"]
+__all__ = ["barycentric_coordinates", "barycentric_batch", "interpolate"]
 
 Point = Tuple[float, float]
 
@@ -48,6 +50,31 @@ def barycentric_coordinates(
     denom = (y2 - y3) * (x1 - x3) + (x3 - x2) * (y1 - y3)
     if denom == 0.0:
         raise GeometryError(f"degenerate triangle {a}, {b}, {c}")
+    l1 = ((y2 - y3) * (x - x3) + (x3 - x2) * (y - y3)) / denom
+    l2 = ((y3 - y1) * (x - x3) + (x1 - x3) * (y - y3)) / denom
+    l3 = 1.0 - l1 - l2  # the corrected Eq (3)
+    return (l1, l2, l3)
+
+
+def barycentric_batch(
+    p: np.ndarray, a: np.ndarray, b: np.ndarray, c: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`barycentric_coordinates` over point rows.
+
+    *p*, *a*, *b*, *c* are ``(n, 2)`` arrays (one triangle per query
+    point). The float expressions mirror the scalar path exactly, so
+    each row is bit-identical to the corresponding scalar call.
+    """
+    x, y = p[:, 0], p[:, 1]
+    x1, y1 = a[:, 0], a[:, 1]
+    x2, y2 = b[:, 0], b[:, 1]
+    x3, y3 = c[:, 0], c[:, 1]
+    denom = (y2 - y3) * (x1 - x3) + (x3 - x2) * (y1 - y3)
+    if np.any(denom == 0.0):
+        i = int(np.nonzero(denom == 0.0)[0][0])
+        raise GeometryError(
+            f"degenerate triangle {tuple(a[i])}, {tuple(b[i])}, {tuple(c[i])}"
+        )
     l1 = ((y2 - y3) * (x - x3) + (x3 - x2) * (y - y3)) / denom
     l2 = ((y3 - y1) * (x - x3) + (x1 - x3) * (y - y3)) / denom
     l3 = 1.0 - l1 - l2  # the corrected Eq (3)

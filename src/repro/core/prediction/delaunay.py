@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import GeometryError
 
 __all__ = ["Triangle", "Triangulation", "delaunay_triangulation"]
@@ -133,6 +135,68 @@ class Triangulation:
             if d1 >= -eps and d2 >= -eps and d3 >= -eps:
                 return tri
         return None
+
+    def locate_batch(self, pts: np.ndarray, *, eps: float = 1e-9) -> np.ndarray:
+        """Triangle index for each row of *pts*, ``-1`` when outside.
+
+        Vectorized point-in-triangle over the whole query array at once,
+        **bit-identical** to calling :meth:`locate` per point: triangles
+        are scanned in list order (first match wins), the orientation
+        determinants use the same float expressions, and any point whose
+        determinant falls inside the exact-arithmetic fallback band of
+        :func:`_orient2d` is resolved by the scalar path, so the rational
+        tie-breaking never diverges between the two.
+        """
+        arr = np.asarray(pts, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise GeometryError(
+                f"locate_batch expects an (n, 2) array, got shape {arr.shape}"
+            )
+        n = arr.shape[0]
+        out = np.full(n, -1, dtype=np.intp)
+        if n == 0:
+            return out
+        x, y = arr[:, 0], arr[:, 1]
+        suspect = np.zeros(n, dtype=bool)
+        unresolved = np.arange(n)
+
+        def orient(a: Point, b: Point, px: np.ndarray, py: np.ndarray):
+            # Same expressions as _orient2d's fast path, elementwise.
+            det = (b[0] - a[0]) * (py - a[1]) - (b[1] - a[1]) * (px - a[0])
+            scale = (
+                abs(b[0] - a[0]) + np.abs(py - a[1])
+                + abs(b[1] - a[1]) + np.abs(px - a[0])
+            )
+            near = np.abs(det) <= _EXACT_THRESHOLD * np.maximum(
+                scale * scale, 1e-300
+            )
+            return det, near
+
+        for ti, tri in enumerate(self.triangles):
+            if unresolved.size == 0:
+                break
+            a, b, c = (self.points[i] for i in tri.vertices())
+            px, py = x[unresolved], y[unresolved]
+            d1, n1 = orient(a, b, px, py)
+            d2, n2 = orient(b, c, px, py)
+            d3, n3 = orient(c, a, px, py)
+            near = n1 | n2 | n3
+            if near.any():
+                # Defer the whole point to the scalar path: the exact
+                # predicate may flip this verdict, and first-match
+                # ordering means a flip here changes the answer.
+                suspect[unresolved[near]] = True
+                keep = ~near
+                unresolved = unresolved[keep]
+                d1, d2, d3 = d1[keep], d2[keep], d3[keep]
+            inside = (d1 >= -eps) & (d2 >= -eps) & (d3 >= -eps)
+            out[unresolved[inside]] = ti
+            unresolved = unresolved[~inside]
+
+        for i in np.nonzero(suspect)[0]:
+            tri = self.locate((float(x[i]), float(y[i])), eps=eps)
+            out[i] = -1 if tri is None else self.triangles.index(tri)
+        return out
 
     def contains(self, p: Point) -> bool:
         """Whether *p* lies in the triangulated region (the convex hull)."""

@@ -15,9 +15,11 @@ point ratio, preserving relative times) and clamped along the aspect axis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.prediction.barycentric import interpolate
+import numpy as np
+
+from repro.core.prediction.barycentric import barycentric_batch, interpolate
 from repro.core.prediction.delaunay import Triangulation, delaunay_triangulation
 from repro.errors import PredictionError
 from repro.wrf.grid import DomainSpec
@@ -60,6 +62,11 @@ class PerformanceModel:
             [self._normalise(p.aspect, p.points) for p in profiled]
         )
         self._times = [p.time for p in profiled]
+        # Dense views for the batched path, built lazily on first use
+        # (the triangulation is immutable after construction).
+        self._batch_views: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, float, float]
+        ] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -136,6 +143,106 @@ class PerformanceModel:
     def predict(self, spec: DomainSpec) -> float:
         """Predict the step time of a domain."""
         return self.predict_features(spec.aspect_ratio, float(spec.points))
+
+    # ----------------------------------------------------------- batched
+    def _views(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float, float]:
+        if self._batch_views is None:
+            verts = np.array(
+                [t.vertices() for t in self._tri.triangles], dtype=np.intp
+            )
+            pts = np.asarray(self._tri.points, dtype=float)
+            times = np.asarray(self._times, dtype=float)
+            # Python left-to-right float sums, exactly as the scalar
+            # out-of-hull nudge computes the centroid.
+            cx = sum(q[0] for q in self._tri.points) / len(self._tri.points)
+            cy = sum(q[1] for q in self._tri.points) / len(self._tri.points)
+            self._batch_views = (verts, pts, times, cx, cy)
+        return self._batch_views
+
+    def predict_features_batch(
+        self, aspects: Sequence[float], points: Sequence[float]
+    ) -> np.ndarray:
+        """Predict step times for many raw feature pairs in one pass.
+
+        Vectorized clamp/scale/normalise, one point-location sweep over
+        the triangulation (:meth:`Triangulation.locate_batch`), and
+        array barycentric interpolation. Bit-identical to a loop of
+        :meth:`predict_features` calls — the scalar path is the parity
+        oracle, enforced by the test suite.
+        """
+        a_raw = np.asarray(aspects, dtype=float)
+        p_raw = np.asarray(points, dtype=float)
+        if a_raw.shape != p_raw.shape or a_raw.ndim != 1:
+            raise PredictionError(
+                f"feature arrays must be 1-D and congruent, got shapes "
+                f"{a_raw.shape} and {p_raw.shape}"
+            )
+        if a_raw.size == 0:
+            return np.empty(0, dtype=float)
+        bad = (a_raw <= 0) | (p_raw <= 0)
+        if bad.any():
+            i = int(np.nonzero(bad)[0][0])
+            raise PredictionError(
+                f"features must be positive, got aspect={a_raw[i]}, "
+                f"points={p_raw[i]}"
+            )
+
+        # Clamp aspect into the covered band; scale points into coverage,
+        # remembering the factor (same element ops as the scalar path).
+        a = np.minimum(np.maximum(a_raw, self._a_lo), self._a_hi)
+        pts = p_raw.copy()
+        scale = np.ones_like(pts)
+        hi = pts > self._p_hi
+        scale[hi] = pts[hi] / self._p_hi
+        pts[hi] = self._p_hi
+        lo = pts < self._p_lo
+        scale[lo] = pts[lo] / self._p_lo
+        pts[lo] = self._p_lo
+
+        qx = (a - self._a_lo) / (self._a_hi - self._a_lo)
+        qy = (pts - self._p_lo) / (self._p_hi - self._p_lo)
+        q = np.column_stack([qx, qy])
+        tri_idx = self._tri.locate_batch(q)
+
+        verts, tri_pts, times, cx, cy = self._views()
+        missing = np.nonzero(tri_idx < 0)[0]
+        if missing.size:
+            # Inside the bounding box but outside the hull: nudge toward
+            # the basis centroid until covered (bounded iterations),
+            # exactly mirroring the scalar loop per point.
+            mq = q[missing].copy()
+            still = np.arange(missing.size)
+            for _ in range(60):
+                if still.size == 0:
+                    break
+                mq[still, 0] = 0.9 * mq[still, 0] + 0.1 * cx
+                mq[still, 1] = 0.9 * mq[still, 1] + 0.1 * cy
+                located = self._tri.locate_batch(mq[still])
+                found = located >= 0
+                hit = still[found]
+                tri_idx[missing[hit]] = located[found]
+                q[missing[hit]] = mq[hit]
+                still = still[~found]
+            if still.size:
+                i = int(missing[still[0]])
+                raise PredictionError(
+                    f"query features {float(a_raw[i]), float(p_raw[i])} "
+                    f"outside model coverage"
+                )
+
+        tv = verts[tri_idx]
+        interp = barycentric_batch(
+            q, tri_pts[tv[:, 0]], tri_pts[tv[:, 1]], tri_pts[tv[:, 2]]
+        )
+        l1, l2, l3 = interp
+        values = l1 * times[tv[:, 0]] + l2 * times[tv[:, 1]] + l3 * times[tv[:, 2]]
+        return scale * values
+
+    def predict_batch(self, specs: Sequence[DomainSpec]) -> np.ndarray:
+        """Predict step times for many domains in one vectorized pass."""
+        return self.predict_features_batch(
+            [s.aspect_ratio for s in specs], [float(s.points) for s in specs]
+        )
 
     def predict_ratios(self, specs: Sequence[DomainSpec]) -> List[float]:
         """Normalised relative execution times — the allocator's input.

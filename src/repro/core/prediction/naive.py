@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.core.prediction.model import ProfiledDomain
 from repro.errors import PredictionError
 from repro.wrf.grid import DomainSpec
@@ -59,6 +61,29 @@ class NaivePointsModel:
     def predict(self, spec: DomainSpec) -> float:
         """Predict the step time of a domain."""
         return self.predict_features(spec.aspect_ratio, float(spec.points))
+
+    def predict_features_batch(
+        self, aspects: Sequence[float], points: Sequence[float]
+    ) -> np.ndarray:
+        """Vectorized :meth:`predict_features` (aspect is still ignored)."""
+        a_raw = np.asarray(aspects, dtype=float)
+        p_raw = np.asarray(points, dtype=float)
+        if a_raw.shape != p_raw.shape or a_raw.ndim != 1:
+            raise PredictionError(
+                f"feature arrays must be 1-D and congruent, got shapes "
+                f"{a_raw.shape} and {p_raw.shape}"
+            )
+        bad = p_raw <= 0
+        if bad.any():
+            i = int(np.nonzero(bad)[0][0])
+            raise PredictionError(f"points must be positive, got {p_raw[i]}")
+        return self._coeff * p_raw
+
+    def predict_batch(self, specs: Sequence[DomainSpec]) -> np.ndarray:
+        """Predict step times for many domains in one vectorized pass."""
+        return self.predict_features_batch(
+            [s.aspect_ratio for s in specs], [float(s.points) for s in specs]
+        )
 
     def predict_ratios(self, specs: Sequence[DomainSpec]) -> List[float]:
         """Normalised relative times (proportional to point counts)."""

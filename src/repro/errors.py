@@ -16,6 +16,7 @@ __all__ = [
     "AllocationError",
     "MappingError",
     "SimulationError",
+    "SweepError",
     "TopologyError",
 ]
 
@@ -50,3 +51,7 @@ class TopologyError(ReproError):
 
 class SimulationError(ReproError):
     """The performance or numerical simulation entered an invalid state."""
+
+
+class SweepError(ReproError):
+    """A parallel sweep could not complete (e.g. repeated worker death)."""

@@ -1,0 +1,33 @@
+"""Parallel execution fabric: pool sweeps and plan memoization.
+
+``repro.exec`` is the layer that makes every sweep in the repo scale
+with local cores without changing a single result:
+
+* :mod:`repro.exec.pool` — :class:`SweepRunner`, the process-pool fan-out
+  with order-preserving results and deterministic metric merging;
+* :mod:`repro.exec.plancache` — memoized execution plans keyed by
+  ``(grid dims, sibling signature, ratios digest)``.
+
+See ``docs/parallel.md`` for the determinism contract and when *not* to
+use workers.
+"""
+
+from repro.exec.plancache import (
+    PlanCacheStats,
+    parallel_plan,
+    plan_cache_stats,
+    reset_plan_cache,
+    sequential_plan,
+)
+from repro.exec.pool import SweepResult, SweepRunner, run_sweep
+
+__all__ = [
+    "SweepResult",
+    "SweepRunner",
+    "run_sweep",
+    "PlanCacheStats",
+    "sequential_plan",
+    "parallel_plan",
+    "plan_cache_stats",
+    "reset_plan_cache",
+]

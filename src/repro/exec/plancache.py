@@ -1,0 +1,148 @@
+"""Memoized execution plans for sweep workloads.
+
+Sweeps re-plan the same configurations over and over: the fuzzer shrinks
+a failing scenario by re-building near-identical variants, the planner
+prices three strategy/mapping combinations per rank count, experiment
+drivers revisit configurations across rank sweeps. Planning is pure —
+allocation (Huffman tree + split-tree partitioning) is a deterministic
+function of the grid, the sibling specs, and the driving ratios — so the
+work is memoized behind a keyed LRU cache:
+
+    (strategy, grid dims, sibling signature, ratios digest) -> ExecutionPlan
+
+The sibling signature is the tuple of frozen :class:`DomainSpec`s (the
+parent included — nest weights depend on ``steps_per_parent_step`` and
+validation inspects the parent); the ratios digest is the exact float
+tuple, ``None`` for the sequential strategy. Cached plans are frozen
+dataclasses, shared rather than copied.
+
+The cache is **per process**: every pool worker warms its own copy, so
+repeated allocation work inside a sweep is computed once per worker.
+Hit/miss counters deliberately live in plain attributes (not the metrics
+registry) so per-task metric capture in :mod:`repro.exec.pool` — which
+zeroes the registry — can never desynchronise the counters from the
+cached entries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.scheduler.plan import ExecutionPlan
+from repro.core.scheduler.strategies import ParallelSiblingsStrategy, SequentialStrategy
+from repro.runtime.process_grid import ProcessGrid
+from repro.wrf.grid import DomainSpec
+
+__all__ = [
+    "PlanCacheStats",
+    "sequential_plan",
+    "parallel_plan",
+    "plan_cache_stats",
+    "reset_plan_cache",
+]
+
+PlanKey = Tuple[str, int, int, Tuple[DomainSpec, ...], Optional[Tuple[float, ...]]]
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Plan-cache counters for reports and benchmarks."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _PlanCache:
+    """Bounded LRU of execution plans (same shape as the route cache)."""
+
+    def __init__(self, maxsize: int = 1024):
+        self.maxsize = maxsize
+        self._data: "OrderedDict[PlanKey, ExecutionPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: PlanKey) -> Optional[ExecutionPlan]:
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._data.move_to_end(key)
+        return entry
+
+    def put(self, key: PlanKey, value: ExecutionPlan) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def stats(self) -> PlanCacheStats:
+        return PlanCacheStats(
+            hits=self.hits, misses=self.misses, entries=len(self._data)
+        )
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_PLAN_CACHE = _PlanCache()
+
+
+def _key(
+    strategy: str,
+    grid: ProcessGrid,
+    parent: DomainSpec,
+    siblings: Sequence[DomainSpec],
+    ratios: Optional[Sequence[float]],
+) -> PlanKey:
+    digest = None if ratios is None else tuple(float(r) for r in ratios)
+    return (strategy, grid.px, grid.py, (parent, *siblings), digest)
+
+
+def sequential_plan(
+    grid: ProcessGrid, parent: DomainSpec, siblings: Sequence[DomainSpec]
+) -> ExecutionPlan:
+    """The memoized :class:`SequentialStrategy` plan."""
+    key = _key("sequential", grid, parent, siblings, None)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        plan = SequentialStrategy().plan(grid, parent, list(siblings))
+        _PLAN_CACHE.put(key, plan)
+    return plan
+
+
+def parallel_plan(
+    grid: ProcessGrid,
+    parent: DomainSpec,
+    siblings: Sequence[DomainSpec],
+    ratios: Sequence[float],
+) -> ExecutionPlan:
+    """The memoized :class:`ParallelSiblingsStrategy` plan for *ratios*."""
+    key = _key("parallel", grid, parent, siblings, ratios)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        plan = ParallelSiblingsStrategy().plan(
+            grid, parent, list(siblings), ratios=list(ratios)
+        )
+        _PLAN_CACHE.put(key, plan)
+    return plan
+
+
+def plan_cache_stats() -> PlanCacheStats:
+    """Current plan-cache counters."""
+    return _PLAN_CACHE.stats()
+
+
+def reset_plan_cache() -> None:
+    """Drop all cached plans and zero the counters (tests, benchmarks)."""
+    _PLAN_CACHE.clear()

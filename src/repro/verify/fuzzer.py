@@ -16,10 +16,12 @@ replaced, and the skip is counted in the report.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.exec.pool import SweepRunner
 from repro.obs.metrics import counter as _obs_counter
+from repro.obs.metrics import merge_snapshots
 from repro.obs.trace import tracer
 from repro.util.rng import make_rng
 from repro.verify.oracles import OracleFailure, all_oracles, run_oracles
@@ -68,6 +70,12 @@ class FuzzReport:
     infeasible_skips: int
     oracle_names: Tuple[str, ...]
     failures: Tuple[FuzzFailure, ...]
+    #: Worker processes used to evaluate scenarios.
+    jobs: int = 1
+    #: Merged per-scenario metrics snapshot (``collect_metrics`` only).
+    #: Deliberately absent from :meth:`render` — the rendered report is
+    #: part of the determinism contract across worker counts.
+    metrics: Optional[Dict[str, Dict[str, Any]]] = None
 
     @property
     def ok(self) -> bool:
@@ -187,6 +195,52 @@ def shrink(
 
 
 # ----------------------------------------------------------------- fuzz
+def _fuzz_task(item: Tuple[Scenario, Tuple[str, ...]]) -> Tuple[OracleFailure, ...]:
+    """Evaluate one drawn scenario — the pool task for parallel fuzzing.
+
+    Counter increments live *inside* the task so that per-task metric
+    capture (:class:`~repro.exec.pool.SweepRunner` with
+    ``capture_metrics``) attributes them to the scenario's delta.
+    """
+    scenario, selected = item
+    tr = tracer()
+    with tr.span(
+        "verify.scenario", scenario.params() if tr.enabled else None
+    ):
+        found = failures_for(scenario, selected)
+    _FUZZ_SCENARIOS.inc()
+    _FUZZ_FAILURES.inc(len(found))
+    return tuple(found)
+
+
+def _draw_scenarios(
+    rng, budget: int
+) -> Tuple[List[Scenario], List[int], int]:
+    """Draw *budget* feasible scenarios plus per-draw skip bookkeeping.
+
+    Returns ``(scenarios, skips_before, total_skips)`` where
+    ``skips_before[i]`` is the number of infeasible draws that preceded
+    scenario *i* — what the interleaved draw/evaluate loop would have
+    counted at the moment scenario *i* ran, needed to keep early-stop
+    reports identical to the historical (and ``jobs=1``) behavior.
+    """
+    scenarios: List[Scenario] = []
+    skips_before: List[int] = []
+    skipped = 0
+    attempts = 0
+    max_attempts = budget * 3
+    while len(scenarios) < budget and attempts < max_attempts:
+        attempts += 1
+        scenario = random_scenario(rng)
+        if not _is_feasible(scenario):
+            skipped += 1
+            _FUZZ_SKIPS.inc()
+            continue
+        skips_before.append(skipped)
+        scenarios.append(scenario)
+    return scenarios, skips_before, skipped
+
+
 def fuzz(
     budget: int = 200,
     *,
@@ -195,6 +249,8 @@ def fuzz(
     shrink_failures: bool = True,
     max_failures: int = 10,
     on_scenario: Optional[Callable[[int, Scenario], None]] = None,
+    jobs: int = 1,
+    collect_metrics: bool = False,
 ) -> FuzzReport:
     """Run every registered oracle over *budget* random scenarios.
 
@@ -213,10 +269,24 @@ def fuzz(
         Stop early after this many failures (keeps a badly broken tree
         from burning the whole budget on shrinking).
     on_scenario:
-        Progress callback ``(index, scenario)`` invoked before each build.
+        Progress callback ``(index, scenario)`` invoked per evaluated
+        scenario, in order.
+    jobs:
+        Worker processes for scenario evaluation. Scenarios are always
+        drawn in the parent from one RNG stream, so the failure list,
+        the report's :meth:`~FuzzReport.render`, and (with
+        *collect_metrics*) the merged metrics snapshot are identical
+        for every worker count. Shrinking always runs in the parent.
+    collect_metrics:
+        Capture a per-scenario metrics delta and fold them, in scenario
+        order, into :attr:`FuzzReport.metrics`. Each scenario then runs
+        against a zeroed registry and route cache; with ``jobs=1`` that
+        zeroing happens in the calling process.
     """
     if budget < 1:
         raise ValueError("budget must be >= 1")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
     rng = make_rng(seed)
     selected = tuple(oracle_names) if oracle_names is not None else tuple(
         sorted(all_oracles())
@@ -224,49 +294,69 @@ def fuzz(
     tr = tracer()
     failures: List[FuzzFailure] = []
     ran = 0
-    skipped = 0
-    attempts = 0
-    max_attempts = budget * 3
+    metrics: Optional[Dict[str, Dict[str, Any]]] = None
+
+    def note_failures(scenario: Scenario, found: Sequence[OracleFailure]) -> None:
+        for failure in found:
+            if tr.enabled:
+                tr.event(
+                    "verify.failure",
+                    {"oracle": failure.oracle, "message": failure.message,
+                     **scenario.params()},
+                )
+            minimized = scenario
+            if shrink_failures:
+                minimized = shrink(scenario, failure.oracle)
+            failures.append(
+                FuzzFailure(
+                    oracle=failure.oracle,
+                    message=failure.message,
+                    scenario=scenario.params(),
+                    minimized=minimized.params(),
+                )
+            )
+
     with tr.span(
         "verify.fuzz",
-        {"budget": budget, "seed": seed} if tr.enabled else None,
+        {"budget": budget, "seed": seed, "jobs": jobs}
+        if tr.enabled
+        else None,
     ):
-        while ran < budget and attempts < max_attempts:
-            attempts += 1
-            scenario = random_scenario(rng)
-            if not _is_feasible(scenario):
-                skipped += 1
-                _FUZZ_SKIPS.inc()
-                continue
-            if on_scenario is not None:
-                on_scenario(ran, scenario)
-            with tr.span(
-                "verify.scenario", scenario.params() if tr.enabled else None
-            ):
-                found = failures_for(scenario, selected)
-            ran += 1
-            _FUZZ_SCENARIOS.inc()
-            for failure in found:
-                _FUZZ_FAILURES.inc()
-                if tr.enabled:
-                    tr.event(
-                        "verify.failure",
-                        {"oracle": failure.oracle, "message": failure.message,
-                         **scenario.params()},
-                    )
-                minimized = scenario
-                if shrink_failures:
-                    minimized = shrink(scenario, failure.oracle)
-                failures.append(
-                    FuzzFailure(
-                        oracle=failure.oracle,
-                        message=failure.message,
-                        scenario=scenario.params(),
-                        minimized=minimized.params(),
-                    )
-                )
-            if len(failures) >= max_failures:
-                break
+        scenarios, skips_before, skipped = _draw_scenarios(rng, budget)
+
+        if jobs == 1 and not collect_metrics:
+            # Inline path: evaluate lazily so max_failures stops early
+            # without paying for the rest of the budget.
+            for idx, scenario in enumerate(scenarios):
+                if on_scenario is not None:
+                    on_scenario(idx, scenario)
+                found = _fuzz_task((scenario, selected))
+                ran = idx + 1
+                note_failures(scenario, found)
+                if len(failures) >= max_failures:
+                    skipped = skips_before[idx]
+                    break
+        else:
+            # Pool path: evaluate the whole budget (results arrive in
+            # draw order), then consume until max_failures.
+            runner = SweepRunner(jobs, capture_metrics=True)
+            sweep = runner.map(
+                _fuzz_task, [(s, selected) for s in scenarios]
+            )
+            merged: Dict[str, Dict[str, Any]] = {}
+            for idx, found in enumerate(sweep.results):
+                scenario = scenarios[idx]
+                if on_scenario is not None:
+                    on_scenario(idx, scenario)
+                merged = merge_snapshots(merged, sweep.task_metrics[idx])
+                ran = idx + 1
+                note_failures(scenario, found)
+                if len(failures) >= max_failures:
+                    skipped = skips_before[idx]
+                    break
+            if collect_metrics:
+                metrics = merged
+
     return FuzzReport(
         budget=budget,
         seed=seed,
@@ -274,4 +364,6 @@ def fuzz(
         infeasible_skips=skipped,
         oracle_names=selected,
         failures=tuple(failures),
+        jobs=jobs,
+        metrics=metrics,
     )

@@ -25,8 +25,8 @@ from repro.core.mapping.oblivious import ObliviousMapping
 from repro.core.mapping.partition_map import PartitionMapping
 from repro.core.mapping.txyz import TxyzMapping
 from repro.core.scheduler.plan import ExecutionPlan
-from repro.core.scheduler.strategies import ParallelSiblingsStrategy, SequentialStrategy
 from repro.errors import ConfigurationError
+from repro.exec.plancache import parallel_plan, sequential_plan
 from repro.iosim.model import IoModel
 from repro.perfsim.simulate import IterationReport, simulate_iteration
 from repro.runtime.decomposition import choose_process_grid
@@ -134,9 +134,11 @@ class Scenario:
         px, py = choose_process_grid(self.ranks)
         grid = ProcessGrid(px, py)
 
-        seq_plan = SequentialStrategy().plan(grid, parent, siblings)
-        par_plan = ParallelSiblingsStrategy().plan(
-            grid, parent, siblings, ratios=[s.points for s in siblings]
+        # Memoized planning: shrink loops rebuild near-identical variants
+        # and hit the cache for everything but the first build of a key.
+        seq_plan = sequential_plan(grid, parent, siblings)
+        par_plan = parallel_plan(
+            grid, parent, siblings, [s.points for s in siblings]
         )
 
         mapping: Mapping = MAPPINGS[self.mapping]()

@@ -1,0 +1,108 @@
+"""Batch prediction must be BIT-identical to the scalar path.
+
+The scalar ``predict_features`` is the parity oracle: the vectorized
+path exists purely for throughput, so any drift — even one ULP — is a
+bug. Hypothesis drives feature pairs across every regime the scalar
+code distinguishes: inside the basis hull, above/below the covered
+point range (scaled), and outside the clamped aspect band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prediction.basis import generate_candidates, select_basis
+from repro.core.prediction.model import PerformanceModel
+from repro.core.prediction.naive import NaivePointsModel
+from repro.errors import PredictionError
+from repro.wrf.grid import DomainSpec
+
+
+def _synthetic_time(aspect: float, points: float) -> float:
+    nx = (points * aspect) ** 0.5
+    ny = points / nx
+    return 1e-5 * points + 2e-3 * (nx + ny)
+
+
+def _models():
+    cands = generate_candidates(200, seed=13)
+    basis = select_basis(cands)
+    times = [_synthetic_time(b.aspect_ratio, b.points) for b in basis]
+    return (
+        PerformanceModel.from_measurements(basis, times),
+        NaivePointsModel.from_measurements(basis, times),
+    )
+
+
+MODEL, NAIVE = _models()
+
+# Regimes: clamped-low/in-band/clamped-high aspect x scaled-down/
+# in-hull/scaled-up points (the basis covers roughly aspect 0.5-1.5,
+# points 2e4-2.5e5).
+aspects = st.one_of(
+    st.floats(0.05, 0.45),
+    st.floats(0.5, 1.5),
+    st.floats(1.6, 12.0),
+)
+point_counts = st.one_of(
+    st.floats(100.0, 1.5e4),
+    st.floats(2.5e4, 2.0e5),
+    st.floats(3.0e5, 5.0e6),
+)
+
+
+@given(feats=st.lists(st.tuples(aspects, point_counts), min_size=1, max_size=64))
+@settings(max_examples=60, deadline=None)
+def test_delaunay_batch_bit_identical_to_scalar(feats):
+    a = [f[0] for f in feats]
+    p = [f[1] for f in feats]
+    batch = MODEL.predict_features_batch(a, p)
+    scalar = [MODEL.predict_features(ai, pi) for ai, pi in feats]
+    assert batch.tolist() == scalar  # exact equality, not approx
+
+
+@given(feats=st.lists(st.tuples(aspects, point_counts), min_size=1, max_size=64))
+@settings(max_examples=30, deadline=None)
+def test_naive_batch_bit_identical_to_scalar(feats):
+    a = [f[0] for f in feats]
+    p = [f[1] for f in feats]
+    batch = NAIVE.predict_features_batch(a, p)
+    scalar = [NAIVE.predict_features(ai, pi) for ai, pi in feats]
+    assert batch.tolist() == scalar
+
+
+def test_predict_batch_matches_predict_on_domains():
+    specs = [
+        DomainSpec(f"n{i}", nx=nx, ny=ny, dx_km=8.0, parent="d01",
+                   parent_start=(1, 1), refinement=3, level=1)
+        for i, (nx, ny) in enumerate(
+            [(120, 96), (90, 120), (300, 310), (451, 212), (64, 512)]
+        )
+    ]
+    for model in (MODEL, NAIVE):
+        batch = model.predict_batch(specs)
+        assert batch.tolist() == [model.predict(s) for s in specs]
+
+
+def test_empty_batch():
+    out = MODEL.predict_features_batch([], [])
+    assert isinstance(out, np.ndarray) and out.size == 0
+
+
+class TestBatchValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(PredictionError, match="congruent"):
+            MODEL.predict_features_batch([1.0, 1.0], [1e5])
+        with pytest.raises(PredictionError, match="congruent"):
+            NAIVE.predict_features_batch([1.0, 1.0], [1e5])
+
+    def test_non_positive_features_rejected_like_scalar(self):
+        with pytest.raises(PredictionError, match="must be positive"):
+            MODEL.predict_features_batch([1.0, -1.0], [1e5, 1e5])
+        with pytest.raises(PredictionError, match="must be positive"):
+            MODEL.predict_features_batch([1.0, 1.0], [1e5, 0.0])
+        with pytest.raises(PredictionError, match="must be positive"):
+            NAIVE.predict_features_batch([1.0], [0.0])
