@@ -6,18 +6,32 @@ from conftest import record
 from repro.analysis.experiments import fig5_fig6_mapping_example
 from repro.core.mapping.base import SlotSpace
 from repro.core.mapping.multilevel import MultiLevelMapping
+from repro.exec.placementcache import placement_cache_stats, reset_placement_cache
 from repro.runtime.process_grid import GridRect, ProcessGrid
 from repro.topology.torus import Torus3D
 
 
 @pytest.fixture(scope="module")
-def result():
-    return fig5_fig6_mapping_example()
+def result_and_cache():
+    reset_placement_cache()
+    result = fig5_fig6_mapping_example()
+    return result, placement_cache_stats()
 
 
-def test_fig5_6_regenerate(result, benchmark):
+@pytest.fixture(scope="module")
+def result(result_and_cache):
+    return result_and_cache[0]
+
+
+def test_fig5_6_regenerate(result_and_cache, benchmark):
     """Emit the hop table and assert the paper's exact claims."""
-    record("fig05_06_mapping_hops", benchmark(result.render))
+    result, cache = result_and_cache
+    record(
+        "fig05_06_mapping_hops",
+        benchmark(result.render)
+        + f"\nplacement cache: {cache.hits} hits / {cache.misses} misses "
+        f"({100 * cache.hit_rate:.0f}% hit rate)",
+    )
     assert result.oblivious_0_to_8 == 2      # Fig 5: "2 hops apart"
     assert result.oblivious_8_to_16 == 3     # Fig 5: "3 hops away"
     assert result.multilevel_3_to_4 == 1     # Fig 6(b): "1 hop apart"

@@ -11,6 +11,7 @@ from repro.core.mapping.oblivious import ObliviousMapping
 from repro.core.prediction.basis import generate_candidates, select_basis
 from repro.core.prediction.model import PerformanceModel
 from repro.core.scheduler.plan import ExecutionPlan
+from repro.exec.placementcache import cached_placement
 from repro.exec.plancache import parallel_plan, sequential_plan
 from repro.exec.pool import SweepRunner
 from repro.iosim.model import IoModel
@@ -69,22 +70,19 @@ def grid_for(num_ranks: int) -> ProcessGrid:
     return ProcessGrid(px, py)
 
 
-@lru_cache(maxsize=32)
-def _oblivious_placement_cached(
-    machine_name: str, num_ranks: int, mode: Optional[str]
-) -> Placement:
-    machine = _machine_by_name(machine_name)
-    grid = grid_for(num_ranks)
-    rpn = machine.mode(mode).ranks_per_node
-    space = SlotSpace(machine.torus_for_ranks(num_ranks, mode), rpn)
-    return ObliviousMapping().place(grid, space)
-
-
 def oblivious_placement(
     machine: Machine, num_ranks: int, mode: Optional[str] = None
 ) -> Placement:
-    """Shared default placement (it ignores partition rectangles)."""
-    return _oblivious_placement_cached(machine.name, num_ranks, mode)
+    """Shared default placement (it ignores partition rectangles).
+
+    Memoized in the process-wide placement cache
+    (:mod:`repro.exec.placementcache`), so sweeps that revisit a rank
+    count share one placement with ``simulate_iteration``.
+    """
+    grid = grid_for(num_ranks)
+    rpn = machine.mode(mode).ranks_per_node
+    space = SlotSpace(machine.torus_for_ranks(num_ranks, mode), rpn)
+    return cached_placement(ObliviousMapping(), grid, space)
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,7 @@ from repro.core.mapping.oblivious import ObliviousMapping
 from repro.core.mapping.partition_map import PartitionMapping
 from repro.core.mapping.txyz import TxyzMapping
 from repro.core.scheduler.strategies import ParallelSiblingsStrategy, SequentialStrategy
+from repro.exec.placementcache import cached_placement
 from repro.perfsim.simulate import simulate_iteration
 from repro.runtime.halo import HaloSpec
 from repro.runtime.process_grid import GridRect, ProcessGrid
@@ -69,7 +70,7 @@ def fig5_fig6_mapping_example() -> MappingExampleResult:
     hops: Dict[str, Dict[str, float]] = {}
     placements = {}
     for mapping in (ObliviousMapping(), TxyzMapping(), PartitionMapping(), MultiLevelMapping()):
-        p = mapping.place(grid, space, rects)
+        p = cached_placement(mapping, grid, space, rects)
         placements[mapping.name] = p
         metrics = nest_and_parent_metrics(p, (80, 40), [(40, 40), (40, 40)], rects, spec)
         hops[mapping.name] = {k: m.average_hops for k, m in metrics.items()}

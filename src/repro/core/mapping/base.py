@@ -11,6 +11,14 @@ same node are zero hops apart.
 **Placement.** The result of a mapping: for every world rank, the slot it
 occupies (a bijection onto a subset of slots) and therefore the node
 coordinate the network simulator routes from.
+
+A placement is array-backed: mappings may hand the constructor a dense
+``(P, 3)`` ``int64`` slot array (what the vectorized heuristics produce),
+the bijection check runs vectorized under the default backend
+(``REPRO_PLACEMENT=vector``), and :meth:`Placement.nodes_array` exposes
+the per-rank node coordinates as an array the network engine consumes
+without materialising a Python tuple list per iteration. The scalar
+per-rank walk remains as the parity oracle (``REPRO_PLACEMENT=scalar``).
 """
 
 from __future__ import annotations
@@ -18,7 +26,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import MappingError
+from repro.runtime.backend import placement_backend
 from repro.runtime.process_grid import GridRect, ProcessGrid
 from repro.topology.torus import Torus3D, TorusCoord
 from repro.util.validation import check_positive_int
@@ -116,6 +127,15 @@ class Box:
             for dx in range(self.w)
         ]
 
+    def slots_array(self) -> np.ndarray:
+        """All slots as a ``(volume, 3)`` ``int64`` array, :meth:`slots` order."""
+        s_idx, y_idx, x_idx = np.indices((self.d, self.h, self.w))
+        out = np.empty((self.volume, 3), dtype=np.int64)
+        out[:, 0] = self.x0 + x_idx.ravel()
+        out[:, 1] = self.y0 + y_idx.ravel()
+        out[:, 2] = self.s0 + s_idx.ravel()
+        return out
+
 
 @dataclass(frozen=True)
 class Placement:
@@ -128,7 +148,10 @@ class Placement:
     grid:
         The virtual process grid mapped from.
     slots:
-        ``slots[rank]`` is the slot of world rank *rank*.
+        ``slots[rank]`` is the slot of world rank *rank*. The constructor
+        also accepts a ``(P, 3)`` integer array, which is normalised to
+        the tuple form (so equality and reprs are backend-independent)
+        while the array is retained for :meth:`slots_array`.
     name:
         The producing mapping's name (for reports).
     """
@@ -139,26 +162,71 @@ class Placement:
     name: str
 
     def __post_init__(self) -> None:
+        if isinstance(self.slots, np.ndarray):
+            arr = np.ascontiguousarray(self.slots, dtype=np.int64)
+            arr = arr.reshape(len(arr), 3)
+            arr.flags.writeable = False
+            slots = tuple(map(tuple, arr.tolist()))
+            object.__setattr__(self, "slots", slots)
+            object.__setattr__(self, "_slots_arr", (slots, arr))
         if len(self.slots) != self.grid.size:
             raise MappingError(
                 f"placement covers {len(self.slots)} ranks, grid has {self.grid.size}"
             )
+        # One shared slot-index implementation (slot_indices) serves both
+        # the constructor's bijection check and the verification oracles.
+        ids = self.slot_indices()
+        if len(set(ids)) != len(ids):
+            self._raise_duplicate(ids)
+
+    def _raise_duplicate(self, ids: Sequence[int]) -> None:
+        """Report the first duplicated slot exactly as the scalar walk did."""
         seen: Dict[int, int] = {}
-        for rank, slot in enumerate(self.slots):
-            idx = self.space.slot_index(slot)
+        for rank, (slot, idx) in enumerate(zip(self.slots, ids)):
             if idx in seen:
                 raise MappingError(
                     f"ranks {seen[idx]} and {rank} both mapped to slot {slot}"
                 )
             seen[idx] = rank
+        raise AssertionError("duplicate ids vanished")  # pragma: no cover
 
     def node_of(self, rank: int) -> TorusCoord:
         """Torus node of world rank *rank*."""
         return self.space.node_of(self.slots[rank])
 
     def nodes(self) -> List[TorusCoord]:
-        """Per-rank node coordinates (index = world rank)."""
+        """Per-rank node coordinates (index = world rank), as tuples."""
         return [self.space.node_of(s) for s in self.slots]
+
+    def slots_array(self) -> np.ndarray:
+        """Per-rank slot coordinates as a read-only ``(P, 3)`` array.
+
+        Cached against the identity of :attr:`slots`, so oracles that
+        mutate a copied placement's ``slots`` (via ``object.__setattr__``)
+        get a freshly derived array, never a stale one.
+        """
+        cached = self.__dict__.get("_slots_arr")
+        if cached is not None and cached[0] is self.slots:
+            return cached[1]
+        arr = np.asarray(self.slots, dtype=np.int64).reshape(len(self.slots), 3)
+        arr.flags.writeable = False
+        object.__setattr__(self, "_slots_arr", (self.slots, arr))
+        return arr
+
+    def nodes_array(self) -> np.ndarray:
+        """Per-rank node coordinates as a read-only ``(P, 3)`` array.
+
+        Feeds :func:`repro.netsim.engine.as_placement` directly — no
+        per-rank tuple list is built on the simulation hot path.
+        """
+        cached = self.__dict__.get("_nodes_arr")
+        if cached is not None and cached[0] is self.slots:
+            return cached[1]
+        nodes = self.slots_array().copy()
+        nodes[:, 2] //= self.space.ranks_per_node
+        nodes.flags.writeable = False
+        object.__setattr__(self, "_nodes_arr", (self.slots, nodes))
+        return nodes
 
     def slot_indices(self) -> List[int]:
         """Linear slot id of every rank, in rank order.
@@ -166,9 +234,20 @@ class Placement:
         The placement is a bijection onto a slot subset exactly when
         these ids are pairwise distinct; computed from raw coordinates
         (not ``__post_init__`` state) so verification oracles can
-        re-check placements mutated after construction.
+        re-check placements mutated after construction. Vectorized under
+        ``REPRO_PLACEMENT=vector``; the scalar walk is the parity oracle.
         """
         X, Y, S = self.space.dims
+        if placement_backend() == "vector":
+            arr = self.slots_array()
+            dims = np.array([X, Y, S], dtype=np.int64)
+            ok = (arr >= 0).all(axis=1) & (arr < dims).all(axis=1)
+            if not bool(ok.all()):
+                x, y, s = self.slots[int(np.flatnonzero(~ok)[0])]
+                raise MappingError(
+                    f"slot ({x}, {y}, {s}) outside slot box {self.space.dims}"
+                )
+            return (arr[:, 0] + X * (arr[:, 1] + Y * arr[:, 2])).tolist()
         out: List[int] = []
         for x, y, s in self.slots:
             if not (0 <= x < X and 0 <= y < Y and 0 <= s < S):

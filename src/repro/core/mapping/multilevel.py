@@ -18,8 +18,10 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+import numpy as np
+
 from repro.core.mapping.base import Box, SlotCoord
-from repro.core.mapping.folding import fill_rect_into_box
+from repro.core.mapping.folding import fill_rect_into_box, fill_rect_into_box_array
 from repro.core.mapping.partition_map import PartitionMapping
 from repro.runtime.process_grid import GridRect
 
@@ -48,3 +50,14 @@ class MultiLevelMapping(PartitionMapping):
             return filled
         # Non-foldable: fall back to the chunked partition fill.
         return fill_rect_into_box(rect.width, rect.height, box, style="chunk")
+
+    def _structured_fill_array(
+        self, rect: GridRect, box: Box, orientation: int
+    ) -> np.ndarray | None:
+        """Array twin of :meth:`_structured_fill` (fold, chunk fallback)."""
+        filled = fill_rect_into_box_array(
+            rect.width, rect.height, box, style="fold", orientation=orientation
+        )
+        if filled is not None:
+            return filled
+        return fill_rect_into_box_array(rect.width, rect.height, box, style="chunk")

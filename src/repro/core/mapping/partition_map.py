@@ -13,16 +13,24 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.mapping.base import Box, Mapping, Placement, SlotCoord, SlotSpace
 from repro.core.mapping.boxes import assign_boxes
 from repro.core.mapping.folding import (
     fill_rect_into_box,
+    fill_rect_into_box_array,
     snake_fill,
+    snake_fill_array,
+    snake_index_grid,
     snake_order_box,
+    snake_order_box_array,
     snake_order_box_depth_first,
+    snake_order_box_depth_first_array,
     snake_order_rect,
 )
 from repro.errors import MappingError
+from repro.runtime.backend import placement_backend
 from repro.runtime.process_grid import GridRect, ProcessGrid
 
 __all__ = ["PartitionMapping"]
@@ -56,6 +64,8 @@ class PartitionMapping(Mapping):
             rects = [grid.full_rect()]
         X, Y, S = space.dims
         root = Box(0, 0, 0, X, Y, S)
+        if placement_backend() == "vector":
+            return self._place_array(grid, space, rects, root)
 
         # The box-split axis preference interacts with how rectangles
         # factor into their boxes in hard-to-predict ways; build the
@@ -94,6 +104,156 @@ class PartitionMapping(Mapping):
 
         slots = tuple(best[1][r] for r in range(grid.size))
         return Placement(space=space, grid=grid, slots=slots, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Array backend — same decision flow as the scalar path below, but
+    # every candidate fill is an ``(h, w, 3)`` slot array and the hop
+    # scores come out of one broadcast torus-distance pass per candidate.
+    # Scores are exact-integer sums divided once, so candidate selection
+    # (first minimum wins) is bit-identical to the scalar oracle.
+    def _place_array(
+        self,
+        grid: ProcessGrid,
+        space: SlotSpace,
+        rects: Sequence[GridRect],
+        root: Box,
+    ) -> Placement:
+        best: tuple[float, np.ndarray] | None = None
+        for prefer_depth in (self._fill_style == "chunk", self._fill_style != "chunk"):
+            own, shared = assign_boxes(rects, root, prefer_depth_cut=prefer_depth)
+            slot_arr = np.full((grid.size, 3), -1, dtype=np.int64)
+            handled_shared: set[int] = set()
+            score = 0.0
+            for idx, rect in enumerate(rects):
+                if idx in own:
+                    box, orientation = own[idx]
+                    score += self._fill_own_array(
+                        grid, rect, box, orientation, slot_arr, space
+                    )
+                elif idx not in handled_shared:
+                    box, group = shared[idx]
+                    score += self._fill_shared_array(
+                        grid, rects, group, box, slot_arr, space
+                    )
+                    handled_shared.update(group)
+            if best is None or score < best[0]:
+                best = (score, slot_arr)
+        assert best is not None
+
+        global_choice = self._global_fill_array(grid, root, rects, space)
+        if global_choice is not None and global_choice[0] < best[0]:
+            best = global_choice
+        return Placement(space=space, grid=grid, slots=best[1], name=self.name)
+
+    @staticmethod
+    def _rect_ranks(grid: ProcessGrid, rect: GridRect) -> np.ndarray:
+        """``(h, w)`` grid of the ranks covered by *rect*."""
+        gx = rect.x0 + np.arange(rect.width, dtype=np.int64)
+        gy = rect.y0 + np.arange(rect.height, dtype=np.int64)
+        return gy[:, None] * grid.px + gx[None, :]
+
+    def _fill_own_array(
+        self,
+        grid: ProcessGrid,
+        rect: GridRect,
+        box: Box,
+        orientation: int,
+        out: np.ndarray,
+        space: SlotSpace,
+    ) -> float:
+        candidates: list[np.ndarray] = []
+        fill = self._structured_fill_array(rect, box, orientation)
+        if fill is not None:
+            candidates.append(fill)
+        transposed = self._structured_fill_array(
+            GridRect(rect.y0, rect.x0, rect.height, rect.width), box, orientation
+        )
+        if transposed is not None:
+            candidates.append(transposed.transpose(1, 0, 2))
+        candidates.append(snake_fill_array(rect.width, rect.height, box))
+        candidates.append(
+            snake_fill_array(rect.width, rect.height, box, depth_first=True)
+        )
+
+        scores = [self._fill_score_array(f, space) for f in candidates]
+        best_index = min(range(len(scores)), key=scores.__getitem__)
+        ranks = self._rect_ranks(grid, rect)
+        out[ranks.ravel()] = candidates[best_index].reshape(-1, 3)
+        return scores[best_index] * rect.area
+
+    @staticmethod
+    def _fill_score_array(fill: np.ndarray, space: SlotSpace) -> float:
+        """Array twin of :meth:`_fill_score` over an ``(h, w, 3)`` fill."""
+        nodes = fill.copy()
+        nodes[..., 2] //= space.ranks_per_node
+        dims = np.asarray(space.torus.dims, dtype=np.int64)
+        h, w = fill.shape[:2]
+        total = 0
+        if w > 1:
+            d = np.abs(nodes[:, :-1] - nodes[:, 1:]) % dims
+            total += int(np.minimum(d, dims - d).sum())
+        if h > 1:
+            d = np.abs(nodes[:-1, :] - nodes[1:, :]) % dims
+            total += int(np.minimum(d, dims - d).sum())
+        count = h * (w - 1) + w * (h - 1)
+        return total / count if count else 0.0
+
+    def _structured_fill_array(
+        self, rect: GridRect, box: Box, orientation: int
+    ) -> np.ndarray | None:
+        return fill_rect_into_box_array(
+            rect.width, rect.height, box, style=self._fill_style
+        )
+
+    def _fill_shared_array(
+        self,
+        grid: ProcessGrid,
+        rects: Sequence[GridRect],
+        group: Sequence[int],
+        box: Box,
+        out: np.ndarray,
+        space: SlotSpace,
+    ) -> float:
+        scores: list[float] = []
+        fills: list[list[tuple[np.ndarray, np.ndarray]]] = []
+        for order in (snake_order_box_array(box), snake_order_box_depth_first_array(box)):
+            placed: list[tuple[np.ndarray, np.ndarray]] = []
+            score = 0.0
+            cursor = 0
+            for idx in group:
+                rect = rects[idx]
+                segment = order[cursor : cursor + rect.area]
+                cursor += rect.area
+                local = segment[snake_index_grid(rect.width, rect.height)]
+                score += self._fill_score_array(local, space) * rect.area
+                placed.append((self._rect_ranks(grid, rect), local))
+            if cursor != len(order):  # pragma: no cover - defensive
+                raise MappingError("shared box fill did not consume all slots")
+            fills.append(placed)
+            scores.append(score)
+        best_index = scores.index(min(scores))
+        for ranks, local in fills[best_index]:
+            out[ranks.ravel()] = local.reshape(-1, 3)
+        return scores[best_index]
+
+    def _global_fill_array(
+        self,
+        grid: ProcessGrid,
+        root: Box,
+        rects: Sequence[GridRect],
+        space: SlotSpace,
+    ) -> tuple[float, np.ndarray] | None:
+        fill = fill_rect_into_box_array(grid.px, grid.py, root, style=self._fill_style)
+        if fill is None:
+            return None
+        slot_arr = np.full((grid.size, 3), -1, dtype=np.int64)
+        score = 0.0
+        for rect in rects:
+            local = fill[rect.y0 : rect.y0 + rect.height, rect.x0 : rect.x0 + rect.width]
+            score += self._fill_score_array(local, space) * rect.area
+            ranks = self._rect_ranks(grid, rect)
+            slot_arr[ranks.ravel()] = local.reshape(-1, 3)
+        return (score, slot_arr)
 
     def _global_fill(
         self,

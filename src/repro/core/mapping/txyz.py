@@ -11,7 +11,10 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.core.mapping.base import Mapping, Placement, SlotCoord, SlotSpace
+from repro.runtime.backend import placement_backend
 from repro.runtime.process_grid import GridRect, ProcessGrid
 
 __all__ = ["TxyzMapping"]
@@ -35,6 +38,16 @@ class TxyzMapping(Mapping):
         self._check_capacity(grid, space)
         torus = space.torus
         rpn = space.ranks_per_node
+        if placement_backend() == "vector":
+            x_dim, y_dim, _ = torus.dims
+            rank = np.arange(grid.size, dtype=np.int64)
+            node_idx = rank // rpn
+            core = rank % rpn
+            slot_arr = np.empty((grid.size, 3), dtype=np.int64)
+            slot_arr[:, 0] = node_idx % x_dim
+            slot_arr[:, 1] = (node_idx // x_dim) % y_dim
+            slot_arr[:, 2] = (node_idx // (x_dim * y_dim)) * rpn + core
+            return Placement(space=space, grid=grid, slots=slot_arr, name=self.name)
         slots: list[SlotCoord] = []
         for rank in range(grid.size):
             node_idx = rank // rpn

@@ -6,12 +6,20 @@ with local cores without changing a single result:
 * :mod:`repro.exec.pool` — :class:`SweepRunner`, the process-pool fan-out
   with order-preserving results and deterministic metric merging;
 * :mod:`repro.exec.plancache` — memoized execution plans keyed by
-  ``(grid dims, sibling signature, ratios digest)``.
+  ``(grid dims, sibling signature, ratios digest)``;
+* :mod:`repro.exec.placementcache` — memoized placements keyed by
+  ``(mapping name, grid dims, torus dims, ranks-per-node, rects)``.
 
 See ``docs/parallel.md`` for the determinism contract and when *not* to
 use workers.
 """
 
+from repro.exec.placementcache import (
+    PlacementCacheStats,
+    cached_placement,
+    placement_cache_stats,
+    reset_placement_cache,
+)
 from repro.exec.plancache import (
     PlanCacheStats,
     parallel_plan,
@@ -30,4 +38,8 @@ __all__ = [
     "parallel_plan",
     "plan_cache_stats",
     "reset_plan_cache",
+    "PlacementCacheStats",
+    "cached_placement",
+    "placement_cache_stats",
+    "reset_placement_cache",
 ]

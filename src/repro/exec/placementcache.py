@@ -1,0 +1,152 @@
+"""Memoized placements for sweep workloads.
+
+Experiment drivers rebuild the same placement over and over: a rank
+sweep prices every mapping at every rank count, the fuzzer shrinks a
+failing scenario through near-identical variants, ``simulate_iteration``
+re-places the grid on every call when no placement is supplied. Placing
+is pure — a deterministic function of the mapping heuristic, the process
+grid, the slot space, and the partition rectangles — so the work is
+memoized behind a keyed LRU cache:
+
+    (mapping name, grid dims, torus dims, ranks-per-node, rects
+    signature) -> Placement
+
+Cached placements are frozen dataclasses, shared rather than copied.
+The cache is **per process**: every pool worker warms its own copy.
+
+Unlike the plan cache, the hit/miss counters are mirrored into the
+observability registry (``exec.placement_cache.*``, the route-cache
+pattern): the plain attributes stay the source of truth and
+:func:`repro.exec.pool._reset_task_state` clears the cache per task, so
+per-task metric capture and the counters can never desynchronise.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+from repro.obs.metrics import counter as _obs_counter
+from repro.runtime.process_grid import GridRect, ProcessGrid
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.mapping.base import Mapping, Placement, SlotSpace
+
+__all__ = [
+    "PlacementCacheStats",
+    "cached_placement",
+    "placement_cache_stats",
+    "reset_placement_cache",
+]
+
+PlacementKey = Tuple[
+    str, int, int, Tuple[int, int, int], int, Optional[Tuple[GridRect, ...]]
+]
+
+# Bound once at import; registry resets zero these in place, so the
+# references never go stale (same contract as the netsim route cache).
+_HITS = _obs_counter("exec.placement_cache.hits")
+_MISSES = _obs_counter("exec.placement_cache.misses")
+
+
+@dataclass(frozen=True)
+class PlacementCacheStats:
+    """Placement-cache counters for reports and benchmarks."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _PlacementCache:
+    """Bounded LRU of placements (same shape as the plan cache)."""
+
+    def __init__(self, maxsize: int = 512):
+        self.maxsize = maxsize
+        self._data: "OrderedDict[PlacementKey, Placement]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: PlacementKey) -> "Optional[Placement]":
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            _MISSES.inc()
+            return None
+        self.hits += 1
+        _HITS.inc()
+        self._data.move_to_end(key)
+        return entry
+
+    def put(self, key: PlacementKey, value: "Placement") -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def stats(self) -> PlacementCacheStats:
+        return PlacementCacheStats(
+            hits=self.hits, misses=self.misses, entries=len(self._data)
+        )
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+        _HITS.reset()
+        _MISSES.reset()
+
+
+_PLACEMENT_CACHE = _PlacementCache()
+
+
+def _key(
+    mapping: "Mapping",
+    grid: ProcessGrid,
+    space: "SlotSpace",
+    rects: Optional[Sequence[GridRect]],
+) -> PlacementKey:
+    signature = None if rects is None else tuple(rects)
+    return (
+        mapping.name,
+        grid.px,
+        grid.py,
+        space.torus.dims,
+        space.ranks_per_node,
+        signature,
+    )
+
+
+def cached_placement(
+    mapping: "Mapping",
+    grid: ProcessGrid,
+    space: "SlotSpace",
+    rects: Optional[Sequence[GridRect]] = None,
+) -> "Placement":
+    """The memoized ``mapping.place(grid, space, rects)`` placement.
+
+    Heuristics are keyed by :attr:`Mapping.name`, so two instances of the
+    same mapping class share entries (mappings carry no other state).
+    """
+    key = _key(mapping, grid, space, rects)
+    placement = _PLACEMENT_CACHE.get(key)
+    if placement is None:
+        placement = mapping.place(grid, space, rects)
+        _PLACEMENT_CACHE.put(key, placement)
+    return placement
+
+
+def placement_cache_stats() -> PlacementCacheStats:
+    """Current placement-cache counters."""
+    return _PLACEMENT_CACHE.stats()
+
+
+def reset_placement_cache() -> None:
+    """Drop all cached placements and zero the counters (tests, benchmarks)."""
+    _PLACEMENT_CACHE.clear()

@@ -57,16 +57,19 @@ _RETRIES = _obs_counter("exec.sweep.retries")
 def _reset_task_state() -> None:
     """Zero all state a per-task metrics delta must not inherit.
 
-    The route cache is the one cache whose hit/miss counters live in the
-    metrics registry (they must always equal ``route_cache_stats()``);
-    dropping it together with the registry keeps that invariant inside
-    every captured delta — and makes each task's delta independent of
-    which tasks ran earlier in the same process, which is what makes the
-    merged snapshot identical across worker counts.
+    The route and placement caches are the caches whose hit/miss counters
+    live in the metrics registry (they must always equal
+    ``route_cache_stats()`` / ``placement_cache_stats()``); dropping them
+    together with the registry keeps that invariant inside every captured
+    delta — and makes each task's delta independent of which tasks ran
+    earlier in the same process, which is what makes the merged snapshot
+    identical across worker counts.
     """
+    from repro.exec.placementcache import reset_placement_cache
     from repro.netsim.engine import reset_route_cache
 
     reset_route_cache()
+    reset_placement_cache()
     registry().reset()
 
 

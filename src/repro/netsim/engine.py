@@ -49,7 +49,7 @@ from repro.obs.metrics import counter as _obs_counter
 from repro.obs.metrics import gauge as _obs_gauge
 from repro.obs.metrics import histogram as _obs_histogram
 from repro.netsim.traffic import LinkLoads, RoutedMessage, route_messages
-from repro.runtime.halo import HaloMessage
+from repro.runtime.halo import HaloBatch, HaloMessage
 from repro.topology.routing import ring_steps_array
 from repro.topology.torus import Link, Torus3D, TorusCoord
 
@@ -125,12 +125,22 @@ class PlacementVector:
     are shared by the parent and every sibling exchange.
     """
 
-    __slots__ = ("torus", "nodes", "coords", "node_ranks", "digest")
+    __slots__ = ("torus", "_nodes", "coords", "node_ranks", "digest")
 
-    def __init__(self, torus: Torus3D, nodes: Sequence[TorusCoord]):
+    def __init__(
+        self, torus: Torus3D, nodes: Union[np.ndarray, Sequence[TorusCoord]]
+    ):
         self.torus = torus
-        self.nodes = nodes
-        self.coords = np.asarray(nodes, dtype=np.int64).reshape(len(nodes), 3)
+        if isinstance(nodes, np.ndarray):
+            # Array pipeline: take the (N, 3) coordinate array directly;
+            # the tuple form is materialised lazily (scalar oracle only).
+            self._nodes = None
+            self.coords = np.ascontiguousarray(nodes, dtype=np.int64).reshape(
+                len(nodes), 3
+            )
+        else:
+            self._nodes = nodes
+            self.coords = np.asarray(nodes, dtype=np.int64).reshape(len(nodes), 3)
         x_dim, y_dim, _ = torus.dims
         self.node_ranks = self.coords[:, 0] + x_dim * (
             self.coords[:, 1] + y_dim * self.coords[:, 2]
@@ -139,11 +149,18 @@ class PlacementVector:
             self.coords.tobytes(), digest_size=16
         ).digest()
 
+    @property
+    def nodes(self) -> Sequence[TorusCoord]:
+        """Per-rank node coordinates as tuples (for the scalar oracle)."""
+        if self._nodes is None:
+            self._nodes = [tuple(row) for row in self.coords.tolist()]
+        return self._nodes
+
     def __len__(self) -> int:
-        return len(self.nodes)
+        return len(self.coords)
 
 
-PlacementLike = Union[PlacementVector, Sequence[TorusCoord]]
+PlacementLike = Union[PlacementVector, np.ndarray, Sequence[TorusCoord]]
 
 
 def as_placement(torus: Torus3D, nodes: PlacementLike) -> PlacementVector:
@@ -154,7 +171,11 @@ def as_placement(torus: Torus3D, nodes: PlacementLike) -> PlacementVector:
 
 
 def _plain_nodes(nodes: PlacementLike) -> Sequence[TorusCoord]:
-    return nodes.nodes if isinstance(nodes, PlacementVector) else nodes
+    if isinstance(nodes, PlacementVector):
+        return nodes.nodes
+    if isinstance(nodes, np.ndarray):
+        return [tuple(row) for row in nodes.tolist()]
+    return nodes
 
 
 # ----------------------------------------------------------------------
@@ -258,8 +279,10 @@ class LinkLoadVector:
 # The array routing kernel
 # ----------------------------------------------------------------------
 def _message_arrays(
-    messages: Sequence[HaloMessage],
+    messages: Union[HaloBatch, Sequence[HaloMessage]],
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    if isinstance(messages, HaloBatch):
+        return messages.src, messages.dst, messages.nbytes
     n = len(messages)
     src = np.fromiter((m.src for m in messages), dtype=np.int64, count=n)
     dst = np.fromiter((m.dst for m in messages), dtype=np.int64, count=n)
@@ -426,7 +449,7 @@ class VectorBackend:
     ) -> tuple[RoutedExchange, LinkLoadVector]:
         """Route one exchange round; loads are read-only (cache-shared)."""
         placement = as_placement(torus, placement_nodes)
-        if not isinstance(messages, (list, tuple)):
+        if not isinstance(messages, (list, tuple, HaloBatch)):
             messages = list(messages)
         src, dst, nbytes = _message_arrays(messages)
 
@@ -530,6 +553,8 @@ class ScalarBackend:
         placement_nodes: PlacementLike,
         messages: Iterable[HaloMessage],
     ) -> tuple[List[RoutedMessage], LinkLoads]:
+        if isinstance(messages, HaloBatch):
+            messages = messages.to_messages()
         return route_messages(torus, _plain_nodes(placement_nodes), messages)
 
     def empty_loads(self, torus: Torus3D) -> LinkLoads:

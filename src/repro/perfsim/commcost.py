@@ -28,7 +28,8 @@ from repro.netsim.contention import CommEstimate
 from repro.netsim.engine import PlacementLike, active_backend
 from repro.obs.trace import tracer
 from repro.perfsim.params import WorkloadParams
-from repro.runtime.halo import halo_messages
+from repro.runtime.backend import placement_backend
+from repro.runtime.halo import HaloSpec, halo_batch, halo_messages
 from repro.runtime.process_grid import GridRect, ProcessGrid
 from repro.topology.machines import Machine
 from repro.topology.torus import Torus3D
@@ -57,6 +58,18 @@ class CommCost:
         return CommCost(0.0, 0.0, 0.0, 0.0, 0)
 
 
+def _build_messages(grid: ProcessGrid, rect: GridRect, nx: int, ny: int, spec: HaloSpec):
+    """One exchange round's messages, in the active placement backend's form.
+
+    The vector backend hands the engine a :class:`HaloBatch` (column
+    arrays, no per-message objects); the scalar oracle keeps the original
+    object list. Both forms digest identically in the route cache.
+    """
+    if placement_backend() == "vector":
+        return halo_batch(grid, rect, nx, ny, spec)
+    return halo_messages(grid, rect, nx, ny, spec)
+
+
 def _cost_from_estimate(est: CommEstimate, rounds: int) -> CommCost:
     return CommCost(
         time=est.time * rounds,
@@ -78,7 +91,7 @@ def halo_comm_cost(
     workload: WorkloadParams,
 ) -> CommCost:
     """Per-step halo cost of one domain exchanging alone on the network."""
-    msgs = halo_messages(grid, rect, nx, ny, workload.halo)
+    msgs = _build_messages(grid, rect, nx, ny, workload.halo)
     if not msgs:
         return CommCost.zero()
     engine = active_backend()
@@ -119,7 +132,7 @@ def concurrent_comm_costs(
     shared = engine.empty_loads(torus)
     with tr.span("netsim.concurrent_exchange"):
         for rect, (nx, ny) in zip(rects, domains):
-            msgs = halo_messages(grid, rect, nx, ny, workload.halo)
+            msgs = _build_messages(grid, rect, nx, ny, workload.halo)
             routed, local = engine.route_exchange(torus, placement_nodes, msgs)
             per_sibling.append(routed)
             shared.merge(local)

@@ -12,16 +12,18 @@ from typing import Optional
 
 from repro.core.mapping.base import Mapping, SlotSpace
 from repro.core.mapping.oblivious import ObliviousMapping
+from repro.exec.placementcache import cached_placement
 from repro.perfsim.commcost import halo_comm_cost
 from repro.perfsim.compute import compute_time
 from repro.perfsim.iteration import StepCost, step_cost
 from repro.perfsim.params import WorkloadParams
+from repro.runtime.backend import placement_backend
 from repro.runtime.decomposition import choose_process_grid
 from repro.runtime.process_grid import ProcessGrid
 from repro.topology.machines import Machine
 from repro.wrf.grid import DomainSpec
 
-__all__ = ["profile_step", "profile_step_time", "netsim_profile"]
+__all__ = ["profile_step", "profile_step_time", "netsim_profile", "placement_profile"]
 
 
 def netsim_profile() -> dict:
@@ -48,6 +50,32 @@ def netsim_profile() -> dict:
     }
 
 
+def placement_profile() -> dict:
+    """Placement-pipeline counters for the profiling report.
+
+    Mirrors :func:`netsim_profile` for the placement layer: which
+    placement backend is active and how often the keyed placement cache
+    returned a memoized placement instead of re-running a heuristic.
+    """
+    from repro.exec.placementcache import placement_cache_stats
+    from repro.obs.metrics import registry
+    from repro.runtime.decomposition import decompose_cache_stats
+
+    stats = placement_cache_stats()
+    dec = decompose_cache_stats()
+    return {
+        "backend": placement_backend(),
+        "placement_cache_hits": stats.hits,
+        "placement_cache_misses": stats.misses,
+        "placement_cache_entries": stats.entries,
+        "placement_cache_hit_rate": stats.hit_rate,
+        "decompose_cache_hits": dec.hits,
+        "decompose_cache_misses": dec.misses,
+        "decompose_cache_entries": dec.entries,
+        "metrics": registry().snapshot("exec.placement_cache."),
+    }
+
+
 def profile_step(
     spec: DomainSpec,
     grid: ProcessGrid,
@@ -62,15 +90,20 @@ def profile_step(
     rpn = machine.mode(mode).ranks_per_node
     torus = machine.torus_for_ranks(grid.size, mode)
     space = SlotSpace(torus, rpn)
-    placement = (mapping or ObliviousMapping()).place(grid, space)
+    placement = cached_placement(mapping or ObliviousMapping(), grid, space)
     comp = compute_time(spec.nx, spec.ny, grid.px, grid.py, machine, workload)
+    nodes = (
+        placement.nodes_array()
+        if placement_backend() == "vector"
+        else placement.nodes()
+    )
     comm = halo_comm_cost(
         grid,
         grid.full_rect(),
         spec.nx,
         spec.ny,
         torus,
-        placement.nodes(),
+        nodes,
         machine,
         workload,
     )

@@ -16,8 +16,10 @@ from repro.core.mapping.base import Mapping, Placement, SlotSpace
 from repro.core.mapping.oblivious import ObliviousMapping
 from repro.core.scheduler.plan import ExecutionPlan
 from repro.errors import SimulationError
+from repro.exec.placementcache import cached_placement
 from repro.iosim.model import IoModel
 from repro.netsim.engine import as_placement
+from repro.runtime.backend import placement_backend
 from repro.obs.trace import tracer
 from repro.perfsim.commcost import CommCost, concurrent_comm_costs, halo_comm_cost
 from repro.perfsim.compute import compute_time
@@ -192,14 +194,19 @@ def _simulate(
         torus = machine.torus_for_ranks(ranks, mode)
         space = SlotSpace(torus, rpn)
         mapping = mapping or ObliviousMapping()
-        placement = mapping.place(
-            grid, space, plan.rects if plan.concurrent else None
+        placement = cached_placement(
+            mapping, grid, space, plan.rects if plan.concurrent else None
         )
     torus = placement.space.torus
     # One PlacementVector serves the parent and every sibling exchange:
     # the coordinate array and cache digest are computed once per
-    # iteration instead of once per comm-cost call.
-    nodes = as_placement(torus, placement.nodes())
+    # iteration instead of once per comm-cost call. Under the array
+    # backend the (N, 3) node array feeds the engine directly; the
+    # scalar oracle goes through the original tuple list.
+    if placement_backend() == "vector":
+        nodes = as_placement(torus, placement.nodes_array())
+    else:
+        nodes = as_placement(torus, placement.nodes())
 
     # ------------------------------------------------------------ parent
     with tr.span("perfsim.parent_step"):

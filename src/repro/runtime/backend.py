@@ -1,0 +1,45 @@
+"""Backend selection for the placement & halo construction pipeline.
+
+The scenario-construction layer (placements, halo message sets, mapping
+metrics) has two implementations: the NumPy array pipeline (default) and
+the original scalar Python code, kept as a parity oracle. Selection
+mirrors the network engine's ``REPRO_NETSIM`` switch:
+
+    REPRO_PLACEMENT=vector   # default: array pipeline
+    REPRO_PLACEMENT=scalar   # per-rank / per-message Python loops
+
+Both produce bit-identical results — hops and byte counts are integers,
+so parity is exact equality, enforced by the hypothesis suite in
+``tests/core/mapping/test_placement_parity.py`` and
+``tests/runtime/test_halo_batch_parity.py``.
+
+This module sits at the bottom of the runtime layer (no repro imports
+beyond errors) so both ``repro.runtime.halo`` and ``repro.core.mapping``
+can dispatch through it without import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PLACEMENT_BACKENDS", "placement_backend"]
+
+#: Recognised values of ``REPRO_PLACEMENT``.
+PLACEMENT_BACKENDS = ("vector", "scalar")
+
+
+def placement_backend() -> str:
+    """The placement-pipeline backend selected by ``REPRO_PLACEMENT``.
+
+    Returns ``"vector"`` (default) or ``"scalar"``; raises
+    :class:`~repro.errors.ConfigurationError` on anything else, matching
+    :func:`repro.netsim.engine.active_backend`.
+    """
+    name = os.environ.get("REPRO_PLACEMENT", "vector").strip().lower() or "vector"
+    if name not in PLACEMENT_BACKENDS:
+        raise ConfigurationError(
+            f"REPRO_PLACEMENT={name!r}: expected one of {sorted(PLACEMENT_BACKENDS)}"
+        )
+    return name

@@ -15,12 +15,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Tuple
 
 from repro.errors import ConfigurationError
 from repro.util.validation import check_positive_int
 
-__all__ = ["BlockDecomposition", "decompose", "choose_process_grid", "tile_dims", "split_counts"]
+__all__ = [
+    "BlockDecomposition",
+    "DecomposeCacheStats",
+    "decompose",
+    "decompose_cache_stats",
+    "reset_decompose_cache",
+    "choose_process_grid",
+    "tile_dims",
+    "split_counts",
+]
 
 
 def split_counts(n: int, parts: int) -> List[int]:
@@ -85,8 +95,16 @@ class BlockDecomposition:
         return (mw * mh) / mean - 1.0
 
 
+@lru_cache(maxsize=4096)
 def decompose(nx: int, ny: int, px: int, py: int) -> BlockDecomposition:
-    """Block-decompose an ``nx x ny`` domain over a ``px x py`` grid."""
+    """Block-decompose an ``nx x ny`` domain over a ``px x py`` grid.
+
+    Memoized: a pure function of four ints that every halo-message build
+    of the same rectangle used to recompute. The returned decomposition
+    is frozen and shared between callers; use
+    :func:`reset_decompose_cache` for test isolation and
+    :func:`decompose_cache_stats` for the counters.
+    """
     return BlockDecomposition(
         nx=nx,
         ny=ny,
@@ -95,6 +113,33 @@ def decompose(nx: int, ny: int, px: int, py: int) -> BlockDecomposition:
         col_widths=tuple(split_counts(nx, px)),
         row_heights=tuple(split_counts(ny, py)),
     )
+
+
+@dataclass(frozen=True)
+class DecomposeCacheStats:
+    """Decompose-cache counters (same shape as the plan-cache stats)."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def decompose_cache_stats() -> DecomposeCacheStats:
+    """Current :func:`decompose` cache counters."""
+    info = decompose.cache_info()
+    return DecomposeCacheStats(
+        hits=info.hits, misses=info.misses, entries=info.currsize
+    )
+
+
+def reset_decompose_cache() -> None:
+    """Drop all cached decompositions and zero the counters (tests)."""
+    decompose.cache_clear()
 
 
 def choose_process_grid(

@@ -7,10 +7,16 @@ to an east/west neighbour carries a strip of ``tile_height x halo_width``
 columns over all vertical levels and exchanged variables; north/south
 messages carry ``tile_width x halo_width`` rows.
 
-This module turns a (domain, sub-grid rectangle) pair into the explicit
-list of :class:`HaloMessage` objects of one exchange round. The network
-simulator routes each message over the torus and the cost model multiplies
-by the number of rounds.
+This module turns a (domain, sub-grid rectangle) pair into the messages
+of one exchange round, in two equivalent forms: the explicit list of
+:class:`HaloMessage` objects (the scalar parity oracle) and the
+:class:`HaloBatch` column arrays built in one shot by
+:func:`halo_messages_array` from the decomposition's row/column edge
+vectors. :func:`halo_batch` dispatches on ``REPRO_PLACEMENT``; both
+orders and values are bit-identical, so either form keys the network
+engine's route cache the same way. The network simulator routes each
+message over the torus and the cost model multiplies by the number of
+rounds.
 """
 
 from __future__ import annotations
@@ -18,11 +24,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+import numpy as np
+
+from repro.runtime.backend import placement_backend
 from repro.runtime.decomposition import decompose
 from repro.runtime.process_grid import GridRect, ProcessGrid
 from repro.util.validation import check_positive_int
 
-__all__ = ["HaloSpec", "HaloMessage", "halo_messages"]
+__all__ = [
+    "HaloSpec",
+    "HaloMessage",
+    "HaloBatch",
+    "halo_messages",
+    "halo_messages_array",
+    "halo_batch",
+]
 
 #: Paper Sec 3.3: "each integration time-step involves 144 message
 #: exchanges with the four neighbouring processes".
@@ -74,6 +90,47 @@ class HaloMessage:
     nbytes: int
 
 
+@dataclass(frozen=True)
+class HaloBatch:
+    """One exchange round as ``(src, dst, nbytes)`` column arrays.
+
+    The array form of a :func:`halo_messages` list: ``int64`` columns in
+    the exact message order of the scalar builder (row-major cells, each
+    emitting west, east, north, south). All arrays are read-only so
+    batches can be shared and cached safely.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    nbytes: np.ndarray
+
+    def __post_init__(self) -> None:
+        for arr in (self.src, self.dst, self.nbytes):
+            arr.flags.writeable = False
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    def to_messages(self) -> List[HaloMessage]:
+        """Materialise the equivalent :class:`HaloMessage` objects."""
+        return [
+            HaloMessage(s, d, b)
+            for s, d, b in zip(
+                self.src.tolist(), self.dst.tolist(), self.nbytes.tolist()
+            )
+        ]
+
+    @classmethod
+    def from_messages(cls, messages: List[HaloMessage]) -> "HaloBatch":
+        """Column arrays of an existing message list (parity tests)."""
+        n = len(messages)
+        return cls(
+            src=np.fromiter((m.src for m in messages), dtype=np.int64, count=n),
+            dst=np.fromiter((m.dst for m in messages), dtype=np.int64, count=n),
+            nbytes=np.fromiter((m.nbytes for m in messages), dtype=np.int64, count=n),
+        )
+
+
 def halo_messages(
     grid: ProcessGrid,
     rect: GridRect,
@@ -108,3 +165,79 @@ def halo_messages(
                     dst = grid.rank_of(rect.x0 + px, rect.y0 + qy)
                     msgs.append(HaloMessage(src, dst, spec.strip_bytes(w)))
     return msgs
+
+
+def halo_messages_array(
+    grid: ProcessGrid,
+    rect: GridRect,
+    nx: int,
+    ny: int,
+    spec: HaloSpec,
+) -> HaloBatch:
+    """One exchange round as column arrays, built without a Python loop.
+
+    Bit-identical to :func:`halo_messages` (same message order, same
+    integer sizes): per-cell candidate arrays for the four directions are
+    stacked as ``(rows, cols, 4)`` and flattened in C order — exactly the
+    scalar builder's row-major cell walk with its west, east, north,
+    south emission order — then masked down to the neighbours that exist.
+    """
+    dec = decompose(nx, ny, rect.width, rect.height)
+    w, h = rect.width, rect.height
+    px_full = grid.px
+
+    col_w = np.asarray(dec.col_widths, dtype=np.int64)
+    row_h = np.asarray(dec.row_heights, dtype=np.int64)
+    strip = spec.width * spec.levels * spec.bytes_per_value
+    ew_bytes = row_h * strip  # east/west strips carry the tile height
+    ns_bytes = col_w * strip  # north/south strips carry the tile width
+
+    gx = rect.x0 + np.arange(w, dtype=np.int64)
+    gy = rect.y0 + np.arange(h, dtype=np.int64)
+    ranks = gy[:, None] * px_full + gx[None, :]  # (h, w), row-major ranks
+
+    # Candidate (dst, nbytes, valid) per direction, scalar emission order:
+    # west (px-1), east (px+1), north (py-1), south (py+1).
+    dst = np.stack(
+        [ranks - 1, ranks + 1, ranks - px_full, ranks + px_full], axis=2
+    )
+    in_w = np.arange(w) > 0
+    in_e = np.arange(w) < w - 1
+    in_n = np.arange(h) > 0
+    in_s = np.arange(h) < h - 1
+    valid = np.empty((h, w, 4), dtype=bool)
+    valid[:, :, 0] = in_w[None, :]
+    valid[:, :, 1] = in_e[None, :]
+    valid[:, :, 2] = in_n[:, None]
+    valid[:, :, 3] = in_s[:, None]
+    nbytes = np.empty((h, w, 4), dtype=np.int64)
+    nbytes[:, :, 0] = ew_bytes[:, None]
+    nbytes[:, :, 1] = ew_bytes[:, None]
+    nbytes[:, :, 2] = ns_bytes[None, :]
+    nbytes[:, :, 3] = ns_bytes[None, :]
+    src = np.broadcast_to(ranks[:, :, None], (h, w, 4))
+
+    keep = valid.ravel()
+    return HaloBatch(
+        src=src.reshape(-1)[keep],
+        dst=dst.reshape(-1)[keep],
+        nbytes=nbytes.reshape(-1)[keep],
+    )
+
+
+def halo_batch(
+    grid: ProcessGrid,
+    rect: GridRect,
+    nx: int,
+    ny: int,
+    spec: HaloSpec,
+) -> HaloBatch:
+    """The exchange round in batch form, built by the active backend.
+
+    ``REPRO_PLACEMENT=vector`` (default) builds the columns directly;
+    the scalar oracle builds the object list and converts, so both
+    backends hand downstream consumers identical arrays.
+    """
+    if placement_backend() == "vector":
+        return halo_messages_array(grid, rect, nx, ny, spec)
+    return HaloBatch.from_messages(halo_messages(grid, rect, nx, ny, spec))

@@ -26,6 +26,7 @@ from repro.core.mapping.partition_map import PartitionMapping
 from repro.core.mapping.txyz import TxyzMapping
 from repro.core.scheduler.plan import ExecutionPlan
 from repro.errors import ConfigurationError
+from repro.exec.placementcache import cached_placement
 from repro.exec.plancache import parallel_plan, sequential_plan
 from repro.iosim.model import IoModel
 from repro.perfsim.simulate import IterationReport, simulate_iteration
@@ -145,7 +146,10 @@ class Scenario:
         rpn = machine.mode(None).ranks_per_node
         torus = machine.torus_for_ranks(self.ranks, None)
         space = SlotSpace(torus, rpn)
-        placement = mapping.place(grid, space, par_plan.rects)
+        # Memoized placement: the shrink loop revisits the same
+        # (mapping, grid, space, rects) key for everything but the
+        # dimension being shrunk.
+        placement = cached_placement(mapping, grid, space, par_plan.rects)
 
         io_model = None if self.io == "none" else IoModel(self.io)
         seq_report = simulate_iteration(seq_plan, machine, io_model=io_model)

@@ -1,0 +1,168 @@
+"""Hypothesis parity: the array placement pipeline vs the scalar oracle.
+
+Every mapping heuristic must produce a *bit-identical* placement under
+``REPRO_PLACEMENT=vector`` and ``REPRO_PLACEMENT=scalar`` — same slot
+tuples rank for rank — and every metric must agree exactly (integer hop
+sums divided once, so even the floats match to the last bit).
+"""
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping.base import Box, Placement, SlotSpace
+from repro.core.mapping.metrics import average_hops, evaluate_mapping, hop_bytes
+from repro.core.mapping.multilevel import MultiLevelMapping
+from repro.core.mapping.oblivious import ObliviousMapping
+from repro.core.mapping.partition_map import PartitionMapping
+from repro.core.mapping.txyz import TxyzMapping
+from repro.errors import MappingError
+from repro.runtime.backend import placement_backend
+from repro.runtime.halo import HaloSpec, halo_messages
+from repro.runtime.process_grid import GridRect, ProcessGrid
+from repro.topology.torus import Torus3D
+
+MAPPINGS = [ObliviousMapping, TxyzMapping, PartitionMapping, MultiLevelMapping]
+
+
+@contextmanager
+def backend(name):
+    saved = os.environ.get("REPRO_PLACEMENT")
+    os.environ["REPRO_PLACEMENT"] = name
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_PLACEMENT", None)
+        else:
+            os.environ["REPRO_PLACEMENT"] = saved
+
+
+def _split_rects(grid, cuts):
+    """Partition *grid* into vertical strips at the given column cuts."""
+    edges = sorted({0, grid.px, *cuts})
+    return [
+        GridRect(a, 0, b - a, grid.py)
+        for a, b in zip(edges, edges[1:])
+        if b > a
+    ]
+
+
+@st.composite
+def placement_case(draw):
+    """A random full-machine (grid, space, rects) configuration."""
+    x = draw(st.sampled_from([2, 3, 4]))
+    y = draw(st.sampled_from([2, 3, 4]))
+    z = draw(st.sampled_from([1, 2, 4]))
+    rpn = draw(st.sampled_from([1, 2]))
+    torus = Torus3D((x, y, z))
+    slots = x * y * z * rpn
+    # Factor the slot count into a px*py grid (partition mappings need a
+    # full machine partition).
+    factors = [p for p in range(1, slots + 1) if slots % p == 0]
+    px = draw(st.sampled_from(factors))
+    py = slots // px
+    grid = ProcessGrid(px, py)
+    space = SlotSpace(torus, rpn)
+    if px >= 2 and draw(st.booleans()):
+        n_cuts = draw(st.integers(1, min(3, px - 1)))
+        cuts = draw(
+            st.lists(
+                st.integers(1, px - 1),
+                min_size=n_cuts,
+                max_size=n_cuts,
+                unique=True,
+            )
+        )
+        rects = _split_rects(grid, cuts)
+    else:
+        rects = None
+    return grid, space, rects
+
+
+@given(placement_case(), st.sampled_from(MAPPINGS))
+@settings(max_examples=150, deadline=None)
+def test_every_heuristic_bit_identical_across_backends(case, mapping_cls):
+    grid, space, rects = case
+    with backend("vector"):
+        vec = mapping_cls().place(grid, space, rects)
+    with backend("scalar"):
+        sca = mapping_cls().place(grid, space, rects)
+    assert vec.slots == sca.slots
+    assert vec.name == sca.name
+    assert np.array_equal(vec.slots_array(), sca.slots_array())
+    assert np.array_equal(vec.nodes_array(), sca.nodes_array())
+    assert vec.nodes() == sca.nodes()
+
+
+@given(placement_case(), st.sampled_from(MAPPINGS))
+@settings(max_examples=60, deadline=None)
+def test_metrics_bit_identical_across_backends(case, mapping_cls):
+    grid, space, rects = case
+    placement = mapping_cls().place(grid, space, rects)
+    nx = 8 * grid.px
+    ny = 8 * grid.py
+    msgs = halo_messages(grid, grid.full_rect(), nx, ny, HaloSpec())
+    if not msgs:
+        return
+    with backend("vector"):
+        m_v = evaluate_mapping(placement, msgs)
+        ah_v = average_hops(placement, msgs)
+        hb_v = hop_bytes(placement, msgs)
+    with backend("scalar"):
+        m_s = evaluate_mapping(placement, msgs)
+        ah_s = average_hops(placement, msgs)
+        hb_s = hop_bytes(placement, msgs)
+    assert m_v == m_s
+    assert ah_v == ah_s
+    assert hb_v == hb_s
+
+
+def test_box_slots_array_matches_tuple_enumeration():
+    box = Box(1, 2, 3, w=3, h=2, d=4)
+    arr = box.slots_array()
+    assert arr.shape == (box.volume, 3)
+    assert [tuple(r) for r in arr.tolist()] == list(box.slots())
+
+
+def test_placement_accepts_array_and_tuple_forms_identically():
+    space = SlotSpace(Torus3D((2, 2, 2)), 2)
+    grid = ProcessGrid(4, 4)
+    p_tuple = ObliviousMapping().place(grid, space)
+    arr = np.asarray(p_tuple.slots, dtype=np.int64)
+    p_array = Placement(space=space, grid=grid, slots=arr, name="oblivious")
+    assert p_array.slots == p_tuple.slots
+    assert np.array_equal(p_array.slots_array(), p_tuple.slots_array())
+
+
+@pytest.mark.parametrize("name", ["vector", "scalar"])
+def test_out_of_bounds_slot_message_parity(name):
+    space = SlotSpace(Torus3D((2, 2, 1)), 1)
+    grid = ProcessGrid(2, 2)
+    slots = ((0, 0, 0), (1, 0, 0), (0, 1, 0), (5, 1, 0))
+    with backend(name):
+        with pytest.raises(MappingError, match=r"slot \(5, 1, 0\) outside slot box"):
+            Placement(space=space, grid=grid, slots=slots, name="bad")
+
+
+@pytest.mark.parametrize("name", ["vector", "scalar"])
+def test_duplicate_slot_message_parity(name):
+    space = SlotSpace(Torus3D((2, 2, 1)), 1)
+    grid = ProcessGrid(2, 2)
+    slots = ((0, 0, 0), (1, 0, 0), (0, 0, 0), (1, 1, 0))
+    with backend(name):
+        with pytest.raises(MappingError, match=r"ranks 0 and 2 both mapped"):
+            Placement(space=space, grid=grid, slots=slots, name="bad")
+
+
+def test_backend_env_validation():
+    from repro.errors import ConfigurationError
+
+    with backend("bogus"):
+        with pytest.raises(ConfigurationError, match="REPRO_PLACEMENT"):
+            placement_backend()
+    assert placement_backend() in ("vector", "scalar")

@@ -1,0 +1,50 @@
+"""The memoized decomposition: cache hits, stats, and reset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.decomposition import (
+    decompose,
+    decompose_cache_stats,
+    reset_decompose_cache,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    reset_decompose_cache()
+    yield
+    reset_decompose_cache()
+
+
+def test_repeat_lookups_hit_and_share_the_object():
+    a = decompose(100, 100, 4, 4)
+    b = decompose(100, 100, 4, 4)
+    assert a is b
+    stats = decompose_cache_stats()
+    assert stats.hits == 1 and stats.misses == 1 and stats.entries == 1
+    assert stats.hit_rate == 0.5
+
+
+def test_distinct_keys_miss():
+    decompose(100, 100, 4, 4)
+    decompose(100, 100, 4, 2)
+    decompose(100, 101, 4, 4)
+    stats = decompose_cache_stats()
+    assert stats.misses == 3 and stats.hits == 0 and stats.entries == 3
+
+
+def test_reset_clears_entries_and_counters():
+    decompose(100, 100, 4, 4)
+    decompose(100, 100, 4, 4)
+    reset_decompose_cache()
+    stats = decompose_cache_stats()
+    assert stats.hits == stats.misses == stats.entries == 0
+
+
+def test_cached_result_matches_fresh_computation():
+    a = decompose(123, 77, 8, 4)
+    reset_decompose_cache()
+    b = decompose(123, 77, 8, 4)
+    assert a == b
