@@ -54,10 +54,20 @@ def ensure_results_dir() -> Path:
 
 
 def record(name: str, text: str) -> None:
-    """Persist a rendered table/figure and echo it."""
+    """Persist a rendered table/figure and echo it.
+
+    Every recorded table gets a peak-RSS footer: memory is a first-class
+    benchmark output since the streaming netsim (the strong-scaling
+    acceptance gate is stated in bytes, not seconds), so each harness
+    reports the high-water mark of the process that produced its table.
+    """
+    from repro.obs.metrics import peak_rss_bytes, sample_rss
+
+    sample_rss()
+    footer = f"[peak RSS {peak_rss_bytes() / 2**20:.1f} MiB]"
     path = ensure_results_dir() / f"{name}.txt"
-    path.write_text(text + "\n")
-    print(f"\n{'=' * 72}\n{text}\n[written to {path}]")
+    path.write_text(text + "\n" + footer + "\n")
+    print(f"\n{'=' * 72}\n{text}\n{footer}\n[written to {path}]")
 
 
 @pytest.fixture(scope="session")

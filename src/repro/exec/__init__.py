@@ -8,9 +8,15 @@ with local cores without changing a single result:
 * :mod:`repro.exec.plancache` — memoized execution plans keyed by
   ``(grid dims, sibling signature, ratios digest)``;
 * :mod:`repro.exec.placementcache` — memoized placements keyed by
-  ``(mapping name, grid dims, torus dims, ranks-per-node, rects)``.
+  ``(mapping name, grid dims, torus dims, ranks-per-node, rects)``;
+* :mod:`repro.exec.shm` — zero-copy message columns over
+  ``multiprocessing.shared_memory`` so sweep workers map large halo
+  batches instead of pickling them.
 
-See ``docs/parallel.md`` for the determinism contract and when *not* to
+Both caches evict against byte budgets derived from
+``REPRO_NETSIM_MEM_MB`` (:mod:`repro.netsim.budget`), so residency
+scales with the configured memory, not the rank count. See
+``docs/parallel.md`` for the determinism contract and when *not* to
 use workers.
 """
 
@@ -28,8 +34,18 @@ from repro.exec.plancache import (
     sequential_plan,
 )
 from repro.exec.pool import SweepResult, SweepRunner, run_sweep
+from repro.exec.shm import (
+    SharedColumns,
+    attach_halo_batch,
+    release_all_shared,
+    share_halo_batch,
+)
 
 __all__ = [
+    "SharedColumns",
+    "share_halo_batch",
+    "attach_halo_batch",
+    "release_all_shared",
     "SweepResult",
     "SweepRunner",
     "run_sweep",

@@ -14,8 +14,17 @@ memoized behind a keyed LRU cache:
 Cached placements are frozen dataclasses, shared rather than copied.
 The cache is **per process**: every pool worker warms its own copy.
 
-Unlike the plan cache, the hit/miss counters are mirrored into the
-observability registry (``exec.placement_cache.*``, the route-cache
+Eviction is **byte-budgeted**, not entry-counted: a 131k-rank placement
+is ~3 MB resident while a 512-rank one is ~12 kB, so a fixed entry cap
+would let residency grow with the rank count. The budget comes from
+:func:`repro.netsim.budget.placement_cache_budget_bytes`
+(``REPRO_PLACEMENT_CACHE_MB``, default an eighth of
+``REPRO_NETSIM_MEM_MB``) and is re-read on every insert; entries are
+evicted LRU-first past it, and an entry larger than the whole budget is
+never retained.
+
+Unlike the plan cache, the hit/miss/eviction counters are mirrored into
+the observability registry (``exec.placement_cache.*``, the route-cache
 pattern): the plain attributes stay the source of truth and
 :func:`repro.exec.pool._reset_task_state` clears the cache per task, so
 per-task metric capture and the counters can never desynchronise.
@@ -27,7 +36,9 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
+from repro.netsim.budget import placement_cache_budget_bytes
 from repro.obs.metrics import counter as _obs_counter
+from repro.obs.metrics import gauge as _obs_gauge
 from repro.runtime.process_grid import GridRect, ProcessGrid
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -48,6 +59,23 @@ PlacementKey = Tuple[
 # references never go stale (same contract as the netsim route cache).
 _HITS = _obs_counter("exec.placement_cache.hits")
 _MISSES = _obs_counter("exec.placement_cache.misses")
+_EVICTIONS = _obs_counter("exec.placement_cache.evictions")
+_CACHE_BYTES = _obs_gauge("exec.placement_cache.resident_bytes")
+
+#: Rough per-slot overhead of the tuple-of-tuples form of a placement
+#: (tuple headers + small-int boxing) on top of the coordinate array.
+_SLOT_OVERHEAD_BYTES = 200
+
+
+def _placement_nbytes(placement: "Placement") -> int:
+    """Resident-byte estimate of one cached placement.
+
+    The dominant terms: the ``(ranks, 3)`` int64 slots array (plus its
+    node-ranks sibling, cached on first use — counted up front so the
+    budget holds either way) and the boxed tuple form.
+    """
+    arr = placement.slots_array()
+    return arr.nbytes * 2 + len(placement.slots) * _SLOT_OVERHEAD_BYTES
 
 
 @dataclass(frozen=True)
@@ -57,6 +85,8 @@ class PlacementCacheStats:
     hits: int
     misses: int
     entries: int
+    evictions: int = 0
+    resident_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -65,13 +95,17 @@ class PlacementCacheStats:
 
 
 class _PlacementCache:
-    """Bounded LRU of placements (same shape as the plan cache)."""
+    """Byte-budgeted LRU of placements (same shape as the route cache)."""
 
     def __init__(self, maxsize: int = 512):
         self.maxsize = maxsize
-        self._data: "OrderedDict[PlacementKey, Placement]" = OrderedDict()
+        self._data: "OrderedDict[PlacementKey, Tuple[Placement, int]]" = (
+            OrderedDict()
+        )
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.bytes = 0
 
     def get(self, key: PlacementKey) -> "Optional[Placement]":
         entry = self._data.get(key)
@@ -82,25 +116,49 @@ class _PlacementCache:
         self.hits += 1
         _HITS.inc()
         self._data.move_to_end(key)
-        return entry
+        return entry[0]
 
     def put(self, key: PlacementKey, value: "Placement") -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        nbytes = _placement_nbytes(value)
+        budget = placement_cache_budget_bytes()
+        if nbytes > budget:
+            # Larger than the whole budget: hand it out, never retain it.
+            self.evictions += 1
+            _EVICTIONS.inc()
+            return
+        old = self._data.pop(key, None)
+        if old is not None:
+            self.bytes -= old[1]
+        self._data[key] = (value, nbytes)
+        self.bytes += nbytes
+        while self._data and (
+            len(self._data) > self.maxsize or self.bytes > budget
+        ):
+            _, (_, evicted_nbytes) = self._data.popitem(last=False)
+            self.bytes -= evicted_nbytes
+            self.evictions += 1
+            _EVICTIONS.inc()
+        _CACHE_BYTES.set(self.bytes)
 
     def stats(self) -> PlacementCacheStats:
         return PlacementCacheStats(
-            hits=self.hits, misses=self.misses, entries=len(self._data)
+            hits=self.hits,
+            misses=self.misses,
+            entries=len(self._data),
+            evictions=self.evictions,
+            resident_bytes=self.bytes,
         )
 
     def clear(self) -> None:
         self._data.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.bytes = 0
         _HITS.reset()
         _MISSES.reset()
+        _EVICTIONS.reset()
+        _CACHE_BYTES.reset()
 
 
 _PLACEMENT_CACHE = _PlacementCache()

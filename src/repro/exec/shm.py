@@ -1,0 +1,248 @@
+"""Zero-copy message columns over ``multiprocessing.shared_memory``.
+
+A 131k-rank halo exchange round is ~0.5M messages; its ``(src, dst,
+nbytes)`` columns are tens of megabytes. Pickling those columns into
+every sweep task (and holding a private copy per worker) multiplies the
+footprint by the worker count — exactly the kind of growth the
+``REPRO_NETSIM_MEM_MB`` budget is meant to bound. This module instead
+publishes the columns **once** into a ``multiprocessing.shared_memory``
+segment; what crosses the process boundary is a :class:`SharedColumns`
+handle of a few hundred bytes, and every worker maps the same physical
+pages read-only.
+
+The handle also carries the batch's route-cache digest, so attaching
+never rehashes the columns: an attached :class:`~repro.runtime.halo.
+HaloBatch` keys the network engine's route cache identically to (and as
+cheaply as) the batch it was published from.
+
+Lifecycle
+---------
+* The **publisher** calls :func:`share_halo_batch` (or the lower-level
+  :func:`share_arrays`) and later :func:`release` /
+  :func:`release_all_shared` to unlink the segments. Publisher-side
+  release is mandatory — segments outlive the process otherwise.
+* **Consumers** call :func:`attach_halo_batch` with the handle; the
+  attachment is memoised per process (repeat tasks in one worker reuse
+  the mapping) and closed automatically at interpreter exit.
+
+Workers attach lazily on first use; pre-attaching in a pool initializer
+(:func:`repro.analysis.experiments.common.warm_worker` accepts handles,
+as does :class:`repro.exec.pool.SweepRunner` via ``shared=``) just moves
+the one-time ``shm_open``/``mmap`` off the first task's critical path.
+
+Attachment detail: the stdlib ``resource_tracker`` would count an
+attach-only open as an ownership claim and destroy the segment when the
+*worker* exits; attachments therefore opt out of tracking (``track=False``
+on Python >= 3.13, unregister otherwise) — only the publisher unlinks.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.runtime.halo import HaloBatch
+
+__all__ = [
+    "ColumnSpec",
+    "SharedColumns",
+    "share_arrays",
+    "attach_arrays",
+    "share_halo_batch",
+    "attach_halo_batch",
+    "release",
+    "release_all_shared",
+    "shm_stats",
+]
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Layout of one column inside a shared segment."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        n = np.dtype(self.dtype).itemsize
+        for dim in self.shape:
+            n *= dim
+        return n
+
+
+@dataclass(frozen=True)
+class SharedColumns:
+    """A picklable handle to columns published in one shared segment.
+
+    Plain data (segment name + per-column layout + content digest):
+    crossing a process boundary costs a few hundred bytes no matter how
+    large the columns are.
+    """
+
+    segment: str
+    specs: Tuple[ColumnSpec, ...]
+    #: blake2b digest of the published content; pre-seeds the route-cache
+    #: digest of attached batches so consumers never rehash the columns.
+    digest: bytes
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes in the segment."""
+        return sum(spec.nbytes for spec in self.specs)
+
+
+# Publisher side: segments this process created and must unlink.
+_OWNED: Dict[str, shared_memory.SharedMemory] = {}
+# Consumer side: segments this process has mapped, keyed by name. The
+# SharedMemory object must stay referenced as long as views into its
+# buffer exist, so the cache holds both.
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, Dict[str, np.ndarray]]] = {}
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without claiming ownership of it."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass  # tracking merely risks early unlink; attachment works
+        return shm
+
+
+def share_arrays(arrays: Mapping[str, np.ndarray]) -> SharedColumns:
+    """Publish named arrays into one new shared-memory segment.
+
+    Returns the handle to send to consumers. The calling process owns
+    the segment; call :func:`release` (or :func:`release_all_shared`)
+    when no consumer needs it any more.
+    """
+    if not arrays:
+        raise ReproError("share_arrays: nothing to share")
+    specs = []
+    offset = 0
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        specs.append(
+            ColumnSpec(
+                name=name, dtype=arr.dtype.str, shape=arr.shape, offset=offset
+            )
+        )
+        offset += arr.nbytes
+    # A zero-byte segment is not portable; share at least one byte.
+    shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+    digest = hashlib.blake2b(digest_size=16)
+    for spec, arr in zip(specs, arrays.values()):
+        dst = np.ndarray(
+            spec.shape, dtype=spec.dtype, buffer=shm.buf, offset=spec.offset
+        )
+        dst[...] = arr
+        digest.update(dst.tobytes())
+    _OWNED[shm.name] = shm
+    return SharedColumns(
+        segment=shm.name, specs=tuple(specs), digest=digest.digest()
+    )
+
+
+def attach_arrays(handle: SharedColumns) -> Dict[str, np.ndarray]:
+    """Map the columns of *handle* as read-only arrays (memoised).
+
+    The arrays are views into the shared pages — zero copies, and
+    writes are forbidden so concurrent consumers cannot race.
+    """
+    cached = _ATTACHED.get(handle.segment)
+    if cached is not None:
+        return cached[1]
+    owned = _OWNED.get(handle.segment)
+    shm = owned if owned is not None else _attach_segment(handle.segment)
+    views: Dict[str, np.ndarray] = {}
+    for spec in handle.specs:
+        view = np.ndarray(
+            spec.shape, dtype=spec.dtype, buffer=shm.buf, offset=spec.offset
+        )
+        view.flags.writeable = False
+        views[spec.name] = view
+    _ATTACHED[handle.segment] = (shm, views)
+    return views
+
+
+def share_halo_batch(batch: HaloBatch) -> SharedColumns:
+    """Publish a halo batch's columns; the handle carries its digest."""
+    handle = share_arrays(
+        {"src": batch.src, "dst": batch.dst, "nbytes": batch.nbytes}
+    )
+    # The column-wise blake2b above hashes src|dst|nbytes in order —
+    # exactly HaloBatch.digest(); assert the contract instead of trusting
+    # the duplication silently.
+    assert handle.digest == batch.digest()
+    return handle
+
+
+def attach_halo_batch(handle: SharedColumns) -> HaloBatch:
+    """The batch published by :func:`share_halo_batch`, zero-copy.
+
+    The returned batch's route-cache digest is pre-seeded from the
+    handle, so routing it hits the same cache entries as the original
+    without rehashing tens of megabytes of columns.
+    """
+    views = attach_arrays(handle)
+    try:
+        batch = HaloBatch(
+            src=views["src"], dst=views["dst"], nbytes=views["nbytes"]
+        )
+    except KeyError:
+        raise ReproError(
+            f"segment {handle.segment!r} does not hold halo columns "
+            f"(has {[s.name for s in handle.specs]})"
+        ) from None
+    object.__setattr__(batch, "_digest", handle.digest)
+    return batch
+
+
+def release(handle: SharedColumns) -> None:
+    """Detach *handle*'s segment; the publisher additionally unlinks it."""
+    attached = _ATTACHED.pop(handle.segment, None)
+    owned = _OWNED.pop(handle.segment, None)
+    shm = owned if owned is not None else (attached[0] if attached else None)
+    if shm is None:
+        return
+    shm.close()
+    if owned is not None:
+        owned.unlink()
+
+
+def release_all_shared() -> None:
+    """Release every segment this process published or attached."""
+    for name in list(_ATTACHED):
+        shm, _ = _ATTACHED.pop(name)
+        if name not in _OWNED:
+            shm.close()
+    for name in list(_OWNED):
+        shm = _OWNED.pop(name)
+        shm.close()
+        shm.unlink()
+
+
+def shm_stats() -> Dict[str, int]:
+    """Segment counts of this process (tests, leak diagnostics)."""
+    return {"owned": len(_OWNED), "attached": len(_ATTACHED)}
+
+
+# Workers exit through interpreter shutdown, not through release calls;
+# close the mappings then so the resource layer never warns about leaked
+# file descriptors. (Publisher-side unlink still happens here too, as a
+# last resort for publishers that forgot release().)
+atexit.register(release_all_shared)

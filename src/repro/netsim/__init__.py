@@ -17,6 +17,13 @@ every shared metric.
 from repro.netsim.traffic import LinkLoads, route_messages, RoutedMessage
 from repro.netsim.contention import round_time, message_time, CommEstimate
 from repro.netsim.metrics import traffic_metrics, TrafficMetrics
+from repro.netsim.budget import (
+    expansion_hop_limit,
+    mem_budget_bytes,
+    placement_cache_budget_bytes,
+    route_cache_budget_bytes,
+    sparse_mode,
+)
 from repro.netsim.engine import (
     LinkLoadVector,
     PlacementVector,
@@ -28,9 +35,16 @@ from repro.netsim.engine import (
     link_of_id,
     reset_route_cache,
     route_cache_stats,
+    route_exchange_streamed,
 )
 
 __all__ = [
+    "expansion_hop_limit",
+    "mem_budget_bytes",
+    "placement_cache_budget_bytes",
+    "route_cache_budget_bytes",
+    "route_exchange_streamed",
+    "sparse_mode",
     "LinkLoads",
     "route_messages",
     "RoutedMessage",

@@ -30,6 +30,7 @@ fold order irrelevant when aggregating many shards.
 from __future__ import annotations
 
 import threading
+import time
 from bisect import bisect_left
 from math import isfinite
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -44,6 +45,9 @@ __all__ = [
     "gauge",
     "histogram",
     "merge_snapshots",
+    "current_rss_bytes",
+    "peak_rss_bytes",
+    "sample_rss",
 ]
 
 Number = Union[int, float]
@@ -273,3 +277,74 @@ def gauge(name: str) -> Gauge:
 def histogram(name: str, bounds: Sequence[Number]) -> Histogram:
     """Get or create a histogram in the global registry."""
     return _REGISTRY.histogram(name, bounds)
+
+
+# ----------------------------------------------------------------------
+# Process memory (stdlib only: /proc + resource)
+# ----------------------------------------------------------------------
+def current_rss_bytes() -> int:
+    """The process's current resident set size, in bytes.
+
+    Read from ``/proc/self/status`` (``VmRSS``); returns 0 on platforms
+    without procfs — callers treat 0 as "unavailable", never as a
+    measurement.
+    """
+    try:
+        with open("/proc/self/status", "rb") as fh:
+            for line in fh:
+                if line.startswith(b"VmRSS:"):
+                    return int(line.split()[1]) * 1024  # value is in kB
+    except OSError:
+        pass
+    return 0
+
+
+def peak_rss_bytes() -> int:
+    """The process's lifetime peak resident set size, in bytes.
+
+    From ``resource.getrusage`` — ``ru_maxrss`` is kilobytes on Linux,
+    bytes on macOS. Returns 0 where the resource module is unavailable.
+    """
+    try:
+        import resource
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return peak if sys.platform == "darwin" else peak * 1024
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX
+        return 0
+
+
+_last_rss_sample: float = 0.0
+_last_rss_values: Optional[Dict[str, int]] = None
+
+
+def sample_rss(throttle_s: float = 0.0) -> Optional[Dict[str, int]]:
+    """Sample process RSS into the ``proc.rss.*`` gauges.
+
+    ``proc.rss.current_bytes`` is a plain sample (last wins);
+    ``proc.rss.peak_bytes`` keeps the extreme, so after a run it reports
+    the high-water mark across every sampling point — the number the
+    strong-scaling benchmark asserts against its memory budget.
+    ``proc.*`` metrics are process-level, not task-level: the sweep
+    pool's per-task metric capture excludes them (they could never be
+    byte-identical across worker counts), so sampling is safe anywhere.
+
+    A sample costs a procfs read (~tens of µs), which matters on hot
+    traced paths: *throttle_s* > 0 returns ``None`` without sampling
+    when the last sample is newer than that, so callers can skip their
+    own per-sample work (e.g. trace events) too. RSS moves on
+    allocation timescales, so a throttled gauge loses nothing the peak
+    semantics need.
+    """
+    global _last_rss_sample, _last_rss_values
+    if throttle_s > 0.0 and _last_rss_values is not None:
+        if time.monotonic() - _last_rss_sample < throttle_s:
+            return None
+    current = current_rss_bytes()
+    peak = max(peak_rss_bytes(), current)
+    _REGISTRY.gauge("proc.rss.current_bytes").set(current)
+    _REGISTRY.gauge("proc.rss.peak_bytes").set_max(peak)
+    _last_rss_sample = time.monotonic()
+    _last_rss_values = {"current": current, "peak": peak}
+    return _last_rss_values

@@ -34,6 +34,7 @@ def netsim_profile() -> dict:
     effect when the same exchange repeats across rounds, timesteps, and
     sweep configurations.
     """
+    from repro.netsim.budget import mem_budget_bytes, route_cache_budget_bytes
     from repro.netsim.engine import active_backend, route_cache_stats
     from repro.obs.metrics import registry
 
@@ -44,8 +45,13 @@ def netsim_profile() -> dict:
         "route_cache_misses": stats.misses,
         "route_cache_entries": stats.entries,
         "route_cache_hit_rate": stats.hit_rate,
-        # The same counters plus link-load extremes, as published into
-        # the observability registry (see docs/observability.md).
+        "route_cache_evictions": stats.evictions,
+        "route_cache_resident_bytes": stats.resident_bytes,
+        "route_cache_budget_bytes": route_cache_budget_bytes(),
+        "mem_budget_bytes": mem_budget_bytes(),
+        # The same counters plus link-load extremes and streaming
+        # fan-out, as published into the observability registry (see
+        # docs/observability.md).
         "metrics": registry().snapshot("netsim."),
     }
 
@@ -58,6 +64,7 @@ def placement_profile() -> dict:
     returned a memoized placement instead of re-running a heuristic.
     """
     from repro.exec.placementcache import placement_cache_stats
+    from repro.netsim.budget import placement_cache_budget_bytes
     from repro.obs.metrics import registry
     from repro.runtime.decomposition import decompose_cache_stats
 
@@ -69,6 +76,9 @@ def placement_profile() -> dict:
         "placement_cache_misses": stats.misses,
         "placement_cache_entries": stats.entries,
         "placement_cache_hit_rate": stats.hit_rate,
+        "placement_cache_evictions": stats.evictions,
+        "placement_cache_resident_bytes": stats.resident_bytes,
+        "placement_cache_budget_bytes": placement_cache_budget_bytes(),
         "decompose_cache_hits": dec.hits,
         "decompose_cache_misses": dec.misses,
         "decompose_cache_entries": dec.entries,

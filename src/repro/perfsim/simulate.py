@@ -20,6 +20,7 @@ from repro.exec.placementcache import cached_placement
 from repro.iosim.model import IoModel
 from repro.netsim.engine import as_placement
 from repro.runtime.backend import placement_backend
+from repro.obs.metrics import sample_rss
 from repro.obs.trace import tracer
 from repro.perfsim.commcost import CommCost, concurrent_comm_costs, halo_comm_cost
 from repro.perfsim.compute import compute_time
@@ -134,6 +135,17 @@ def simulate_iteration(
             plan, machine, mapping, mode, workload, io_model, placement
         )
         _emit_phases(tr, plan.concurrent, report)
+        # Memory high-water observability: one RSS sample per traced
+        # iteration keeps proc.rss.peak_bytes tracking the simulation's
+        # working set (routing expansion, caches) with no measurable
+        # overhead on the untraced fast path.
+        # Throttled: procfs reads on every traced simulate would blow
+        # the tracing-overhead budget (bench_obs_overhead.py).
+        rss = sample_rss(throttle_s=0.05)
+        if rss is not None:
+            tr.event(
+                "perfsim.rss", {"current": rss["current"], "peak": rss["peak"]}
+            )
     return report
 
 

@@ -21,6 +21,7 @@ rounds.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import List
 
@@ -110,6 +111,26 @@ class HaloBatch:
 
     def __len__(self) -> int:
         return len(self.src)
+
+    def digest(self) -> bytes:
+        """Digest of the column bytes; keys the network route cache.
+
+        Identical to hashing the equivalent message list's columns, so
+        list, batch, and shared-memory forms of one round share cache
+        entries. Memoised on first use (the arrays are read-only);
+        shared-memory consumers pre-seed it from the segment metadata so
+        attaching never rehashes the columns (see :mod:`repro.exec.shm`).
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is not None:
+            return cached
+        h = hashlib.blake2b(digest_size=16)
+        h.update(self.src.tobytes())
+        h.update(self.dst.tobytes())
+        h.update(self.nbytes.tobytes())
+        value = h.digest()
+        object.__setattr__(self, "_digest", value)
+        return value
 
     def to_messages(self) -> List[HaloMessage]:
         """Materialise the equivalent :class:`HaloMessage` objects."""

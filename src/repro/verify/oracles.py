@@ -32,6 +32,10 @@ Registered invariants
 ``netsim-parity``
     The vectorized network engine and the scalar oracle agree exactly on
     a halo exchange drawn from the scenario's own placement.
+``netsim-streaming-parity``
+    Chunked expansion under a deliberately tiny hop limit with sparse
+    link-load accumulation reproduces the one-shot dense result — loads,
+    summaries, and round estimate — bit-for-bit.
 ``report-sanity``
     All reported times/waits/hops are finite and non-negative and the
     report's identity fields match the plan and machine.
@@ -44,7 +48,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.scheduler.strategies import SequentialStrategy
-from repro.netsim.engine import SCALAR, VECTOR
+from repro.netsim.engine import SCALAR, VECTOR, route_exchange_streamed
 from repro.netsim.metrics import traffic_metrics
 from repro.perfsim.simulate import IterationReport, effective_rect, simulate_iteration
 from repro.runtime.decomposition import choose_process_grid
@@ -362,6 +366,50 @@ def check_netsim_parity(run: ScenarioRun) -> None:
     _require(
         est_s == est_v,
         f"engines disagree on round estimate: scalar {est_s}, vector {est_v}",
+    )
+
+
+@oracle("netsim-streaming-parity")
+def check_netsim_streaming_parity(run: ScenarioRun) -> None:
+    """Streamed sparse routing is bit-identical to the one-shot dense path.
+
+    Routes a scenario-drawn exchange twice: once through the cached
+    one-shot dense engine, once through
+    :func:`~repro.netsim.engine.route_exchange_streamed` with a hop limit
+    small enough to force chunking and sparse accumulation on. The
+    per-link load vectors and the round estimate must match exactly —
+    the memory budget may change *how* the answer is computed, never the
+    answer (see ``docs/cost_model.md``).
+    """
+    rect = min(run.par_plan.rects, key=lambda r: r.area)
+    a = next(x for x in run.par_plan.assignments if x.rect == rect)
+    rect = effective_rect(rect, a.domain.nx, a.domain.ny)
+    rect = GridRect(rect.x0, rect.y0, min(rect.width, 16), min(rect.height, 16))
+    msgs = halo_messages(run.grid, rect, a.domain.nx, a.domain.ny, HaloSpec())
+    if not msgs:  # single-rank rectangle: nothing to route
+        return
+    torus = run.placement.space.torus
+    nodes = run.placement.nodes()
+
+    routed_d, loads_d = VECTOR.route_exchange(torus, nodes, msgs)
+    routed_c, loads_c = route_exchange_streamed(
+        torus, nodes, msgs, max_expand_hops=7, sparse=True
+    )
+    _require(
+        bool((loads_c.array == loads_d.array).all()),
+        "streamed sparse link loads differ from the one-shot dense loads",
+    )
+    _require(
+        loads_c.max_load() == loads_d.max_load()
+        and loads_c.total_bytes() == loads_d.total_bytes(),
+        f"streamed load summary ({loads_c.max_load()}, {loads_c.total_bytes()})"
+        f" != dense ({loads_d.max_load()}, {loads_d.total_bytes()})",
+    )
+    est_d = VECTOR.round_estimate(routed_d, loads_d, run.machine)
+    est_c = VECTOR.round_estimate(routed_c, loads_c, run.machine)
+    _require(
+        est_c == est_d,
+        f"streamed round estimate {est_c!r} != one-shot {est_d!r}",
     )
 
 

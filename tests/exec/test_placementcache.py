@@ -98,6 +98,45 @@ def test_lru_bound_evicts_oldest():
         _PLACEMENT_CACHE.maxsize = old_size
 
 
+def test_byte_budget_evicts_lru_first(monkeypatch):
+    grid = ProcessGrid(4, 2)
+    space = _space((2, 2, 2), 1)
+    a = cached_placement(ObliviousMapping(), grid, space)
+    from repro.exec.placementcache import _placement_nbytes
+
+    one = _placement_nbytes(a)
+    # Budget fits exactly two placements of this size.
+    monkeypatch.setenv("REPRO_PLACEMENT_CACHE_MB", str(2.5 * one / 2**20))
+    reset_placement_cache()
+    cached_placement(ObliviousMapping(), grid, space)
+    cached_placement(PartitionMapping(), grid, space)
+    stats = placement_cache_stats()
+    assert stats.entries == 2 and stats.evictions == 0
+    assert stats.resident_bytes == 2 * one
+    cached_placement(MultiLevelMapping(), grid, space)
+    stats = placement_cache_stats()
+    assert stats.entries == 2 and stats.evictions == 1
+    # LRU-first: the oblivious entry (oldest) went; partition remains hot.
+    cached_placement(PartitionMapping(), grid, space)
+    assert placement_cache_stats().hits == 1
+    snap = registry().snapshot("exec.placement_cache.")
+    assert snap["exec.placement_cache.evictions"]["value"] == 1
+    assert snap["exec.placement_cache.resident_bytes"]["value"] == 2 * one
+
+
+def test_oversize_placement_never_retained(monkeypatch):
+    grid = ProcessGrid(8, 4)
+    space = _space()
+    monkeypatch.setenv("REPRO_PLACEMENT_CACHE_MB", "0.0001")
+    a = cached_placement(ObliviousMapping(), grid, space)
+    b = cached_placement(ObliviousMapping(), grid, space)
+    # Both calls produce a placement; neither is cached.
+    assert a == b and a is not b
+    stats = placement_cache_stats()
+    assert stats.entries == 0 and stats.resident_bytes == 0
+    assert stats.evictions == 2 and stats.misses == 2
+
+
 def test_registry_counters_always_equal_stats():
     """The obs counters ARE ``placement_cache_stats()`` at all times."""
     grid = ProcessGrid(8, 4)

@@ -1,0 +1,267 @@
+"""Hypothesis parity: streaming/sparse routing vs one-shot dense vs scalar.
+
+The streaming engine's whole claim is *bit-identicality*: chunked
+expansion under any ``max_expand_hops``, sparse accumulation, and the
+one-shot dense path must produce the same per-link loads, the same
+round estimate, and the same route-cache digests. These suites drive all
+of that against random exchanges, plus the overflow guards at the dtype
+boundaries (>2^31 widens, never wraps; >=2^53 raises).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.contention import round_time
+from repro.netsim.engine import (
+    EXACT_BYTES_LIMIT,
+    SCALAR,
+    VECTOR,
+    LinkLoadVector,
+    active_backend,
+    reset_route_cache,
+    route_cache_stats,
+    route_exchange_streamed,
+)
+from repro.runtime.halo import HaloBatch, HaloMessage
+from repro.topology.machines import BLUE_GENE_L
+from repro.topology.torus import Torus3D
+
+
+@st.composite
+def exchange_case(draw):
+    """A random (torus, placement, message set) triple."""
+    dims = (
+        draw(st.integers(1, 5)),
+        draw(st.integers(1, 5)),
+        draw(st.integers(1, 6)),
+    )
+    torus = Torus3D(dims)
+    n_ranks = draw(st.integers(1, 16))
+    nodes = [
+        torus.coord_of(r)
+        for r in draw(
+            st.lists(
+                st.integers(0, torus.num_nodes - 1),
+                min_size=n_ranks,
+                max_size=n_ranks,
+            )
+        )
+    ]
+    rank = st.integers(0, n_ranks - 1)
+    msgs = draw(
+        st.lists(
+            st.builds(HaloMessage, rank, rank, st.integers(1, 10**6)),
+            min_size=0,
+            max_size=24,
+        )
+    )
+    return torus, nodes, msgs
+
+
+def one_shot(torus, nodes, msgs):
+    """The reference dense one-shot result (hop limit beyond any case)."""
+    return route_exchange_streamed(
+        torus, nodes, msgs, max_expand_hops=10**9, sparse=False
+    )
+
+
+@given(exchange_case(), st.integers(1, 40), st.booleans())
+@settings(max_examples=200, deadline=None)
+def test_streamed_loads_bit_identical(case, max_hops, sparse):
+    torus, nodes, msgs = case
+    _, ref_loads = one_shot(torus, nodes, msgs)
+    routed, loads = route_exchange_streamed(
+        torus, nodes, msgs, max_expand_hops=max_hops, sparse=sparse
+    )
+    assert loads.is_sparse == sparse
+    assert np.array_equal(loads.array, ref_loads.array)
+    assert loads.max_load() == ref_loads.max_load()
+    assert loads.total_bytes() == ref_loads.total_bytes()
+    assert loads.num_loaded_links() == ref_loads.num_loaded_links()
+    assert loads.as_dict() == ref_loads.as_dict()
+
+
+@given(exchange_case(), st.integers(1, 40), st.booleans())
+@settings(max_examples=150, deadline=None)
+def test_streamed_round_estimate_bit_identical(case, max_hops, sparse):
+    torus, nodes, msgs = case
+    ref_routed, ref_loads = one_shot(torus, nodes, msgs)
+    ref = VECTOR.round_estimate(ref_routed, ref_loads, BLUE_GENE_L)
+    routed, loads = route_exchange_streamed(
+        torus, nodes, msgs, max_expand_hops=max_hops, sparse=sparse
+    )
+    assert VECTOR.round_estimate(routed, loads, BLUE_GENE_L) == ref
+
+
+@given(exchange_case(), st.integers(1, 40), st.booleans())
+@settings(max_examples=100, deadline=None)
+def test_streamed_matches_scalar_oracle(case, max_hops, sparse):
+    torus, nodes, msgs = case
+    routed_s, loads_s = SCALAR.route_exchange(torus, nodes, msgs)
+    routed, loads = route_exchange_streamed(
+        torus, nodes, msgs, max_expand_hops=max_hops, sparse=sparse
+    )
+    assert loads.as_dict() == dict(loads_s.items())
+    assert round_time(routed_s, loads_s, BLUE_GENE_L) == VECTOR.round_estimate(
+        routed, loads, BLUE_GENE_L
+    )
+    for i, scalar_msg in enumerate(routed_s):
+        assert routed.message_links(i) == list(scalar_msg.links)
+
+
+@given(exchange_case(), st.integers(1, 20))
+@settings(max_examples=100, deadline=None)
+def test_streamed_chunk_iteration_consistent(case, max_hops):
+    """iter_link_chunks re-expansion equals the stored one-shot arrays."""
+    torus, nodes, msgs = case
+    ref, _ = one_shot(torus, nodes, msgs)
+    routed, _ = route_exchange_streamed(
+        torus, nodes, msgs, max_expand_hops=max_hops, sparse=False
+    )
+    chunks = list(routed.iter_link_chunks())
+    ids = np.concatenate([c[3] for c in chunks]) if chunks else np.zeros(0)
+    assert np.array_equal(ids, ref.pair_link_ids)
+    # Chunk boundaries tile the pair range exactly.
+    assert chunks[0][0] == 0
+    assert chunks[-1][1] == len(routed.pair_hops)
+    for (_, hi_a, _, _), (lo_b, _, _, _) in zip(chunks, chunks[1:]):
+        assert hi_a == lo_b
+
+
+def test_backend_env_selects_engine(monkeypatch):
+    monkeypatch.setenv("REPRO_NETSIM", "scalar")
+    assert active_backend() is SCALAR
+    monkeypatch.setenv("REPRO_NETSIM", "vector")
+    assert active_backend() is VECTOR
+
+
+@pytest.mark.parametrize("backend_env", ["vector", "scalar"])
+def test_round_time_identical_under_either_backend(monkeypatch, backend_env):
+    """The same exchange prices identically whichever engine env picks."""
+    monkeypatch.setenv("REPRO_NETSIM", backend_env)
+    torus = Torus3D((3, 3, 2))
+    nodes = [torus.coord_of(i % torus.num_nodes) for i in range(12)]
+    msgs = [HaloMessage(i, (i * 5 + 1) % 12, 1000 + i) for i in range(12)]
+    engine = active_backend()
+    routed, loads = engine.route_exchange(torus, nodes, msgs)
+    est = engine.round_estimate(routed, loads, BLUE_GENE_L)
+    ref_r, ref_l = SCALAR.route_exchange(torus, nodes, msgs)
+    assert est == round_time(ref_r, ref_l, BLUE_GENE_L)
+
+
+# ----------------------------------------------------------------------
+# Route-cache digests
+# ----------------------------------------------------------------------
+def test_list_and_batch_share_cache_entries():
+    torus = Torus3D((2, 3, 4))
+    nodes = [torus.coord_of(i % torus.num_nodes) for i in range(8)]
+    msgs = [HaloMessage(i, (i + 3) % 8, 512 * (i + 1)) for i in range(8)]
+    batch = HaloBatch.from_messages(msgs)
+    reset_route_cache()
+    VECTOR.route_exchange(torus, nodes, msgs)
+    VECTOR.route_exchange(torus, nodes, batch)
+    stats = route_cache_stats()
+    assert (stats.hits, stats.misses) == (1, 1)
+
+
+def test_budget_env_does_not_change_cache_digest(monkeypatch):
+    """Streaming knobs change representation, never cache identity."""
+    torus = Torus3D((4, 4, 2))
+    nodes = [torus.coord_of(i % torus.num_nodes) for i in range(16)]
+    msgs = [HaloMessage(i, (i + 5) % 16, 4096) for i in range(16)]
+    reset_route_cache()
+    VECTOR.route_exchange(torus, nodes, msgs)
+    monkeypatch.setenv("REPRO_NETSIM_MEM_MB", "1")
+    monkeypatch.setenv("REPRO_NETSIM_SPARSE", "always")
+    VECTOR.route_exchange(torus, nodes, msgs)
+    stats = route_cache_stats()
+    assert (stats.hits, stats.misses) == (1, 1)
+
+
+# ----------------------------------------------------------------------
+# Dtype boundaries and overflow guards
+# ----------------------------------------------------------------------
+def test_loads_above_int32_widen_never_wrap():
+    torus = Torus3D((2, 1, 1))
+    nodes = [torus.coord_of(0), torus.coord_of(1)]
+    big = 2**32 + 17  # far past int32, exact in int64 and float64
+    msgs = [HaloMessage(0, 1, big)]
+    for sparse in (False, True):
+        _, loads = route_exchange_streamed(
+            torus, nodes, msgs, max_expand_hops=1, sparse=sparse
+        )
+        assert loads.max_load() == big
+        assert loads.total_bytes() == big
+        assert loads.array.dtype == np.int64
+
+
+def test_loads_at_exact_limit_raise():
+    torus = Torus3D((2, 1, 1))
+    nodes = [torus.coord_of(0), torus.coord_of(1)]
+    msgs = [HaloMessage(0, 1, EXACT_BYTES_LIMIT)]
+    with pytest.raises(OverflowError, match="2\\*\\*53"):
+        VECTOR.route_exchange(torus, nodes, msgs)
+    with pytest.raises(OverflowError):
+        route_exchange_streamed(torus, nodes, msgs, max_expand_hops=1, sparse=True)
+
+
+def test_loads_just_below_exact_limit_pass():
+    torus = Torus3D((2, 1, 1))
+    nodes = [torus.coord_of(0), torus.coord_of(1)]
+    msgs = [HaloMessage(0, 1, EXACT_BYTES_LIMIT - 1)]
+    reset_route_cache()
+    _, loads = VECTOR.route_exchange(torus, nodes, msgs)
+    assert loads.max_load() == EXACT_BYTES_LIMIT - 1
+
+
+def test_index_columns_are_narrow():
+    """Dtype audit: retained index columns are int32 on small tori."""
+    torus = Torus3D((3, 3, 3))
+    nodes = [torus.coord_of(i % torus.num_nodes) for i in range(9)]
+    msgs = [HaloMessage(i, (i + 2) % 9, 100) for i in range(9)]
+    reset_route_cache()
+    routed, _ = VECTOR.route_exchange(torus, nodes, msgs)
+    assert routed.hops.dtype == np.int32
+    assert routed.pair_inverse.dtype == np.int32
+    assert routed.pair_hops.dtype == np.int32
+    assert routed.pair_link_ids.dtype == np.int32
+    # Byte columns stay int64.
+    assert routed.nbytes.dtype == np.int64
+
+
+# ----------------------------------------------------------------------
+# Sparse representation behaviour
+# ----------------------------------------------------------------------
+def test_sparse_dense_merge_mixed():
+    torus = Torus3D((2, 2, 2))
+    nodes = [torus.coord_of(i) for i in range(8)]
+    msgs_a = [HaloMessage(0, 3, 100)]
+    msgs_b = [HaloMessage(1, 6, 250)]
+    _, dense_a = route_exchange_streamed(torus, nodes, msgs_a, sparse=False)
+    _, sparse_b = route_exchange_streamed(torus, nodes, msgs_b, sparse=True)
+    _, dense_b = route_exchange_streamed(torus, nodes, msgs_b, sparse=False)
+
+    merged_dense = LinkLoadVector(torus)
+    merged_dense.merge(dense_a)
+    merged_dense.merge(dense_b)
+
+    merged_mixed = LinkLoadVector.empty(torus, sparse=True)
+    merged_mixed.merge(sparse_b)
+    merged_mixed.merge(dense_a)  # representation flip: densify
+
+    assert np.array_equal(merged_mixed.array, merged_dense.array)
+    assert merged_mixed.total_bytes() == merged_dense.total_bytes()
+
+
+def test_sparse_lookup_missing_links_are_zero():
+    torus = Torus3D((4, 1, 1))
+    loads = LinkLoadVector.from_link_totals(
+        torus, np.asarray([2, 7], dtype=np.int64), np.asarray([10, 20], dtype=np.int64)
+    )
+    out = loads.lookup(np.asarray([0, 2, 5, 7, 23], dtype=np.int64))
+    assert out.tolist() == [0, 10, 0, 20, 0]
+    empty = LinkLoadVector.empty(torus, sparse=True)
+    assert empty.lookup(np.asarray([3, 4], dtype=np.int64)).tolist() == [0, 0]
+    assert empty.max_load() == 0 and empty.total_bytes() == 0

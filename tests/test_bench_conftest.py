@@ -27,8 +27,12 @@ def test_record_creates_dir_and_writes_table(tmp_path, monkeypatch, capsys):
     mod = load_bench_conftest()
     monkeypatch.setattr(mod, "RESULTS_DIR", tmp_path / "results")
     mod.record("demo", "row1")
-    assert (tmp_path / "results" / "demo.txt").read_text() == "row1\n"
-    assert "row1" in capsys.readouterr().out
+    written = (tmp_path / "results" / "demo.txt").read_text()
+    # Table body, then the process peak-RSS footer every bench reports.
+    assert written.startswith("row1\n")
+    assert "[peak RSS " in written and written.endswith("MiB]\n")
+    out = capsys.readouterr().out
+    assert "row1" in out and "[peak RSS " in out
 
 
 def test_file_squatting_on_results_dir_fails_loudly(tmp_path, monkeypatch):

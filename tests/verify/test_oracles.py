@@ -54,6 +54,7 @@ def test_registry_has_the_documented_oracles():
         "mapping-bijectivity",
         "strategy-bounds",
         "netsim-parity",
+        "netsim-streaming-parity",
         "report-sanity",
     } <= names
     assert len(names) >= 6
