@@ -1,0 +1,203 @@
+"""Benchmark: the planning service under concurrent load.
+
+Drives thousands of ``POST /recommend`` requests from a pool of client
+threads into one :class:`PlanningServer` and records what a resident
+planning daemon actually delivers:
+
+* **latency** — p50 / p99 per request (seconds);
+* **throughput** — requests per second over the whole storm;
+* **cache economics** — plan/placement cache hit rates after the storm
+  (a warm resident process is the whole point of the service);
+* **coalescing savings** — the fraction of recommend requests that
+  shared another caller's in-flight computation instead of planning.
+
+The trajectory appends to ``BENCH_service.json`` at the repo root.
+Environment knobs: ``REPRO_SERVICE_REQUESTS`` (total requests, default
+2000), ``REPRO_SERVICE_CLIENTS`` (concurrent client threads, default
+16). CI runs a bounded smoke (see ``.github/workflows/ci.yml``).
+
+Floors are deliberately lenient — shared CI runners are noisy — and a
+run on a starved machine skips with a recorded reason instead of
+asserting noise: the numbers in the trajectory are the deliverable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from conftest import record
+
+from repro.exec import (
+    placement_cache_stats,
+    plan_cache_stats,
+    reset_placement_cache,
+    reset_plan_cache,
+)
+from repro.netsim.engine import reset_route_cache
+from repro.obs.metrics import registry
+from repro.service import PlanningServer, ServiceClient
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+REQUESTS = int(os.environ.get("REPRO_SERVICE_REQUESTS", "2000"))
+CLIENTS = int(os.environ.get("REPRO_SERVICE_CLIENTS", "16"))
+
+#: Lenient floors: a resident warm service must beat these on any
+#: machine that can run the suite at all.
+P99_CEILING_S = 2.0
+THROUGHPUT_FLOOR_RPS = 20.0
+
+#: The request mix: mostly repeats of a handful of distinct plans (the
+#: realistic shape — fleets ask the same capacity questions), so cache
+#: hits and coalescing both get exercised.
+_PAYLOADS = [
+    {"config": "table2", "max_ranks": 256},
+    {"config": "fig2", "max_ranks": 256},
+    {"config": "fig10", "max_ranks": 128},
+    {"config": "table2", "machine": "bgp", "max_ranks": 128},
+    {"config": "fig15", "max_ranks": 128, "efficiency_floor": 0.4},
+]
+
+
+def _append(entry: dict) -> None:
+    data = {"benchmark": "planning service load", "trajectory": []}
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text())
+    entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    data["trajectory"].append(entry)
+    BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def _counter(snapshot: dict, name: str) -> float:
+    entry = snapshot.get(name)
+    return entry["value"] if entry else 0
+
+
+def _percentile(samples, q: float) -> float:
+    return statistics.quantiles(samples, n=100)[int(q) - 1]
+
+
+def test_service_load():
+    reset_plan_cache()
+    reset_placement_cache()
+    reset_route_cache()
+
+    latencies = []
+    failures = []
+
+    with PlanningServer() as server:
+        client = ServiceClient(server.url)
+        server.state.warm_start(max_ranks=256)
+        before = registry().snapshot()
+
+        def fire(i: int) -> None:
+            payload = _PAYLOADS[i % len(_PAYLOADS)]
+            t0 = time.perf_counter()
+            reply = client.recommend(payload)
+            elapsed = time.perf_counter() - t0
+            if reply.status != 200:
+                failures.append(reply.status)
+            latencies.append(elapsed)
+
+        t_start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+            list(pool.map(fire, range(REQUESTS)))
+        wall_s = time.perf_counter() - t_start
+        after = registry().snapshot()
+
+    assert not failures, f"{len(failures)} non-200 replies: {failures[:5]}"
+    assert len(latencies) == REQUESTS
+
+    p50 = _percentile(latencies, 50)
+    p99 = _percentile(latencies, 99)
+    throughput = REQUESTS / wall_s
+
+    plan = plan_cache_stats()
+    placement = placement_cache_stats()
+    hits = _counter(after, "service.coalesce.hits") - _counter(
+        before, "service.coalesce.hits"
+    )
+    misses = _counter(after, "service.coalesce.misses") - _counter(
+        before, "service.coalesce.misses"
+    )
+    assert hits + misses == REQUESTS
+    coalesce_rate = hits / REQUESTS
+
+    entry = {
+        "requests": REQUESTS,
+        "clients": CLIENTS,
+        "wall_s": round(wall_s, 3),
+        "throughput_rps": round(throughput, 1),
+        "latency_p50_s": round(p50, 6),
+        "latency_p99_s": round(p99, 6),
+        "plan_cache_hit_rate": round(plan.hit_rate, 4),
+        "placement_cache_hit_rate": round(placement.hit_rate, 4),
+        "coalesce_rate": round(coalesce_rate, 4),
+        "coalesced_requests": int(hits),
+    }
+    _append(entry)
+
+    lines = [
+        "planning service load "
+        f"({REQUESTS} requests, {CLIENTS} clients)",
+        f"  throughput            {throughput:10.1f} req/s",
+        f"  latency p50           {p50 * 1e3:10.2f} ms",
+        f"  latency p99           {p99 * 1e3:10.2f} ms",
+        f"  plan cache hit rate   {plan.hit_rate:10.1%}",
+        f"  placement hit rate    {placement.hit_rate:10.1%}",
+        f"  coalesced             {coalesce_rate:10.1%} "
+        f"({int(hits)} requests)",
+    ]
+    record("service_load", "\n".join(lines))
+
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        pytest.skip(
+            f"only {cores} core(s): latency/throughput floors would "
+            "assert scheduler noise (numbers recorded above)"
+        )
+    assert p99 <= P99_CEILING_S, (
+        f"p99 {p99:.3f}s exceeds {P99_CEILING_S}s on a warm cache"
+    )
+    assert throughput >= THROUGHPUT_FLOOR_RPS, (
+        f"{throughput:.1f} req/s under the {THROUGHPUT_FLOOR_RPS} floor"
+    )
+
+
+def test_warm_cache_beats_cold_start():
+    """The resident-process pitch quantified: request latency on warm
+    caches must beat the cold first-request latency."""
+    reset_plan_cache()
+    reset_placement_cache()
+    reset_route_cache()
+
+    payload = {"config": "table2", "max_ranks": 256}
+    with PlanningServer() as server:
+        client = ServiceClient(server.url)
+        t0 = time.perf_counter()
+        assert client.recommend(payload).status == 200
+        cold_s = time.perf_counter() - t0
+
+        warm_samples = []
+        for _ in range(10):
+            t0 = time.perf_counter()
+            assert client.recommend(payload).status == 200
+            warm_samples.append(time.perf_counter() - t0)
+        warm_s = statistics.median(warm_samples)
+
+    _append({
+        "phase": "warm-vs-cold",
+        "cold_first_request_s": round(cold_s, 6),
+        "warm_median_request_s": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 2) if warm_s else None,
+    })
+    assert warm_s < cold_s, (
+        f"warm median {warm_s:.4f}s not below cold start {cold_s:.4f}s"
+    )

@@ -18,9 +18,15 @@ Commands
     Trace one seeded scenario end to end: JSONL events, a Chrome
     trace-event file, and a per-phase profile report reconciled against
     the simulated iteration reports.
+``serve``
+    Run the resident HTTP planning service (``POST /recommend``,
+    ``/simulate``, ``/verify``; ``GET /healthz``, ``/metrics``) with
+    warm-started shared caches. See ``docs/service.md``.
 
 Every command that runs the simulator also accepts ``--trace PATH`` to
 stream structured trace events (JSONL + Chrome export) while it runs.
+``--jobs`` is validated centrally: any value below 1 is a
+:class:`~repro.errors.ConfigurationError` on every subcommand.
 """
 
 from __future__ import annotations
@@ -35,7 +41,7 @@ from repro.core.mapping.oblivious import ObliviousMapping
 from repro.core.mapping.partition_map import PartitionMapping
 from repro.core.mapping.txyz import TxyzMapping
 from repro.core.scheduler.strategies import ParallelSiblingsStrategy, SequentialStrategy
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.iosim.model import IoModel
 from repro.perfsim.profiling import profile_step
 from repro.perfsim.simulate import simulate_iteration
@@ -114,6 +120,21 @@ def _add_jobs_flag(p: argparse.ArgumentParser) -> None:
         help="worker processes for the sweep (default: 1 = inline; "
              "results are identical for every value)",
     )
+
+
+def _validate_jobs(args) -> None:
+    """Central ``--jobs`` check for every subcommand that accepts it.
+
+    Zero or negative worker counts used to slip through to whichever
+    layer consumed them (a raw ``ValueError`` traceback from the pool,
+    or a silent inline fallback); now they fail uniformly with a clear
+    :class:`ConfigurationError` before any work starts.
+    """
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(
+            f"--jobs must be >= 1, got {jobs} (1 means inline execution)"
+        )
 
 
 def _add_trace_flag(p: argparse.ArgumentParser) -> None:
@@ -343,6 +364,41 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import PlanningServer, ServicePolicy, ServiceState
+
+    if args.cache_ttl is not None and args.cache_ttl <= 0:
+        raise ConfigurationError(
+            f"--cache-ttl must be > 0 seconds, got {args.cache_ttl}"
+        )
+    policy = ServicePolicy(
+        plan_ttl_s=args.cache_ttl,
+        placement_ttl_s=args.cache_ttl,
+        route_ttl_s=args.cache_ttl,
+    )
+    state = ServiceState(policy)
+    server = PlanningServer(state, host=args.host, port=args.port)
+    if args.warm:
+        summary = state.warm_start()
+        print(
+            f"warm start: {', '.join(summary['configs'])} on "
+            f"{summary['machine']} — {summary['plan_cache_entries']} plans, "
+            f"{summary['placement_cache_entries']} placements, "
+            f"{summary['route_cache_entries']} routed exchanges resident",
+            flush=True,
+        )
+    # The bench harness and the serve smoke test parse this line for the
+    # bound (possibly ephemeral) port; keep its shape stable.
+    print(f"listening on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -430,6 +486,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output directory (default: trace-out)")
     p.set_defaults(func=_cmd_trace)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the resident HTTP planning service (see docs/service.md)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8023,
+                   help="bind port; 0 picks an ephemeral port (default: 8023)")
+    p.add_argument("--no-warm", dest="warm", action="store_false",
+                   help="skip warm-start preloading of the paper configs")
+    p.add_argument("--cache-ttl", type=float, default=None, metavar="SECONDS",
+                   dest="cache_ttl",
+                   help="TTL for the shared plan/placement/route caches "
+                        "(default: entries live until byte-budget eviction)")
+    p.set_defaults(func=_cmd_serve, warm=True)
+
     p = sub.add_parser("report",
                        help="run experiment drivers and write a markdown report")
     p.add_argument("names", nargs="+",
@@ -446,6 +517,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        _validate_jobs(args)
         trace_path = getattr(args, "trace", None)
         if trace_path:
             from repro.obs import TraceSession

@@ -25,6 +25,7 @@ from repro.exec.placementcache import (
     cached_placement,
     placement_cache_stats,
     reset_placement_cache,
+    set_placement_cache_policy,
 )
 from repro.exec.plancache import (
     PlanCacheStats,
@@ -32,6 +33,7 @@ from repro.exec.plancache import (
     plan_cache_stats,
     reset_plan_cache,
     sequential_plan,
+    set_plan_cache_policy,
 )
 from repro.exec.pool import SweepResult, SweepRunner, run_sweep
 from repro.exec.shm import (
@@ -54,8 +56,10 @@ __all__ = [
     "parallel_plan",
     "plan_cache_stats",
     "reset_plan_cache",
+    "set_plan_cache_policy",
     "PlacementCacheStats",
     "cached_placement",
     "placement_cache_stats",
     "reset_placement_cache",
+    "set_placement_cache_policy",
 ]

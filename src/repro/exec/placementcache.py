@@ -28,13 +28,21 @@ the observability registry (``exec.placement_cache.*``, the route-cache
 pattern): the plain attributes stay the source of truth and
 :func:`repro.exec.pool._reset_task_state` clears the cache per task, so
 per-task metric capture and the counters can never desynchronise.
+
+Every operation (including :func:`reset_placement_cache`) holds one
+lock, so the planning service can reset or retune the cache while
+recommend sweeps are mid-flight; :func:`set_placement_cache_policy`
+optionally gives entries a TTL on an injectable monotonic clock (the
+same policy shape as the plan cache).
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 from repro.netsim.budget import placement_cache_budget_bytes
 from repro.obs.metrics import counter as _obs_counter
@@ -49,6 +57,7 @@ __all__ = [
     "cached_placement",
     "placement_cache_stats",
     "reset_placement_cache",
+    "set_placement_cache_policy",
 ]
 
 PlacementKey = Tuple[
@@ -60,6 +69,7 @@ PlacementKey = Tuple[
 _HITS = _obs_counter("exec.placement_cache.hits")
 _MISSES = _obs_counter("exec.placement_cache.misses")
 _EVICTIONS = _obs_counter("exec.placement_cache.evictions")
+_EXPIRED = _obs_counter("exec.placement_cache.expired")
 _CACHE_BYTES = _obs_gauge("exec.placement_cache.resident_bytes")
 
 #: Rough per-slot overhead of the tuple-of-tuples form of a placement
@@ -87,6 +97,8 @@ class PlacementCacheStats:
     entries: int
     evictions: int = 0
     resident_bytes: int = 0
+    #: Lookups that found an entry past its TTL (also counted as misses).
+    expired: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -95,70 +107,104 @@ class PlacementCacheStats:
 
 
 class _PlacementCache:
-    """Byte-budgeted LRU of placements (same shape as the route cache)."""
+    """Byte-budgeted LRU of placements (same shape as the route cache).
+
+    Every operation holds ``_lock``: the planning service runs lookups
+    from many request threads and may reset mid-flight.
+    """
 
     def __init__(self, maxsize: int = 512):
         self.maxsize = maxsize
-        self._data: "OrderedDict[PlacementKey, Tuple[Placement, int]]" = (
+        self._data: "OrderedDict[PlacementKey, Tuple[Placement, int, float]]" = (
             OrderedDict()
         )
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.expired = 0
         self.bytes = 0
+        self.ttl_s: Optional[float] = None
+        self._clock: Callable[[], float] = time.monotonic
+        self._lock = threading.Lock()
 
     def get(self, key: PlacementKey) -> "Optional[Placement]":
-        entry = self._data.get(key)
-        if entry is None:
-            self.misses += 1
-            _MISSES.inc()
-            return None
-        self.hits += 1
-        _HITS.inc()
-        self._data.move_to_end(key)
-        return entry[0]
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is not None and self.ttl_s is not None:
+                if self._clock() - entry[2] > self.ttl_s:
+                    del self._data[key]
+                    self.bytes -= entry[1]
+                    self.expired += 1
+                    _EXPIRED.inc()
+                    _CACHE_BYTES.set(self.bytes)
+                    entry = None
+            if entry is None:
+                self.misses += 1
+                _MISSES.inc()
+                return None
+            self.hits += 1
+            _HITS.inc()
+            self._data.move_to_end(key)
+            return entry[0]
 
     def put(self, key: PlacementKey, value: "Placement") -> None:
         nbytes = _placement_nbytes(value)
         budget = placement_cache_budget_bytes()
-        if nbytes > budget:
-            # Larger than the whole budget: hand it out, never retain it.
-            self.evictions += 1
-            _EVICTIONS.inc()
-            return
-        old = self._data.pop(key, None)
-        if old is not None:
-            self.bytes -= old[1]
-        self._data[key] = (value, nbytes)
-        self.bytes += nbytes
-        while self._data and (
-            len(self._data) > self.maxsize or self.bytes > budget
-        ):
-            _, (_, evicted_nbytes) = self._data.popitem(last=False)
-            self.bytes -= evicted_nbytes
-            self.evictions += 1
-            _EVICTIONS.inc()
-        _CACHE_BYTES.set(self.bytes)
+        with self._lock:
+            if nbytes > budget:
+                # Larger than the whole budget: hand it out, never retain it.
+                self.evictions += 1
+                _EVICTIONS.inc()
+                return
+            old = self._data.pop(key, None)
+            if old is not None:
+                self.bytes -= old[1]
+            self._data[key] = (value, nbytes, self._clock())
+            self.bytes += nbytes
+            while self._data and (
+                len(self._data) > self.maxsize or self.bytes > budget
+            ):
+                _, (_, evicted_nbytes, _) = self._data.popitem(last=False)
+                self.bytes -= evicted_nbytes
+                self.evictions += 1
+                _EVICTIONS.inc()
+            _CACHE_BYTES.set(self.bytes)
 
     def stats(self) -> PlacementCacheStats:
-        return PlacementCacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            entries=len(self._data),
-            evictions=self.evictions,
-            resident_bytes=self.bytes,
-        )
+        with self._lock:
+            return PlacementCacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                entries=len(self._data),
+                evictions=self.evictions,
+                resident_bytes=self.bytes,
+                expired=self.expired,
+            )
+
+    def set_policy(
+        self,
+        ttl_s: Optional[float],
+        clock: Optional[Callable[[], float]],
+    ) -> None:
+        with self._lock:
+            if ttl_s is not None and ttl_s <= 0:
+                raise ValueError(f"ttl_s must be > 0 or None, got {ttl_s}")
+            self.ttl_s = ttl_s
+            self._clock = clock or time.monotonic
 
     def clear(self) -> None:
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.bytes = 0
-        _HITS.reset()
-        _MISSES.reset()
-        _EVICTIONS.reset()
-        _CACHE_BYTES.reset()
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.expired = 0
+            self.bytes = 0
+            _HITS.reset()
+            _MISSES.reset()
+            _EVICTIONS.reset()
+            _EXPIRED.reset()
+            _CACHE_BYTES.reset()
 
 
 _PLACEMENT_CACHE = _PlacementCache()
@@ -206,5 +252,26 @@ def placement_cache_stats() -> PlacementCacheStats:
 
 
 def reset_placement_cache() -> None:
-    """Drop all cached placements and zero the counters (tests, benchmarks)."""
+    """Drop all cached placements and zero the counters (tests, benchmarks).
+
+    Safe to call while lookups are in flight on other threads: the cache
+    lock serialises the reset against every get/put, so concurrent
+    sweeps see either the old entries or an empty cache, never a torn
+    LRU or desynchronised counters.
+    """
     _PLACEMENT_CACHE.clear()
+
+
+def set_placement_cache_policy(
+    *,
+    ttl_s: Optional[float] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> None:
+    """Set the placement-cache freshness policy.
+
+    ``ttl_s=None`` (the default) keeps entries until byte-budget
+    eviction — the historical behaviour. A positive TTL expires entries
+    *lazily* on lookup once they are older than that many seconds on
+    *clock* (default: ``time.monotonic``; injectable for tests).
+    """
+    _PLACEMENT_CACHE.set_policy(ttl_s, clock)

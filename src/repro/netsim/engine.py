@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
@@ -691,58 +692,66 @@ class _RouteCache:
         self.misses = 0
         self.evictions = 0
         self.bytes = 0
+        # Request threads in the planning service share this cache;
+        # every operation (reset included) holds the lock so concurrent
+        # lookups can never tear the LRU order or the counters.
+        self._lock = threading.Lock()
 
     def get(self, key: tuple):
-        entry = self._data.get(key)
-        if entry is None:
-            self.misses += 1
-            _MISSES.inc()
-            return None
-        self.hits += 1
-        _HITS.inc()
-        self._data.move_to_end(key)
-        return entry[0], entry[1]
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.misses += 1
+                _MISSES.inc()
+                return None
+            self.hits += 1
+            _HITS.inc()
+            self._data.move_to_end(key)
+            return entry[0], entry[1]
 
     def put(self, key: tuple, routed: RoutedExchange, loads: LinkLoadVector) -> None:
         nbytes = routed.resident_nbytes + loads.resident_nbytes
         budget = route_cache_budget_bytes()
-        if nbytes > budget:
-            self.evictions += 1
-            _EVICTIONS.inc()
-            return
-        old = self._data.pop(key, None)
-        if old is not None:
-            self.bytes -= old[2]
-        self._data[key] = (routed, loads, nbytes)
-        self.bytes += nbytes
-        while self._data and (
-            len(self._data) > self.maxsize or self.bytes > budget
-        ):
-            _, (_, _, evicted_nbytes) = self._data.popitem(last=False)
-            self.bytes -= evicted_nbytes
-            self.evictions += 1
-            _EVICTIONS.inc()
-        _CACHE_BYTES.set(self.bytes)
+        with self._lock:
+            if nbytes > budget:
+                self.evictions += 1
+                _EVICTIONS.inc()
+                return
+            old = self._data.pop(key, None)
+            if old is not None:
+                self.bytes -= old[2]
+            self._data[key] = (routed, loads, nbytes)
+            self.bytes += nbytes
+            while self._data and (
+                len(self._data) > self.maxsize or self.bytes > budget
+            ):
+                _, (_, _, evicted_nbytes) = self._data.popitem(last=False)
+                self.bytes -= evicted_nbytes
+                self.evictions += 1
+                _EVICTIONS.inc()
+            _CACHE_BYTES.set(self.bytes)
 
     def stats(self) -> RouteCacheStats:
-        return RouteCacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            entries=len(self._data),
-            evictions=self.evictions,
-            resident_bytes=self.bytes,
-        )
+        with self._lock:
+            return RouteCacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                entries=len(self._data),
+                evictions=self.evictions,
+                resident_bytes=self.bytes,
+            )
 
     def clear(self) -> None:
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.bytes = 0
-        _HITS.reset()
-        _MISSES.reset()
-        _EVICTIONS.reset()
-        _CACHE_BYTES.reset()
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.bytes = 0
+            _HITS.reset()
+            _MISSES.reset()
+            _EVICTIONS.reset()
+            _CACHE_BYTES.reset()
 
 
 _ROUTE_CACHE = _RouteCache()

@@ -54,22 +54,31 @@ Number = Union[int, float]
 
 
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total.
 
-    __slots__ = ("name", "value")
+    ``inc`` is atomic (a per-metric lock): ``value += amount`` is a
+    read-modify-write that can drop updates when service request
+    threads increment concurrently, and the concurrency-determinism
+    suite asserts counters reconcile *exactly* at any thread count.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Number = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: Number = 1) -> None:
         """Add *amount* (must be >= 0) to the total."""
         if amount < 0:
             raise ValueError(f"counter {self.name}: negative increment {amount!r}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def snapshot(self) -> Dict[str, Any]:
         return {"type": "counter", "value": self.value}
@@ -78,26 +87,30 @@ class Counter:
 class Gauge:
     """A sampled value; ``set`` overwrites, ``set_max`` keeps the extreme."""
 
-    __slots__ = ("name", "value", "updates")
+    __slots__ = ("name", "value", "updates", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Number = 0
         self.updates = 0
+        self._lock = threading.Lock()
 
     def set(self, value: Number) -> None:
-        self.value = value
-        self.updates += 1
+        with self._lock:
+            self.value = value
+            self.updates += 1
 
     def set_max(self, value: Number) -> None:
         """Record *value* only if it exceeds everything seen so far."""
-        if self.updates == 0 or value > self.value:
-            self.value = value
-        self.updates += 1
+        with self._lock:
+            if self.updates == 0 or value > self.value:
+                self.value = value
+            self.updates += 1
 
     def reset(self) -> None:
-        self.value = 0
-        self.updates = 0
+        with self._lock:
+            self.value = 0
+            self.updates = 0
 
     def snapshot(self) -> Dict[str, Any]:
         return {"type": "gauge", "value": self.value, "updates": self.updates}
@@ -113,7 +126,7 @@ class Histogram:
     overflow: everything above ``bounds[-1]``.
     """
 
-    __slots__ = ("name", "bounds", "counts", "count", "sum")
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "_lock")
 
     def __init__(self, name: str, bounds: Sequence[Number]) -> None:
         if not bounds:
@@ -130,25 +143,29 @@ class Histogram:
         self.counts: List[int] = [0] * (len(clean) + 1)
         self.count = 0
         self.sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: Number) -> None:
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.sum += value
+        with self._lock:
+            self.counts[bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.sum += value
 
     def reset(self) -> None:
-        self.counts = [0] * (len(self.bounds) + 1)
-        self.count = 0
-        self.sum = 0.0
+        with self._lock:
+            self.counts = [0] * (len(self.bounds) + 1)
+            self.count = 0
+            self.sum = 0.0
 
     def snapshot(self) -> Dict[str, Any]:
-        return {
-            "type": "histogram",
-            "bounds": list(self.bounds),
-            "counts": list(self.counts),
-            "count": self.count,
-            "sum": self.sum,
-        }
+        with self._lock:
+            return {
+                "type": "histogram",
+                "bounds": list(self.bounds),
+                "counts": list(self.counts),
+                "count": self.count,
+                "sum": self.sum,
+            }
 
 
 Metric = Union[Counter, Gauge, Histogram]

@@ -1,0 +1,68 @@
+"""Planner-as-a-service: the resident-process front door.
+
+The paper's divide-and-conquer planner answers "how should I place
+these nests?"; this package answers it as a **long-lived service**
+instead of a CLI invocation per question:
+
+* :mod:`repro.service.schemas` — versioned frozen-dataclass
+  request/response schemas with strict canonical-JSON (de)serialization;
+* :mod:`repro.service.state` — the shared cross-request state: the
+  plan/placement/route caches under TTL + byte-budget policies,
+  request coalescing, and warm-start preloading from paper configs;
+* :mod:`repro.service.app` — the zero-dependency HTTP server
+  (``POST /recommend``, ``POST /simulate``, ``POST /verify``,
+  ``GET /healthz``, ``GET /metrics``);
+* :mod:`repro.service.client` — a stdlib client for tests and the
+  ``benchmarks/bench_service.py`` load harness.
+
+``repro serve`` on the command line runs it; see ``docs/service.md``
+for endpoint schemas, cache-policy knobs, and the load-test howto.
+"""
+
+from repro.service.app import MAX_BODY_BYTES, PlanningHTTPServer, PlanningServer
+from repro.service.client import ServiceClient, ServiceReply
+from repro.service.schemas import (
+    SCHEMA_VERSION,
+    ErrorResponse,
+    HealthResponse,
+    IterationPayload,
+    PlanOptionPayload,
+    RecommendRequest,
+    RecommendResponse,
+    SchemaError,
+    SimulateRequest,
+    SimulateResponse,
+    VerifyFailurePayload,
+    VerifyRequest,
+    VerifyResponse,
+    dump_bytes,
+    parse_payload,
+    to_payload,
+)
+from repro.service.state import ServicePolicy, ServiceState
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MAX_BODY_BYTES",
+    "PlanningServer",
+    "PlanningHTTPServer",
+    "ServiceClient",
+    "ServiceReply",
+    "ServicePolicy",
+    "ServiceState",
+    "SchemaError",
+    "parse_payload",
+    "to_payload",
+    "dump_bytes",
+    "RecommendRequest",
+    "RecommendResponse",
+    "SimulateRequest",
+    "SimulateResponse",
+    "VerifyRequest",
+    "VerifyResponse",
+    "VerifyFailurePayload",
+    "PlanOptionPayload",
+    "IterationPayload",
+    "HealthResponse",
+    "ErrorResponse",
+]

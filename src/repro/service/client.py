@@ -1,0 +1,100 @@
+"""Minimal stdlib client for the planning service.
+
+Tests, the load benchmark, and scripts drive the HTTP API through this
+thin :mod:`urllib.request` wrapper. It never raises on HTTP error
+statuses — every call returns a :class:`ServiceReply` carrying the
+status, headers, and raw body, because the error *body* (its stable
+``error`` code) is part of the API surface under test.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.service.schemas import canonical_json
+
+__all__ = ["ServiceReply", "ServiceClient"]
+
+
+@dataclass(frozen=True)
+class ServiceReply:
+    """One HTTP exchange: status, response headers, raw body bytes."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    @property
+    def json(self) -> Any:
+        """The decoded JSON body."""
+        return json.loads(self.body)
+
+    @property
+    def coalesced(self) -> bool:
+        """Whether the server coalesced this request into another's."""
+        return self.headers.get("X-Repro-Coalesced") == "1"
+
+
+class ServiceClient:
+    """Blocking JSON client bound to one service base URL."""
+
+    def __init__(self, base_url: str, *, timeout_s: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _exchange(self, req: urllib.request.Request) -> ServiceReply:
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return ServiceReply(
+                    status=resp.status,
+                    headers=dict(resp.headers.items()),
+                    body=resp.read(),
+                )
+        except urllib.error.HTTPError as exc:
+            return ServiceReply(
+                status=exc.code,
+                headers=dict(exc.headers.items()) if exc.headers else {},
+                body=exc.read(),
+            )
+
+    def get(self, path: str) -> ServiceReply:
+        """``GET path``."""
+        return self._exchange(
+            urllib.request.Request(self.base_url + path, method="GET")
+        )
+
+    def post(self, path: str, payload: Optional[Mapping[str, Any]] = None,
+             *, raw: Optional[bytes] = None) -> ServiceReply:
+        """``POST path`` with a canonical-JSON *payload* (or *raw* bytes)."""
+        body = raw if raw is not None else canonical_json(
+            dict(payload or {})
+        ).encode("utf-8")
+        return self._exchange(
+            urllib.request.Request(
+                self.base_url + path,
+                data=body,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+        )
+
+    # Convenience wrappers -------------------------------------------------
+    def healthz(self) -> ServiceReply:
+        return self.get("/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The decoded ``GET /metrics`` snapshot."""
+        return self.get("/metrics").json
+
+    def recommend(self, payload: Optional[Mapping[str, Any]] = None) -> ServiceReply:
+        return self.post("/recommend", payload)
+
+    def simulate(self, payload: Optional[Mapping[str, Any]] = None) -> ServiceReply:
+        return self.post("/simulate", payload)
+
+    def verify(self, payload: Optional[Mapping[str, Any]] = None) -> ServiceReply:
+        return self.post("/verify", payload)

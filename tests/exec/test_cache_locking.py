@@ -1,0 +1,223 @@
+"""Cache locking + TTL policies: the reset-during-recommend regression.
+
+Before the planning service, :func:`reset_plan_cache` /
+:func:`reset_placement_cache` raced unsynchronised against lookups —
+harmless in single-threaded sweeps, a torn-LRU/desynchronised-counter
+hazard once request threads share the caches. These tests hammer resets
+against concurrent lookups and pin down the TTL policy semantics on an
+injected clock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.mapping.base import SlotSpace
+from repro.core.mapping.oblivious import ObliviousMapping
+from repro.exec.placementcache import (
+    cached_placement,
+    placement_cache_stats,
+    reset_placement_cache,
+    set_placement_cache_policy,
+)
+from repro.exec.plancache import (
+    plan_cache_stats,
+    reset_plan_cache,
+    sequential_plan,
+    set_plan_cache_policy,
+)
+from repro.runtime.process_grid import ProcessGrid
+from repro.topology.torus import Torus3D
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    set_plan_cache_policy(ttl_s=None)
+    set_placement_cache_policy(ttl_s=None)
+    reset_plan_cache()
+    reset_placement_cache()
+    yield
+    set_plan_cache_policy(ttl_s=None)
+    set_placement_cache_policy(ttl_s=None)
+    reset_plan_cache()
+    reset_placement_cache()
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 50.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+# ----------------------------------------------------------------------
+# TTL policy semantics
+# ----------------------------------------------------------------------
+class TestPlanCacheTtl:
+    def test_entries_expire_lazily_on_lookup(self, pacific, two_siblings):
+        clock = _FakeClock()
+        set_plan_cache_policy(ttl_s=10.0, clock=clock)
+        grid = ProcessGrid(16, 16)
+        first = sequential_plan(grid, pacific, two_siblings)
+        assert sequential_plan(grid, pacific, two_siblings) is first
+        clock.advance(10.5)
+        second = sequential_plan(grid, pacific, two_siblings)
+        assert second is not first  # stale entry was dropped and re-planned
+        stats = plan_cache_stats()
+        assert stats.expired == 1
+        assert stats.misses == 2  # the expiry counted as a miss too
+        assert stats.entries == 1  # re-planned entry is resident again
+
+    def test_entries_survive_within_the_ttl(self, pacific, two_siblings):
+        clock = _FakeClock()
+        set_plan_cache_policy(ttl_s=10.0, clock=clock)
+        grid = ProcessGrid(16, 16)
+        first = sequential_plan(grid, pacific, two_siblings)
+        clock.advance(9.9)
+        assert sequential_plan(grid, pacific, two_siblings) is first
+        assert plan_cache_stats().expired == 0
+
+    def test_disabling_the_policy_stops_expiry(self, pacific, two_siblings):
+        clock = _FakeClock()
+        set_plan_cache_policy(ttl_s=10.0, clock=clock)
+        grid = ProcessGrid(16, 16)
+        first = sequential_plan(grid, pacific, two_siblings)
+        set_plan_cache_policy(ttl_s=None)
+        clock.advance(1e6)
+        assert sequential_plan(grid, pacific, two_siblings) is first
+
+    def test_nonpositive_ttl_rejected(self):
+        with pytest.raises(ValueError, match="ttl_s must be > 0"):
+            set_plan_cache_policy(ttl_s=0.0)
+        with pytest.raises(ValueError, match="ttl_s must be > 0"):
+            set_plan_cache_policy(ttl_s=-5.0)
+
+
+class TestPlacementCacheTtl:
+    @staticmethod
+    def _lookup():
+        return cached_placement(
+            ObliviousMapping(), ProcessGrid(8, 4), SlotSpace(Torus3D((4, 4, 2)), 1)
+        )
+
+    def test_expiry_releases_the_byte_accounting(self):
+        clock = _FakeClock()
+        set_placement_cache_policy(ttl_s=10.0, clock=clock)
+        first = self._lookup()
+        assert self._lookup() is first
+        resident = placement_cache_stats().resident_bytes
+        assert resident > 0
+        clock.advance(10.5)
+        second = self._lookup()
+        assert second is not first
+        stats = placement_cache_stats()
+        assert stats.expired == 1
+        # Expired bytes were released, then the re-placed entry re-added.
+        assert stats.resident_bytes == resident
+
+    def test_nonpositive_ttl_rejected(self):
+        with pytest.raises(ValueError, match="ttl_s must be > 0"):
+            set_placement_cache_policy(ttl_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# The reset-during-lookup hammer
+# ----------------------------------------------------------------------
+def _hammer(lookup, reset, stats, seconds=1.5, workers=4):
+    """Run *lookup* loops on threads while the main thread spams *reset*."""
+    stop = threading.Event()
+    failures = []
+
+    def worker():
+        while not stop.is_set():
+            try:
+                assert lookup() is not None
+            except BaseException as exc:  # noqa: BLE001 - recording, not hiding
+                failures.append(exc)
+                return
+
+    threads = [threading.Thread(target=worker) for _ in range(workers)]
+    for t in threads:
+        t.start()
+    import time
+
+    deadline = time.monotonic() + seconds
+    resets = 0
+    while time.monotonic() < deadline:
+        reset()
+        stats()  # stats reads must interleave safely too
+        resets += 1
+    stop.set()
+    for t in threads:
+        t.join(timeout=30)
+    assert not failures, failures[0]
+    assert resets > 0
+    return resets
+
+
+class TestResetDuringLookupHammer:
+    def test_plan_cache_reset_races_lookups_safely(self, pacific, two_siblings):
+        grid = ProcessGrid(16, 16)
+
+        _hammer(
+            lambda: sequential_plan(grid, pacific, two_siblings),
+            reset_plan_cache,
+            plan_cache_stats,
+        )
+        # Counters are coherent afterwards: a fresh pair of lookups
+        # lands exactly one miss then one hit.
+        reset_plan_cache()
+        sequential_plan(grid, pacific, two_siblings)
+        sequential_plan(grid, pacific, two_siblings)
+        stats = plan_cache_stats()
+        assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+
+    def test_placement_cache_reset_races_lookups_safely(self):
+        grid = ProcessGrid(8, 4)
+        space = SlotSpace(Torus3D((4, 4, 2)), 1)
+
+        _hammer(
+            lambda: cached_placement(ObliviousMapping(), grid, space),
+            reset_placement_cache,
+            placement_cache_stats,
+        )
+        reset_placement_cache()
+        cached_placement(ObliviousMapping(), grid, space)
+        cached_placement(ObliviousMapping(), grid, space)
+        stats = placement_cache_stats()
+        assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+
+    def test_reset_races_a_full_recommend_sweep(self):
+        """The service-shaped regression: cache resets mid-recommend
+        never corrupt the sweep or change its answer."""
+        from repro.analysis.planner import recommend
+        from repro.topology.machines import BLUE_GENE_L
+        from repro.workloads.paper_configs import table2_domains
+
+        config = table2_domains()
+        baseline = recommend(config, BLUE_GENE_L, max_ranks=128, jobs=1)
+
+        result = {}
+        done = threading.Event()
+
+        def sweep():
+            result["rec"] = recommend(config, BLUE_GENE_L, max_ranks=128, jobs=1)
+            done.set()
+
+        t = threading.Thread(target=sweep)
+        t.start()
+        while not done.is_set():
+            reset_plan_cache()
+            reset_placement_cache()
+        t.join(timeout=60)
+        assert result["rec"].fastest == baseline.fastest
+        assert result["rec"].recommended == baseline.recommended
+        assert [o.time_per_iteration for o in result["rec"].options] == [
+            o.time_per_iteration for o in baseline.options
+        ]

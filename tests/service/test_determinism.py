@@ -1,0 +1,214 @@
+"""Concurrency-determinism suite: the service's central contract.
+
+Response bodies are a pure function of the request, so a storm of
+concurrent clients must produce **byte-identical** bodies to a
+single-threaded oracle run — for every request in the workload, at
+1, 8, and 32 concurrent clients. Alongside the bodies, the service's
+own accounting must reconcile *exactly*: request counters, response
+byte totals, and latency histogram counts are all thread-count
+invariant (coalescing changes how much work runs, never how many
+requests were answered).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.metrics import registry
+from repro.service import PlanningServer, ServiceClient
+from repro.service.schemas import canonical_json
+
+from tests.service.conftest import _reset_shared_state
+
+CLIENT_COUNTS = (1, 8, 32)
+
+#: The mixed workload: each payload appears several times so identical
+#: requests genuinely race (and may coalesce) at high concurrency.
+_DISTINCT = [
+    ("/recommend", {"config": "table2", "max_ranks": 256}),
+    ("/recommend", {"config": "fig2", "max_ranks": 256}),
+    ("/recommend", {"config": "table2", "machine": "bgp", "max_ranks": 128}),
+    ("/recommend", {"config": "fig10", "max_ranks": 128,
+                    "efficiency_floor": 0.4}),
+    ("/simulate", {"config": "table2", "ranks": 128}),
+    ("/simulate", {"config": "fig2", "ranks": 64, "mapping": "multilevel"}),
+]
+WORKLOAD = _DISTINCT * 6  # 36 requests over 6 distinct payloads
+
+
+def _key(path, payload) -> str:
+    return path + "::" + canonical_json(payload)
+
+
+def _counter_value(snapshot, name) -> float:
+    entry = snapshot.get(name)
+    return entry["value"] if entry else 0
+
+
+def _histogram_count(snapshot, name) -> int:
+    entry = snapshot.get(name)
+    return entry["count"] if entry else 0
+
+
+def _run_level(n_clients):
+    """Serve WORKLOAD with *n_clients* threads against a fresh server.
+
+    Returns ``(bodies, deltas)``: per-payload response bodies, and the
+    exact service-metric deltas attributable to this run.
+    """
+    _reset_shared_state()
+    before = registry().snapshot()
+    replies = []
+    with PlanningServer() as server:
+        client = ServiceClient(server.url)
+
+        def fire(item):
+            path, payload = item
+            return item, client.post(path, payload)
+
+        if n_clients == 1:
+            for item in WORKLOAD:
+                replies.append(fire(item))
+        else:
+            with ThreadPoolExecutor(max_workers=n_clients) as pool:
+                replies = list(pool.map(fire, WORKLOAD))
+    after = registry().snapshot()
+    _reset_shared_state()
+
+    bodies = {}
+    total_bytes = 0
+    for (path, payload), reply in replies:
+        assert reply.status == 200, reply.body
+        bodies.setdefault(_key(path, payload), set()).add(reply.body)
+        total_bytes += len(reply.body)
+
+    def delta(kind, name):
+        fn = _counter_value if kind == "counter" else _histogram_count
+        return fn(after, name) - fn(before, name)
+
+    n_rec = sum(1 for path, _ in WORKLOAD if path == "/recommend")
+    n_sim = len(WORKLOAD) - n_rec
+    deltas = {
+        "recommend.requests": delta("counter", "service.recommend.requests"),
+        "simulate.requests": delta("counter", "service.simulate.requests"),
+        "requests": delta("counter", "service.requests"),
+        "errors": delta("counter", "service.errors"),
+        "response_bytes": (
+            delta("counter", "service.recommend.response_bytes")
+            + delta("counter", "service.simulate.response_bytes")
+        ),
+        "recommend.latency.count": delta(
+            "histogram", "service.recommend.latency_s"
+        ),
+        "simulate.latency.count": delta(
+            "histogram", "service.simulate.latency_s"
+        ),
+        "coalesce.total": (
+            delta("counter", "service.coalesce.hits")
+            + delta("counter", "service.coalesce.misses")
+        ),
+        "coalesce.hits": delta("counter", "service.coalesce.hits"),
+    }
+    return bodies, deltas, {"recommend": n_rec, "simulate": n_sim,
+                            "received_bytes": total_bytes}
+
+
+@pytest.fixture(scope="module")
+def level_runs():
+    """One workload run per concurrency level, shared by the assertions."""
+    return {n: _run_level(n) for n in CLIENT_COUNTS}
+
+
+class TestByteDeterminism:
+    def test_each_payload_yields_one_body_within_a_level(self, level_runs):
+        for n, (bodies, _, _) in level_runs.items():
+            for key, variants in bodies.items():
+                assert len(variants) == 1, (
+                    f"{key} produced {len(variants)} distinct bodies "
+                    f"at {n} clients"
+                )
+
+    def test_concurrent_bodies_match_the_single_threaded_oracle(
+        self, level_runs
+    ):
+        oracle, _, _ = level_runs[1]
+        for n in CLIENT_COUNTS[1:]:
+            bodies, _, _ = level_runs[n]
+            assert bodies.keys() == oracle.keys()
+            for key in oracle:
+                assert bodies[key] == oracle[key], (
+                    f"{key} at {n} clients diverged from the "
+                    f"single-threaded oracle"
+                )
+
+
+class TestMetricReconciliation:
+    def test_request_counters_reconcile_exactly(self, level_runs):
+        for n, (_, deltas, expect) in level_runs.items():
+            assert deltas["recommend.requests"] == expect["recommend"], n
+            assert deltas["simulate.requests"] == expect["simulate"], n
+            assert deltas["requests"] == len(WORKLOAD), n
+            assert deltas["errors"] == 0, n
+
+    def test_response_byte_totals_reconcile_exactly(self, level_runs):
+        for n, (_, deltas, expect) in level_runs.items():
+            assert deltas["response_bytes"] == expect["received_bytes"], n
+
+    def test_latency_histograms_count_every_request(self, level_runs):
+        for n, (_, deltas, expect) in level_runs.items():
+            assert deltas["recommend.latency.count"] == expect["recommend"], n
+            assert deltas["simulate.latency.count"] == expect["simulate"], n
+
+    def test_every_recommend_is_a_coalesce_hit_or_miss(self, level_runs):
+        for n, (_, deltas, expect) in level_runs.items():
+            assert deltas["coalesce.total"] == expect["recommend"], n
+
+    def test_single_threaded_run_never_coalesces(self, level_runs):
+        _, deltas, _ = level_runs[1]
+        assert deltas["coalesce.hits"] == 0
+
+
+class TestCoalescingUnderLoad:
+    def test_simultaneous_identical_requests_share_one_computation(
+        self, fresh_caches
+    ):
+        """Pin coalescing down deterministically: park the leader, pile
+        followers on the same payload, then release — followers must be
+        marked coalesced and byte-identical to the leader."""
+        with PlanningServer() as server:
+            state = server.state
+            entered = threading.Event()
+            release = threading.Event()
+            real = state._compute_recommend
+
+            def gated(req):
+                entered.set()
+                assert release.wait(timeout=30)
+                return real(req)
+
+            state._compute_recommend = gated
+            client = ServiceClient(server.url)
+            payload = {"config": "table2", "max_ranks": 128}
+            baseline = state._coalesce_hits.value
+            with ThreadPoolExecutor(max_workers=9) as pool:
+                futures = [
+                    pool.submit(client.recommend, payload) for _ in range(9)
+                ]
+                assert entered.wait(timeout=30)
+                # Wait until all other requests are parked as followers.
+                pause = threading.Event()
+                for _ in range(30000):
+                    if state._coalesce_hits.value >= baseline + 8:
+                        break
+                    pause.wait(0.001)
+                release.set()
+                replies = [f.result(timeout=60) for f in futures]
+
+        assert all(r.status == 200 for r in replies)
+        bodies = {r.body for r in replies}
+        assert len(bodies) == 1
+        flags = sorted(r.coalesced for r in replies)
+        assert flags == [False] + [True] * 8

@@ -200,3 +200,87 @@ class TestReport:
         import pytest as _pytest
         with _pytest.raises(SystemExit):
             main(["report", "fig99"])
+
+
+class TestJobsValidation:
+    """Every subcommand that accepts --jobs rejects 0/negative uniformly."""
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "-8"])
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["experiment", "fig3b"],
+            ["recommend", "--config", "table2", "--max-ranks", "128"],
+            ["verify", "--skip-fuzz"],
+        ],
+        ids=["experiment", "recommend", "verify"],
+    )
+    def test_nonpositive_jobs_rejected(self, argv, bad, capsys):
+        assert main(argv + ["--jobs", bad]) == 2
+        err = capsys.readouterr().err
+        assert "--jobs must be >= 1" in err
+        assert f"got {bad}" in err
+        assert "Traceback" not in err
+
+    def test_jobs_one_still_accepted(self, capsys):
+        assert main(["verify", "--skip-fuzz", "--jobs", "1"]) == 0
+
+    def test_error_fires_before_any_work(self, capsys, monkeypatch):
+        # The validation runs centrally in main(), before dispatch.
+        import repro.cli as cli
+
+        def forbidden(args):  # pragma: no cover - must not be reached
+            raise AssertionError("dispatched despite invalid --jobs")
+
+        monkeypatch.setattr(cli, "_cmd_recommend", forbidden)
+        parser = cli.build_parser()
+        args = parser.parse_args(
+            ["recommend", "--config", "table2", "--jobs", "0"]
+        )
+        args.func = forbidden
+        with pytest.raises(Exception, match="--jobs must be >= 1"):
+            cli._validate_jobs(args)
+
+
+class TestServe:
+    def test_rejects_nonpositive_cache_ttl(self, capsys):
+        assert main(["serve", "--port", "0", "--cache-ttl", "0"]) == 2
+        assert "--cache-ttl must be > 0" in capsys.readouterr().err
+
+    def test_serve_smoke_start_healthz_shutdown(self):
+        """Start `repro serve` in a subprocess, hit /healthz, SIGINT it."""
+        import json as _json
+        import signal
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        proc = subprocess.Popen(
+            [sys.executable, "-c",
+             "from repro.cli import main; raise SystemExit("
+             "main(['serve', '--port', '0', '--no-warm']))"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            url = None
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if line.startswith("listening on "):
+                    url = line.split("listening on ", 1)[1].strip()
+                    break
+            assert url, "server never printed its listening line"
+            with urllib.request.urlopen(url + "/healthz", timeout=30) as resp:
+                body = _json.loads(resp.read())
+            assert body["status"] == "ok"
+            assert body["warmed"] is False
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=30) == 0
+            assert "shutting down" in proc.stderr.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
