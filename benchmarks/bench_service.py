@@ -1,24 +1,34 @@
 """Benchmark: the planning service under concurrent load.
 
 Drives thousands of ``POST /recommend`` requests from a pool of client
-threads into one :class:`PlanningServer` and records what a resident
-planning daemon actually delivers:
+threads — over **keep-alive pooled connections** — into the planning
+service and records what a resident planning daemon actually delivers:
 
 * **latency** — p50 / p99 per request (seconds);
 * **throughput** — requests per second over the whole storm;
 * **cache economics** — plan/placement cache hit rates after the storm
   (a warm resident process is the whole point of the service);
 * **coalescing savings** — the fraction of recommend requests that
-  shared another caller's in-flight computation instead of planning.
+  shared another caller's in-flight computation instead of planning;
+* **sharded scaling** — the same storm against
+  :class:`ShardedPlanningService` at 4 and 8 shards, with the speedup
+  over the single-process baseline from the same run.
 
-The trajectory appends to ``BENCH_service.json`` at the repo root.
-Environment knobs: ``REPRO_SERVICE_REQUESTS`` (total requests, default
-2000), ``REPRO_SERVICE_CLIENTS`` (concurrent client threads, default
-16). CI runs a bounded smoke (see ``.github/workflows/ci.yml``).
+Every trajectory entry records ``shards`` / ``clients`` / ``pool_size``
+so runs are comparable across deployment shapes. The trajectory appends
+to ``BENCH_service.json`` at the repo root. Environment knobs:
+``REPRO_SERVICE_REQUESTS`` (total requests, default 2000),
+``REPRO_SERVICE_CLIENTS`` (concurrent client threads, default 16),
+``REPRO_SERVICE_POOL`` (keep-alive connections per client, default 8),
+``REPRO_SERVICE_SHARDS`` (comma-separated shard counts, default
+``4,8``), ``REPRO_SERVICE_FLOOR`` (override the sharded speedup
+floors). CI runs a bounded smoke (see ``.github/workflows/ci.yml``).
 
 Floors are deliberately lenient — shared CI runners are noisy — and a
 run on a starved machine skips with a recorded reason instead of
 asserting noise: the numbers in the trajectory are the deliverable.
+The sharded floors additionally require enough cores to host the
+shards; a 1-core container records the entry and skips the assertion.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from __future__ import annotations
 import json
 import os
 import statistics
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -42,17 +53,35 @@ from repro.exec import (
 )
 from repro.netsim.engine import reset_route_cache
 from repro.obs.metrics import registry
-from repro.service import PlanningServer, ServiceClient
+from repro.service import PlanningServer, ServiceClient, ShardedPlanningService
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 
 REQUESTS = int(os.environ.get("REPRO_SERVICE_REQUESTS", "2000"))
 CLIENTS = int(os.environ.get("REPRO_SERVICE_CLIENTS", "16"))
+POOL_SIZE = int(os.environ.get("REPRO_SERVICE_POOL", "8"))
+SHARD_COUNTS = [
+    int(s) for s in os.environ.get("REPRO_SERVICE_SHARDS", "4,8").split(",")
+    if s.strip()
+]
 
 #: Lenient floors: a resident warm service must beat these on any
 #: machine that can run the suite at all.
 P99_CEILING_S = 2.0
 THROUGHPUT_FLOOR_RPS = 20.0
+
+#: Sharded speedup floors over the same-run single-process baseline,
+#: asserted only when the host has at least `shards` cores.
+#: ``REPRO_SERVICE_FLOOR`` overrides both (CI smoke uses 2.0).
+_floor_env = os.environ.get("REPRO_SERVICE_FLOOR")
+SPEEDUP_FLOORS = (
+    {4: float(_floor_env), 8: float(_floor_env)} if _floor_env
+    else {4: 3.0, 8: 5.0}
+)
+
+#: Single-process baseline throughput, shared within one pytest run so
+#: the sharded tests compute speedup against the same machine state.
+_BASELINE: dict = {}
 
 #: The request mix: mostly repeats of a handful of distinct plans (the
 #: realistic shape — fleets ask the same capacity questions), so cache
@@ -84,40 +113,71 @@ def _percentile(samples, q: float) -> float:
     return statistics.quantiles(samples, n=100)[int(q) - 1]
 
 
+def _storm(url: str, requests: int, clients: int):
+    """Fire the payload mix at *url* from *clients* threads.
+
+    One pooled keep-alive :class:`ServiceClient` per thread — each
+    request reuses its thread's persistent connection instead of paying
+    a TCP connect, which is both the realistic client shape and the
+    thing being measured (connect overhead would swamp planning cost).
+    Returns ``(latencies, wall_s, pool_totals)``.
+    """
+    latencies = []
+    failures = []
+    pools = []
+    lock = threading.Lock()
+    local = threading.local()
+
+    def fire(i: int) -> None:
+        client = getattr(local, "client", None)
+        if client is None:
+            client = ServiceClient(url, pool_size=POOL_SIZE)
+            local.client = client
+            with lock:
+                pools.append(client)
+        payload = _PAYLOADS[i % len(_PAYLOADS)]
+        t0 = time.perf_counter()
+        reply = client.recommend(payload)
+        elapsed = time.perf_counter() - t0
+        if reply.status != 200:
+            failures.append(reply.status)
+        latencies.append(elapsed)
+
+    t_start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        list(pool.map(fire, range(requests)))
+    wall_s = time.perf_counter() - t_start
+
+    assert not failures, f"{len(failures)} non-200 replies: {failures[:5]}"
+    assert len(latencies) == requests
+    created = sum(c.pool_stats().created for c in pools)
+    reused = sum(c.pool_stats().reused for c in pools)
+    for c in pools:
+        c.close()
+    # Keep-alive must actually be doing the work: connections created
+    # should be a sliver of requests served.
+    assert created <= clients * (POOL_SIZE + 2), (
+        f"{created} connections for {requests} requests — keep-alive broken"
+    )
+    return latencies, wall_s, {"created": created, "reused": reused}
+
+
 def test_service_load():
     reset_plan_cache()
     reset_placement_cache()
     reset_route_cache()
 
-    latencies = []
-    failures = []
-
     with PlanningServer() as server:
-        client = ServiceClient(server.url)
         server.state.warm_start(max_ranks=256)
         before = registry().snapshot()
-
-        def fire(i: int) -> None:
-            payload = _PAYLOADS[i % len(_PAYLOADS)]
-            t0 = time.perf_counter()
-            reply = client.recommend(payload)
-            elapsed = time.perf_counter() - t0
-            if reply.status != 200:
-                failures.append(reply.status)
-            latencies.append(elapsed)
-
-        t_start = time.perf_counter()
-        with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
-            list(pool.map(fire, range(REQUESTS)))
-        wall_s = time.perf_counter() - t_start
+        latencies, wall_s, pool_totals = _storm(server.url, REQUESTS, CLIENTS)
         after = registry().snapshot()
-
-    assert not failures, f"{len(failures)} non-200 replies: {failures[:5]}"
-    assert len(latencies) == REQUESTS
 
     p50 = _percentile(latencies, 50)
     p99 = _percentile(latencies, 99)
     throughput = REQUESTS / wall_s
+    _BASELINE["throughput_rps"] = throughput
+    _BASELINE["p99_s"] = p99
 
     plan = plan_cache_stats()
     placement = placement_cache_stats()
@@ -133,6 +193,8 @@ def test_service_load():
     entry = {
         "requests": REQUESTS,
         "clients": CLIENTS,
+        "shards": 1,
+        "pool_size": POOL_SIZE,
         "wall_s": round(wall_s, 3),
         "throughput_rps": round(throughput, 1),
         "latency_p50_s": round(p50, 6),
@@ -141,12 +203,14 @@ def test_service_load():
         "placement_cache_hit_rate": round(placement.hit_rate, 4),
         "coalesce_rate": round(coalesce_rate, 4),
         "coalesced_requests": int(hits),
+        "connections_created": pool_totals["created"],
+        "connections_reused": pool_totals["reused"],
     }
     _append(entry)
 
     lines = [
         "planning service load "
-        f"({REQUESTS} requests, {CLIENTS} clients)",
+        f"({REQUESTS} requests, {CLIENTS} clients, 1 shard)",
         f"  throughput            {throughput:10.1f} req/s",
         f"  latency p50           {p50 * 1e3:10.2f} ms",
         f"  latency p99           {p99 * 1e3:10.2f} ms",
@@ -154,6 +218,8 @@ def test_service_load():
         f"  placement hit rate    {placement.hit_rate:10.1%}",
         f"  coalesced             {coalesce_rate:10.1%} "
         f"({int(hits)} requests)",
+        f"  connections           {pool_totals['created']} created, "
+        f"{pool_totals['reused']} reused",
     ]
     record("service_load", "\n".join(lines))
 
@@ -168,6 +234,80 @@ def test_service_load():
     )
     assert throughput >= THROUGHPUT_FLOOR_RPS, (
         f"{throughput:.1f} req/s under the {THROUGHPUT_FLOOR_RPS} floor"
+    )
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_service_load(shards):
+    """The same storm through the consistent-hash router at N shards.
+
+    The shards start cold (``warm=False``) — cache affinity is the
+    mechanism under test: the ring pins each request class to one
+    shard, so traffic itself warms exactly one copy of each cache
+    entry. Speedup floors against the same-run single-process baseline
+    are asserted only on hosts with at least `shards` cores; the
+    trajectory entry is recorded either way.
+    """
+    latencies = []
+    with ShardedPlanningService(shards=shards, warm=False) as svc:
+        latencies, wall_s, pool_totals = _storm(svc.url, REQUESTS, CLIENTS)
+        merged = ServiceClient(svc.url).metrics()
+        per_shard = {
+            shard: info["requests_served"]
+            for shard, info in merged["shards"].items()
+        }
+
+    p50 = _percentile(latencies, 50)
+    p99 = _percentile(latencies, 99)
+    throughput = REQUESTS / wall_s
+    baseline = _BASELINE.get("throughput_rps")
+    speedup = round(throughput / baseline, 2) if baseline else None
+
+    entry = {
+        "requests": REQUESTS,
+        "clients": CLIENTS,
+        "shards": shards,
+        "pool_size": POOL_SIZE,
+        "wall_s": round(wall_s, 3),
+        "throughput_rps": round(throughput, 1),
+        "latency_p50_s": round(p50, 6),
+        "latency_p99_s": round(p99, 6),
+        "baseline_throughput_rps": round(baseline, 1) if baseline else None,
+        "speedup_vs_single": speedup,
+        "per_shard_requests": per_shard,
+        "connections_created": pool_totals["created"],
+        "connections_reused": pool_totals["reused"],
+        "cores": os.cpu_count() or 1,
+    }
+    _append(entry)
+
+    lines = [
+        f"sharded service load "
+        f"({REQUESTS} requests, {CLIENTS} clients, {shards} shards)",
+        f"  throughput            {throughput:10.1f} req/s",
+        f"  latency p50           {p50 * 1e3:10.2f} ms",
+        f"  latency p99           {p99 * 1e3:10.2f} ms",
+        f"  speedup vs 1 shard    {speedup if speedup else 'n/a':>10}",
+        f"  per-shard requests    {per_shard}",
+    ]
+    record(f"service_load_{shards}shards", "\n".join(lines))
+
+    cores = os.cpu_count() or 1
+    if cores < shards:
+        pytest.skip(
+            f"{cores} core(s) cannot host {shards} shard processes: "
+            "speedup floor would assert contention, not scaling "
+            "(numbers recorded above)"
+        )
+    if baseline is None:
+        pytest.skip("no single-process baseline in this run")
+    floor = SPEEDUP_FLOORS.get(shards, 2.0)
+    assert throughput >= floor * baseline, (
+        f"{shards} shards: {throughput:.1f} req/s is under "
+        f"{floor}x the single-process baseline ({baseline:.1f} req/s)"
+    )
+    assert p99 <= max(P99_CEILING_S, 2 * _BASELINE.get("p99_s", p99)), (
+        f"sharded p99 {p99:.3f}s regressed past the single-process run"
     )
 
 
@@ -194,6 +334,9 @@ def test_warm_cache_beats_cold_start():
 
     _append({
         "phase": "warm-vs-cold",
+        "shards": 1,
+        "clients": 1,
+        "pool_size": POOL_SIZE,
         "cold_first_request_s": round(cold_s, 6),
         "warm_median_request_s": round(warm_s, 6),
         "speedup": round(cold_s / warm_s, 2) if warm_s else None,

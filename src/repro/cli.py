@@ -371,11 +371,19 @@ def _cmd_serve(args) -> int:
         raise ConfigurationError(
             f"--cache-ttl must be > 0 seconds, got {args.cache_ttl}"
         )
+    if args.shards < 0:
+        raise ConfigurationError(f"--shards must be >= 0, got {args.shards}")
+    if args.pool_size < 1:
+        raise ConfigurationError(
+            f"--pool-size must be >= 1, got {args.pool_size}"
+        )
     policy = ServicePolicy(
         plan_ttl_s=args.cache_ttl,
         placement_ttl_s=args.cache_ttl,
         route_ttl_s=args.cache_ttl,
     )
+    if args.shards > 0:
+        return _serve_sharded(args, policy)
     state = ServiceState(policy)
     server = PlanningServer(state, host=args.host, port=args.port)
     if args.warm:
@@ -396,6 +404,41 @@ def _cmd_serve(args) -> int:
         print("shutting down", file=sys.stderr)
     finally:
         server.close()
+    return 0
+
+
+def _serve_sharded(args, policy) -> int:
+    from repro.service import ShardedPlanningService
+
+    service = ShardedPlanningService(
+        args.shards,
+        host=args.host,
+        port=args.port,
+        policy=policy,
+        warm=args.warm,
+        pool_size=args.pool_size,
+    )
+    service.start()
+    if args.warm:
+        print(
+            f"warm start: {args.shards} shards preloaded before first "
+            f"request",
+            flush=True,
+        )
+    print(
+        f"shards: {args.shards} "
+        f"({', '.join(service.supervisor.live_shards())})",
+        flush=True,
+    )
+    # Same stable line as the single-process path: harnesses parse it
+    # for the bound (possibly ephemeral) port.
+    print(f"listening on {service.url}", flush=True)
+    try:
+        service.wait()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        service.close()
     return 0
 
 
@@ -499,6 +542,13 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="cache_ttl",
                    help="TTL for the shared plan/placement/route caches "
                         "(default: entries live until byte-budget eviction)")
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="run N shard processes behind a consistent-hash "
+                        "router (0 = single in-process server; default: 0)")
+    p.add_argument("--pool-size", type=int, default=8, metavar="K",
+                   dest="pool_size",
+                   help="router-to-shard keep-alive connections per shard "
+                        "(default: 8)")
     p.set_defaults(func=_cmd_serve, warm=True)
 
     p = sub.add_parser("report",

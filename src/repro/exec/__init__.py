@@ -36,6 +36,7 @@ from repro.exec.plancache import (
     set_plan_cache_policy,
 )
 from repro.exec.pool import SweepResult, SweepRunner, run_sweep
+from repro.exec.procs import SupervisedProcess, WorkerSpawnError
 from repro.exec.shm import (
     SharedColumns,
     attach_halo_batch,
@@ -51,6 +52,8 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "run_sweep",
+    "SupervisedProcess",
+    "WorkerSpawnError",
     "PlanCacheStats",
     "sequential_plan",
     "parallel_plan",

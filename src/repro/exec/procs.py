@@ -1,0 +1,159 @@
+"""Supervised worker processes: spawn, readiness handshake, respawn.
+
+The sweep pool (:mod:`repro.exec.pool`) covers fan-out/fan-in batch
+work; :class:`SupervisedProcess` covers the other worker shape the
+codebase needs — a **long-lived resident process** (a planning-service
+shard) that must announce readiness before taking traffic and be
+respawnable after a crash.
+
+Design points:
+
+* **spawn, not fork.** Workers are created with the ``spawn`` start
+  method: a respawn happens from a monitor thread while dozens of
+  request threads hold locks (cache locks, metric locks, socket
+  internals), and a forked child would inherit those locks in whatever
+  state the fork caught them — a classic post-fork deadlock. A spawned
+  child starts from a clean interpreter; it costs an import, which the
+  supervisor hides behind the readiness handshake.
+* **readiness handshake.** The child target receives a one-shot pipe
+  as its first argument and must send exactly one *ready payload*
+  (e.g. the port it bound) when it is fit for traffic — after any
+  warm-start preloading, so a restarted worker re-enters rotation with
+  hot caches, never cold. :meth:`start` / :meth:`respawn` block until
+  that payload arrives (or raise :class:`WorkerSpawnError` on timeout
+  or child death).
+* **generation counter.** Every (re)spawn increments ``generation``;
+  supervisors use it to tell a restarted worker's state from its
+  predecessor's (metric snapshots, connection pools).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from typing import Any, Callable, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["SupervisedProcess", "WorkerSpawnError"]
+
+
+class WorkerSpawnError(ReproError):
+    """A supervised worker failed to start or announce readiness."""
+
+
+class SupervisedProcess:
+    """One respawnable spawn-context worker with a readiness handshake.
+
+    *target* runs in the child as ``target(ready_conn, *args)`` and
+    must call ``ready_conn.send(payload)`` exactly once when ready; the
+    payload is returned from :meth:`start` and :meth:`respawn` and kept
+    in :attr:`ready_payload`. *target* must be a picklable top-level
+    function (a spawn-context requirement).
+    """
+
+    def __init__(
+        self,
+        target: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+        *,
+        name: str = "worker",
+        ready_timeout_s: float = 120.0,
+    ) -> None:
+        self.target = target
+        self.args = args
+        self.name = name
+        self.ready_timeout_s = ready_timeout_s
+        self.generation = 0
+        self.restarts = 0
+        self.ready_payload: Any = None
+        self._ctx = multiprocessing.get_context("spawn")
+        self._proc: Optional[multiprocessing.process.BaseProcess] = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _spawn(self) -> Any:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=self.target,
+            args=(child_conn, *self.args),
+            name=f"{self.name}:gen{self.generation + 1}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # the child's end lives in the child now
+        try:
+            if not parent_conn.poll(self.ready_timeout_s):
+                proc.terminate()
+                proc.join(timeout=10)
+                raise WorkerSpawnError(
+                    f"{self.name}: no readiness payload within "
+                    f"{self.ready_timeout_s}s"
+                )
+            payload = parent_conn.recv()
+        except (EOFError, OSError) as exc:
+            proc.join(timeout=10)
+            raise WorkerSpawnError(
+                f"{self.name}: died before announcing readiness "
+                f"(exitcode {proc.exitcode})"
+            ) from exc
+        finally:
+            parent_conn.close()
+        self._proc = proc
+        self.generation += 1
+        self.ready_payload = payload
+        return payload
+
+    def start(self) -> Any:
+        """Spawn the worker; blocks until its ready payload arrives."""
+        with self._lock:
+            if self._proc is not None:
+                raise WorkerSpawnError(f"{self.name}: already started")
+            return self._spawn()
+
+    def respawn(self) -> Any:
+        """Replace the (dead or doomed) worker with a fresh generation."""
+        with self._lock:
+            old = self._proc
+            if old is not None and old.is_alive():
+                old.terminate()
+            if old is not None:
+                old.join(timeout=10)
+            self._proc = None
+            self.restarts += 1
+            return self._spawn()
+
+    # ------------------------------------------------------------------
+    def is_alive(self) -> bool:
+        proc = self._proc
+        return proc is not None and proc.is_alive()
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        proc = self._proc
+        return None if proc is None else proc.exitcode
+
+    @property
+    def pid(self) -> Optional[int]:
+        proc = self._proc
+        return None if proc is None else proc.pid
+
+    def terminate(self, join_timeout_s: float = 10.0) -> None:
+        """Stop the worker (SIGTERM) and reap it."""
+        with self._lock:
+            proc = self._proc
+            if proc is None:
+                return
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=join_timeout_s)
+            if proc.is_alive():  # pragma: no cover - stuck child
+                proc.kill()
+                proc.join(timeout=join_timeout_s)
+            self._proc = None
+
+    def kill(self) -> None:
+        """SIGKILL the worker without reaping bookkeeping (crash tests)."""
+        proc = self._proc
+        if proc is not None and proc.is_alive():
+            proc.kill()

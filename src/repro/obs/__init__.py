@@ -32,7 +32,9 @@ from repro.obs.metrics import (
     counter,
     gauge,
     histogram,
+    labelled,
     merge_snapshots,
+    parse_labelled,
     registry,
 )
 from repro.obs.report import (
@@ -75,7 +77,9 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "labelled",
     "merge_snapshots",
+    "parse_labelled",
     "registry",
     "IterationProfile",
     "ProfileReport",

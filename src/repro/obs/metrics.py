@@ -45,6 +45,8 @@ __all__ = [
     "gauge",
     "histogram",
     "merge_snapshots",
+    "labelled",
+    "parse_labelled",
     "current_rss_bytes",
     "peak_rss_bytes",
     "sample_rss",
@@ -270,6 +272,60 @@ def merge_snapshots(
                 "sum": left["sum"] + right["sum"],
             }
     return merged
+
+
+# ----------------------------------------------------------------------
+# Labelled metric names (Prometheus-style, canonical label order)
+# ----------------------------------------------------------------------
+_LABEL_FORBIDDEN = set('{}",\n\\')
+
+
+def labelled(name: str, **labels: Union[str, int]) -> str:
+    """The canonical labelled form of a metric name.
+
+    ``labelled("service.shard.up", shard="shard-3")`` is
+    ``'service.shard.up{shard="shard-3"}'`` — Prometheus exposition
+    syntax with labels **sorted by key**, so the same (name, labels)
+    pair always produces the same registry entry regardless of call
+    site. The sharded router uses this for its per-shard gauges and
+    counters; :func:`merge_snapshots` then folds identically-labelled
+    series across snapshots and keeps differently-labelled series
+    apart, which is exactly what per-shard aggregation needs.
+
+    Label values may be strings or ints; characters that would break
+    the exposition syntax (braces, quotes, commas, newlines,
+    backslashes) are rejected rather than escaped.
+    """
+    if not labels:
+        return name
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key])
+        if not key.isidentifier():
+            raise ValueError(f"label name {key!r} is not an identifier")
+        if _LABEL_FORBIDDEN & set(value):
+            raise ValueError(
+                f"label value {value!r} for {key!r} contains forbidden "
+                "characters ({} \" , newline or backslash)"
+            )
+        parts.append(f'{key}="{value}"')
+    return f"{name}{{{','.join(parts)}}}"
+
+
+def parse_labelled(full_name: str) -> Tuple[str, Dict[str, str]]:
+    """Split a :func:`labelled` name back into ``(base, labels)``.
+
+    The inverse used by aggregators that group per-shard series by
+    base name. Unlabelled names return ``(name, {})``.
+    """
+    if not full_name.endswith("}") or "{" not in full_name:
+        return full_name, {}
+    base, _, inner = full_name[:-1].partition("{")
+    labels: Dict[str, str] = {}
+    for pair in inner.split(","):
+        key, _, value = pair.partition("=")
+        labels[key] = value.strip('"')
+    return base, labels
 
 
 #: The process-global registry every subsystem publishes into.

@@ -10,23 +10,41 @@ instead of a CLI invocation per question:
   plan/placement/route caches under TTL + byte-budget policies,
   request coalescing, and warm-start preloading from paper configs;
 * :mod:`repro.service.app` — the zero-dependency HTTP server
-  (``POST /recommend``, ``POST /simulate``, ``POST /verify``,
-  ``GET /healthz``, ``GET /metrics``);
-* :mod:`repro.service.client` — a stdlib client for tests and the
-  ``benchmarks/bench_service.py`` load harness.
+  (``POST /recommend``, ``POST /simulate``, ``POST /plan``,
+  ``POST /verify``, ``GET /healthz``, ``GET /metrics``);
+* :mod:`repro.service.client` — a stdlib keep-alive client with a
+  bounded per-host connection pool, for tests and the
+  ``benchmarks/bench_service.py`` load harness;
+* :mod:`repro.service.ring` — the consistent-hash ring that pins each
+  request class to a shard for cache affinity;
+* :mod:`repro.service.shard` / :mod:`repro.service.router` — the
+  multi-process deployment: N supervised shard processes (each a full
+  :class:`PlanningServer`) behind one router socket, with warm
+  restarts, fail-open forwarding, and exact cross-shard ``/metrics``.
 
-``repro serve`` on the command line runs it; see ``docs/service.md``
-for endpoint schemas, cache-policy knobs, and the load-test howto.
+``repro serve`` on the command line runs it (``--shards N`` for the
+sharded deployment); see ``docs/service.md`` for endpoint schemas,
+cache-policy knobs, sharding semantics, and the load-test howto.
 """
 
 from repro.service.app import MAX_BODY_BYTES, PlanningHTTPServer, PlanningServer
-from repro.service.client import ServiceClient, ServiceReply
+from repro.service.client import (
+    PoolStats,
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceReply,
+)
+from repro.service.ring import HashRing
+from repro.service.router import ShardedPlanningService, affinity_key
 from repro.service.schemas import (
     SCHEMA_VERSION,
     ErrorResponse,
     HealthResponse,
     IterationPayload,
+    PlanAssignmentPayload,
     PlanOptionPayload,
+    PlanRequest,
+    PlanResponse,
     RecommendRequest,
     RecommendResponse,
     SchemaError,
@@ -39,6 +57,7 @@ from repro.service.schemas import (
     parse_payload,
     to_payload,
 )
+from repro.service.shard import NoLiveShardError, ShardSupervisor
 from repro.service.state import ServicePolicy, ServiceState
 
 __all__ = [
@@ -46,8 +65,15 @@ __all__ = [
     "MAX_BODY_BYTES",
     "PlanningServer",
     "PlanningHTTPServer",
+    "ShardedPlanningService",
+    "ShardSupervisor",
+    "NoLiveShardError",
+    "HashRing",
+    "affinity_key",
     "ServiceClient",
+    "ServiceConnectionError",
     "ServiceReply",
+    "PoolStats",
     "ServicePolicy",
     "ServiceState",
     "SchemaError",
@@ -58,6 +84,9 @@ __all__ = [
     "RecommendResponse",
     "SimulateRequest",
     "SimulateResponse",
+    "PlanRequest",
+    "PlanResponse",
+    "PlanAssignmentPayload",
     "VerifyRequest",
     "VerifyResponse",
     "VerifyFailurePayload",

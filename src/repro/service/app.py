@@ -8,6 +8,9 @@ Endpoints (all JSON; schemas in :mod:`repro.service.schemas`):
   ``X-Repro-Coalesced: 1`` when it shared another caller's computation.
 * ``POST /simulate`` — price one iteration under both strategies
   (:func:`repro.perfsim.simulate.simulate_iteration`).
+* ``POST /plan`` — the raw execution plan (one memoized plan-cache
+  lookup; the cheapest cacheable request, used by the sharded router
+  as its cache-affinity probe).
 * ``POST /verify`` — run the invariant oracles over a fuzzed scenario
   budget (:func:`repro.verify.fuzz`).
 * ``GET /healthz`` — liveness and coarse counters.
@@ -41,6 +44,7 @@ from repro.obs.metrics import counter, histogram
 from repro.obs.trace import tracer
 from repro.service.schemas import (
     ErrorResponse,
+    PlanRequest,
     RecommendRequest,
     SchemaError,
     SimulateRequest,
@@ -88,6 +92,13 @@ class PlanningHTTPServer(ThreadingHTTPServer):
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-planner/1"
     protocol_version = "HTTP/1.1"
+    # The response goes out as two segments (header block, then body).
+    # With Nagle on, the body segment waits for the client's delayed
+    # ACK on long-lived keep-alive connections — a flat ~40ms stall on
+    # every pooled request. Fresh connections dodge it only because
+    # Linux starts them in quickack mode, which is why the bug hides
+    # from connection-per-request clients.
+    disable_nagle_algorithm = True
 
     # Routes: (method, path) -> unbound handler returning
     # (status, body_bytes, extra_headers).
@@ -111,6 +122,7 @@ class _Handler(BaseHTTPRequestHandler):
         routes: Dict[Tuple[str, str], Callable[[ServiceState], Tuple[int, bytes, Dict[str, str]]]] = {
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/metrics"): self._handle_metrics,
+            ("POST", "/plan"): self._handle_plan,
             ("POST", "/recommend"): self._handle_recommend,
             ("POST", "/simulate"): self._handle_simulate,
             ("POST", "/verify"): self._handle_verify,
@@ -139,7 +151,17 @@ class _Handler(BaseHTTPRequestHandler):
                 status, body, extra = 400, _error_body("invalid-request", str(exc)), {}
             except Exception as exc:  # noqa: BLE001 - edge of the service
                 status, body, extra = 500, _error_body("internal-error", str(exc)), {}
-        self._account(endpoint, status, body, time.perf_counter() - t0)
+        # Internal metric scrapes (the sharded router's fan-out and the
+        # shard supervisor's monitor) must be invisible to the service's
+        # own accounting, or merged counters could never reconcile
+        # exactly against per-shard scrapes: snapshotting the registry
+        # would perturb the registry being snapshotted.
+        internal_scrape = (
+            endpoint == "metrics"
+            and self.headers.get("X-Repro-Scrape") == "internal"
+        )
+        if not internal_scrape:
+            self._account(endpoint, status, body, time.perf_counter() - t0)
         try:
             self.send_response(status)
             self.send_header("Content-Type", _CONTENT_TYPE)
@@ -209,6 +231,11 @@ class _Handler(BaseHTTPRequestHandler):
         response, coalesced = state.recommend(req)
         headers = {"X-Repro-Coalesced": "1" if coalesced else "0"}
         return 200, dump_bytes(response), headers
+
+    def _handle_plan(self, state: ServiceState):
+        req = self._read_request(PlanRequest)
+        state.maybe_expire()
+        return 200, dump_bytes(state.plan(req)), {}
 
     def _handle_simulate(self, state: ServiceState):
         req = self._read_request(SimulateRequest)

@@ -1,23 +1,59 @@
-"""Minimal stdlib client for the planning service.
+"""Stdlib client for the planning service, with keep-alive pooling.
 
-Tests, the load benchmark, and scripts drive the HTTP API through this
-thin :mod:`urllib.request` wrapper. It never raises on HTTP error
-statuses — every call returns a :class:`ServiceReply` carrying the
-status, headers, and raw body, because the error *body* (its stable
-``error`` code) is part of the API surface under test.
+Tests, the router's shard forwarding, and the load benchmark all drive
+the HTTP API through this wrapper. Two contracts:
+
+* it never raises on HTTP error *statuses* — every completed exchange
+  returns a :class:`ServiceReply` carrying the status, headers, and raw
+  body, because the error body (its stable ``error`` code) is part of
+  the API surface under test;
+* transport failures (connection refused, reset mid-exchange) raise
+  :class:`ServiceConnectionError` so callers that can fail over — the
+  sharded router — can tell "the shard said 400" from "the shard is
+  gone".
+
+Connection pooling
+------------------
+Every :class:`ServiceClient` owns a bounded pool of persistent
+HTTP/1.1 connections to its host (``pool_size``, default 8). Requests
+reuse an idle connection when one is available and open a fresh one
+otherwise; connections are retired (closed, not pooled) when the
+server answers ``Connection: close``, when the response errors
+mid-read, or when the idle pool is already full. A request that fails
+on a *reused* connection before any response bytes arrive is retried
+once on a fresh connection — the stale-keep-alive race every pooled
+client has to absorb; a fresh connection's failure propagates.
+
+The pool is thread-safe: the load bench fires one shared client from
+dozens of threads. :meth:`ServiceClient.pool_stats` reports
+created/reused/retired counts so benchmarks can show the connect
+overhead that pooling removed.
 """
 
 from __future__ import annotations
 
-import json
-import urllib.error
-import urllib.request
+import http.client
+import socket
+import threading
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
+from urllib.parse import urlsplit
 
+from repro.errors import ReproError
 from repro.service.schemas import canonical_json
 
-__all__ = ["ServiceReply", "ServiceClient"]
+__all__ = [
+    "ServiceReply",
+    "ServiceClient",
+    "ServiceConnectionError",
+    "PoolStats",
+]
+
+import json
+
+
+class ServiceConnectionError(ReproError):
+    """The service could not be reached or died mid-exchange."""
 
 
 @dataclass(frozen=True)
@@ -38,49 +74,165 @@ class ServiceReply:
         """Whether the server coalesced this request into another's."""
         return self.headers.get("X-Repro-Coalesced") == "1"
 
+    @property
+    def shard(self) -> Optional[str]:
+        """The shard id that answered (sharded service only)."""
+        return self.headers.get("X-Repro-Shard")
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Connection-pool counters for benchmarks and tests."""
+
+    created: int
+    reused: int
+    retired: int
+    idle: int
+
 
 class ServiceClient:
-    """Blocking JSON client bound to one service base URL."""
+    """Blocking JSON client bound to one service base URL.
 
-    def __init__(self, base_url: str, *, timeout_s: float = 60.0) -> None:
+    Usable as a context manager; :meth:`close` drains the idle pool.
+    A client left unclosed only holds idle sockets, which the OS
+    reclaims with the process — fine for tests, rude for daemons.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout_s: float = 60.0,
+        pool_size: int = 8,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.pool_size = pool_size
+        split = urlsplit(self.base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(f"expected an http://host[:port] URL, got {base_url!r}")
+        self._host = split.hostname
+        self._port = split.port or 80
+        self._idle: List[http.client.HTTPConnection] = []
+        self._lock = threading.Lock()
+        self._created = 0
+        self._reused = 0
+        self._retired = 0
+        self._closed = False
 
-    def _exchange(self, req: urllib.request.Request) -> ServiceReply:
+    # ------------------------------------------------------------- pool
+    def _acquire(self) -> tuple[http.client.HTTPConnection, bool]:
+        """An idle pooled connection, or a fresh one. Returns (conn, fresh)."""
+        with self._lock:
+            if self._idle:
+                self._reused += 1
+                return self._idle.pop(), False
+            self._created += 1
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout_s
+        )
+        # Connect eagerly so Nagle can be disabled before the first
+        # request: pooled connections outlive Linux's initial quickack
+        # grace, after which a Nagle-delayed segment stalls ~40ms on
+        # the peer's delayed ACK.
         try:
-            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
-                return ServiceReply(
-                    status=resp.status,
-                    headers=dict(resp.headers.items()),
-                    body=resp.read(),
-                )
-        except urllib.error.HTTPError as exc:
-            return ServiceReply(
-                status=exc.code,
-                headers=dict(exc.headers.items()) if exc.headers else {},
-                body=exc.read(),
+            conn.connect()
+            conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        except OSError:
+            pass  # surfaces as ServiceConnectionError in _exchange
+        return conn, True
+
+    def _release(self, conn: http.client.HTTPConnection, reusable: bool) -> None:
+        with self._lock:
+            if reusable and not self._closed and len(self._idle) < self.pool_size:
+                self._idle.append(conn)
+                return
+            self._retired += 1
+        conn.close()
+
+    def _discard(self, conn: http.client.HTTPConnection) -> None:
+        with self._lock:
+            self._retired += 1
+        conn.close()
+
+    def pool_stats(self) -> PoolStats:
+        """Connection counters since the client was created."""
+        with self._lock:
+            return PoolStats(
+                created=self._created,
+                reused=self._reused,
+                retired=self._retired,
+                idle=len(self._idle),
             )
 
-    def get(self, path: str) -> ServiceReply:
+    def close(self) -> None:
+        """Close every idle pooled connection."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+            self._closed = True
+            self._retired += len(idle)
+        for conn in idle:
+            conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ---------------------------------------------------------- exchange
+    def _exchange(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Mapping[str, str],
+    ) -> ServiceReply:
+        attempts = 2  # one retry, and only for a stale reused connection
+        for attempt in range(attempts):
+            conn, fresh = self._acquire()
+            try:
+                conn.request(method, path, body=body, headers=dict(headers))
+                resp = conn.getresponse()
+                data = resp.read()
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                self._discard(conn)
+                if not fresh and attempt < attempts - 1:
+                    # The server closed an idle keep-alive connection
+                    # between our reuse check and the request; requests
+                    # are pure, so retrying on a fresh socket is safe.
+                    continue
+                raise ServiceConnectionError(
+                    f"{method} {self.base_url}{path} failed: {exc}"
+                ) from exc
+            reusable = not resp.will_close
+            self._release(conn, reusable)
+            return ServiceReply(
+                status=resp.status,
+                headers=dict(resp.getheaders()),
+                body=data,
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def get(self, path: str, *, headers: Optional[Mapping[str, str]] = None) -> ServiceReply:
         """``GET path``."""
-        return self._exchange(
-            urllib.request.Request(self.base_url + path, method="GET")
-        )
+        return self._exchange("GET", path, None, headers or {})
 
     def post(self, path: str, payload: Optional[Mapping[str, Any]] = None,
-             *, raw: Optional[bytes] = None) -> ServiceReply:
+             *, raw: Optional[bytes] = None,
+             headers: Optional[Mapping[str, str]] = None) -> ServiceReply:
         """``POST path`` with a canonical-JSON *payload* (or *raw* bytes)."""
         body = raw if raw is not None else canonical_json(
             dict(payload or {})
         ).encode("utf-8")
-        return self._exchange(
-            urllib.request.Request(
-                self.base_url + path,
-                data=body,
-                headers={"Content-Type": "application/json"},
-                method="POST",
-            )
-        )
+        all_headers = {"Content-Type": "application/json"}
+        if headers:
+            all_headers.update(headers)
+        return self._exchange("POST", path, body, all_headers)
 
     # Convenience wrappers -------------------------------------------------
     def healthz(self) -> ServiceReply:
@@ -98,3 +250,7 @@ class ServiceClient:
 
     def verify(self, payload: Optional[Mapping[str, Any]] = None) -> ServiceReply:
         return self.post("/verify", payload)
+
+    def plan(self, payload: Optional[Mapping[str, Any]] = None) -> ServiceReply:
+        """``POST /plan`` — the raw execution plan for one configuration."""
+        return self.post("/plan", payload)

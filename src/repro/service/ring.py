@@ -1,0 +1,132 @@
+"""Consistent-hash ring: stable request-class -> shard affinity.
+
+The sharded planning service scales by running N independent shard
+processes, each a full :class:`~repro.service.app.PlanningServer` with
+its own plan/placement/route caches. Throughput comes from the
+processes; *latency* comes from cache affinity — a request class must
+keep landing on the shard whose caches already hold its plans,
+placements, and routes. The ring provides that affinity:
+
+* each shard id is hashed onto the ring at :data:`DEFAULT_VNODES`
+  points (virtual nodes), smoothing the per-shard share of the key
+  space to within a few percent of ``1/N``;
+* a key (the request's canonical affinity bytes — strategy, grid
+  dimensions, sibling signature, machine; see
+  :func:`repro.service.router.affinity_key`) is hashed once and owned
+  by the first shard point at or after it, wrapping around;
+* adding or removing one shard remaps only the keys the changed shard
+  owns (~``1/N`` of the space) — every other request class keeps its
+  warm shard, which is the whole point of consistent hashing over
+  modulo hashing.
+
+Hashing is :func:`hashlib.blake2b` (unseeded, 8-byte digests), so the
+assignment is deterministic across processes, runs, and machines —
+the router and any future client-side router agree on placement
+without coordination.
+
+:meth:`HashRing.preference` returns the full failover order: the
+distinct shards in ring order starting at the key's owner. The router
+walks it when a shard is down, so failover is deterministic too.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from hashlib import blake2b
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["DEFAULT_VNODES", "HashRing"]
+
+#: Virtual nodes per shard. 160 keeps the max/min owned-share ratio
+#: comfortably under 2 for any realistic shard count (the ring test
+#: suite pins the bound by hypothesis).
+DEFAULT_VNODES = 160
+
+
+def _point(data: bytes) -> int:
+    """A deterministic 64-bit ring position for *data*."""
+    return int.from_bytes(blake2b(data, digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over string shard ids."""
+
+    __slots__ = ("members", "vnodes", "_points", "_owners")
+
+    def __init__(self, members: Iterable[str], *, vnodes: int = DEFAULT_VNODES):
+        ids: Tuple[str, ...] = tuple(members)
+        if not ids:
+            raise ValueError("ring needs at least one member")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate ring members: {ids}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.members = ids
+        self.vnodes = vnodes
+        marks: List[Tuple[int, str]] = []
+        for member in ids:
+            for replica in range(vnodes):
+                marks.append(
+                    (_point(f"{member}#{replica}".encode("utf-8")), member)
+                )
+        # Ties (64-bit collisions) resolve by member id so the ring is a
+        # pure function of its member set, never of insertion order.
+        marks.sort()
+        self._points: Tuple[int, ...] = tuple(p for p, _ in marks)
+        self._owners: Tuple[str, ...] = tuple(m for _, m in marks)
+
+    # ------------------------------------------------------------------
+    def _index_for(self, key: bytes) -> int:
+        # First point strictly after the key's position, wrapping: the
+        # owner of the arc the key falls on.
+        return bisect_right(self._points, _point(key)) % len(self._points)
+
+    def shard_for(self, key: bytes) -> str:
+        """The shard owning *key* — stable for the life of the member set."""
+        return self._owners[self._index_for(key)]
+
+    def preference(self, key: bytes) -> Tuple[str, ...]:
+        """All members in failover order for *key*.
+
+        The first entry is :meth:`shard_for`; the rest are the distinct
+        members encountered walking the ring clockwise. The router
+        tries them in order when shards are down, so two routers (or a
+        router before and after a restart) always agree on the fallback
+        target as well as the primary.
+        """
+        start = self._index_for(key)
+        order: List[str] = []
+        seen = set()
+        n = len(self._owners)
+        for offset in range(n):
+            member = self._owners[(start + offset) % n]
+            if member not in seen:
+                seen.add(member)
+                order.append(member)
+                if len(order) == len(self.members):
+                    break
+        return tuple(order)
+
+    # ------------------------------------------------------------------
+    def owned_share(self) -> Dict[str, float]:
+        """Fraction of the 64-bit key space each member owns.
+
+        The analytical load balance (what a uniform key population
+        converges to); the ring tests bound its max/min ratio.
+        """
+        space = float(1 << 64)
+        shares = {m: 0.0 for m in self.members}
+        prev = 0
+        for point, owner in zip(self._points, self._owners):
+            shares[owner] += (point - prev) / space
+            prev = point
+        # The wrap-around arc from the last point back to the first
+        # belongs to the first point's owner.
+        shares[self._owners[0]] += ((1 << 64) - prev) / space
+        return shares
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashRing(members={self.members!r}, vnodes={self.vnodes})"

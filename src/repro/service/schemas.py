@@ -38,9 +38,13 @@ __all__ = [
     "MACHINE_NAMES",
     "MAPPING_NAMES",
     "IO_NAMES",
+    "STRATEGY_NAMES",
     "RecommendRequest",
     "SimulateRequest",
     "VerifyRequest",
+    "PlanRequest",
+    "PlanAssignmentPayload",
+    "PlanResponse",
     "PlanOptionPayload",
     "RecommendResponse",
     "IterationPayload",
@@ -63,6 +67,7 @@ CONFIG_NAMES: Tuple[str, ...] = ("fig2", "fig10", "fig15", "table2")
 MACHINE_NAMES: Tuple[str, ...] = ("bgl", "bgp")
 MAPPING_NAMES: Tuple[str, ...] = ("multilevel", "oblivious", "partition", "txyz")
 IO_NAMES: Tuple[str, ...] = ("none", "pnetcdf", "split")
+STRATEGY_NAMES: Tuple[str, ...] = ("sequential", "parallel")
 
 #: Hard cap on ranks accepted over the wire (well past the 131k
 #: strong-scaling ceiling; anything larger is a client bug, not a plan).
@@ -343,6 +348,32 @@ class VerifyRequest:
     }
 
 
+@dataclass(frozen=True)
+class PlanRequest:
+    """``POST /plan`` — the raw execution plan for one configuration.
+
+    The cheapest cacheable request the service answers: one plan-cache
+    lookup (no simulation, no sweep), which makes it the natural probe
+    for shard cache affinity in the sharded router.
+    """
+
+    config: str = "table2"
+    machine: str = "bgl"
+    ranks: int = 256
+    strategy: str = "parallel"
+    schema_version: int = SCHEMA_VERSION
+
+    _SPEC = {
+        "config": _Field("str", default="table2", choices=CONFIG_NAMES),
+        "machine": _Field("str", default="bgl", choices=MACHINE_NAMES),
+        "ranks": _Field("int", default=256, lo=1, hi=MAX_RANKS),
+        "strategy": _Field(
+            "str", default="parallel", choices=STRATEGY_NAMES
+        ),
+        "schema_version": _Field("int", default=SCHEMA_VERSION),
+    }
+
+
 # ----------------------------------------------------------------------
 # Responses
 # ----------------------------------------------------------------------
@@ -438,6 +469,66 @@ class SimulateResponse:
 
 
 @dataclass(frozen=True)
+class PlanAssignmentPayload:
+    """One sibling nest and the processor rectangle it runs on."""
+
+    domain: str
+    nx: int
+    ny: int
+    x0: int
+    y0: int
+    width: int
+    height: int
+    processors: int
+
+    _SPEC = {
+        "domain": _Field("str"),
+        "nx": _Field("int", lo=1),
+        "ny": _Field("int", lo=1),
+        "x0": _Field("int", lo=0),
+        "y0": _Field("int", lo=0),
+        "width": _Field("int", lo=1),
+        "height": _Field("int", lo=1),
+        "processors": _Field("int", lo=1),
+    }
+
+
+@dataclass(frozen=True)
+class PlanResponse:
+    """The raw execution plan: grid, parent, per-sibling rectangles."""
+
+    config: str
+    machine: str
+    ranks: int
+    strategy: str
+    grid_px: int
+    grid_py: int
+    concurrent: bool
+    parent_nx: int
+    parent_ny: int
+    assignments: Tuple[PlanAssignmentPayload, ...]
+    #: Predicted execution-time ratios that drove the allocation
+    #: (empty for the sequential strategy).
+    ratios: Tuple[float, ...] = ()
+    schema_version: int = SCHEMA_VERSION
+
+    _SPEC = {
+        "config": _Field("str"),
+        "machine": _Field("str"),
+        "ranks": _Field("int", lo=1),
+        "strategy": _Field("str", choices=STRATEGY_NAMES),
+        "grid_px": _Field("int", lo=1),
+        "grid_py": _Field("int", lo=1),
+        "concurrent": _Field("bool"),
+        "parent_nx": _Field("int", lo=1),
+        "parent_ny": _Field("int", lo=1),
+        "assignments": _Field(("tuple", PlanAssignmentPayload)),
+        "ratios": _Field(("tuple", "float"), default=(), lo=0.0),
+        "schema_version": _Field("int", default=SCHEMA_VERSION),
+    }
+
+
+@dataclass(frozen=True)
 class VerifyFailurePayload:
     """One minimized oracle failure."""
 
@@ -517,9 +608,12 @@ REQUEST_SCHEMAS: Tuple[type, ...] = (
     RecommendRequest,
     SimulateRequest,
     VerifyRequest,
+    PlanRequest,
 )
 RESPONSE_SCHEMAS: Tuple[type, ...] = (
     PlanOptionPayload,
+    PlanAssignmentPayload,
+    PlanResponse,
     RecommendResponse,
     IterationPayload,
     SimulateResponse,

@@ -52,7 +52,10 @@ from repro.service.schemas import (
     SCHEMA_VERSION,
     HealthResponse,
     IterationPayload,
+    PlanAssignmentPayload,
     PlanOptionPayload,
+    PlanRequest,
+    PlanResponse,
     RecommendRequest,
     RecommendResponse,
     SimulateRequest,
@@ -286,6 +289,48 @@ class ServiceState:
             sequential=payload(seq),
             parallel=payload(par),
             improvement_percent=100.0 * (1.0 - par.total_time / seq.total_time),
+        )
+
+    def plan(self, req: PlanRequest) -> PlanResponse:
+        """The raw execution plan for one configuration and rank count.
+
+        One memoized plan-cache lookup — the cheapest cacheable request
+        the service answers, and the router's affinity probe.
+        """
+        config = _builtin_config(req.config)
+        px, py = choose_process_grid(req.ranks)
+        grid = ProcessGrid(px, py)
+        siblings = list(config.siblings)
+        if req.strategy == "sequential":
+            plan = sequential_plan(grid, config.parent, siblings)
+        else:
+            plan = parallel_plan(
+                grid, config.parent, siblings, [s.points for s in siblings]
+            )
+        return PlanResponse(
+            config=req.config,
+            machine=req.machine,
+            ranks=req.ranks,
+            strategy=req.strategy,
+            grid_px=plan.grid.px,
+            grid_py=plan.grid.py,
+            concurrent=plan.concurrent,
+            parent_nx=plan.parent.nx,
+            parent_ny=plan.parent.ny,
+            assignments=tuple(
+                PlanAssignmentPayload(
+                    domain=a.domain.name,
+                    nx=a.domain.nx,
+                    ny=a.domain.ny,
+                    x0=a.rect.x0,
+                    y0=a.rect.y0,
+                    width=a.rect.width,
+                    height=a.rect.height,
+                    processors=a.processors,
+                )
+                for a in plan.assignments
+            ),
+            ratios=() if plan.ratios is None else tuple(plan.ratios),
         )
 
     def verify(self, req: VerifyRequest) -> VerifyResponse:

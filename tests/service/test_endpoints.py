@@ -15,6 +15,7 @@ import pytest
 from repro.service import MAX_BODY_BYTES, SCHEMA_VERSION
 from repro.service.schemas import (
     HealthResponse,
+    PlanResponse,
     RecommendResponse,
     SimulateResponse,
     VerifyResponse,
@@ -63,6 +64,45 @@ class TestHappyPaths:
         resp = parse_payload(VerifyResponse, reply.json)
         assert resp.ok is True
         assert resp.scenarios_run == 3
+
+    def test_plan(self, client):
+        reply = client.plan({"config": "fig10", "ranks": 128})
+        assert reply.status == 200
+        resp = parse_payload(PlanResponse, reply.json)
+        assert resp.ranks == 128
+        assert resp.strategy == "parallel"
+        assert resp.grid_px * resp.grid_py == 128
+        assert resp.assignments
+        # Parallel plans partition all ranks across the sibling nests.
+        assert sum(a.processors for a in resp.assignments) == 128
+        assert len(resp.ratios) == len(resp.assignments)
+
+    def test_plan_sequential_strategy(self, client):
+        reply = client.plan({"config": "fig10", "ranks": 64,
+                             "strategy": "sequential"})
+        assert reply.status == 200
+        resp = parse_payload(PlanResponse, reply.json)
+        assert resp.strategy == "sequential"
+        assert resp.concurrent is False
+        # Sequential runs every nest over the full grid, one at a time.
+        assert all(a.processors == 64 for a in resp.assignments)
+        assert resp.ratios == ()
+
+    def test_plan_defaults_on_empty_body(self, client):
+        reply = client.plan({})
+        assert reply.status == 200
+        resp = parse_payload(PlanResponse, reply.json)
+        assert resp.config == "table2"
+        assert resp.ranks == 256
+
+    def test_plan_rejects_bad_strategy(self, client):
+        reply = client.plan({"strategy": "diagonal"})
+        assert reply.status == 400
+        assert reply.json["error"] == "invalid-choice"
+
+    def test_plan_is_byte_identical_across_calls(self, client):
+        payload = {"config": "fig2", "ranks": 256}
+        assert client.plan(payload).body == client.plan(payload).body
 
     def test_responses_are_byte_identical_across_calls(self, client):
         payload = {"config": "fig2", "max_ranks": 256}

@@ -25,10 +25,14 @@ from repro.service.schemas import (
     MAPPING_NAMES,
     MAX_RANKS,
     SCHEMA_VERSION,
+    STRATEGY_NAMES,
     ErrorResponse,
     HealthResponse,
     IterationPayload,
+    PlanAssignmentPayload,
     PlanOptionPayload,
+    PlanRequest,
+    PlanResponse,
     RecommendRequest,
     RecommendResponse,
     SchemaError,
@@ -82,6 +86,49 @@ def simulate_requests(draw):
         ranks=draw(st.integers(1, MAX_RANKS)),
         mapping=draw(st.sampled_from(MAPPING_NAMES)),
         io=draw(st.sampled_from(IO_NAMES)),
+    )
+
+
+@st.composite
+def plan_requests(draw):
+    return PlanRequest(
+        config=draw(st.sampled_from(CONFIG_NAMES)),
+        machine=draw(st.sampled_from(MACHINE_NAMES)),
+        ranks=draw(st.integers(1, MAX_RANKS)),
+        strategy=draw(st.sampled_from(STRATEGY_NAMES)),
+    )
+
+
+@st.composite
+def plan_assignments(draw):
+    return PlanAssignmentPayload(
+        domain=draw(_name),
+        nx=draw(st.integers(1, 10**4)),
+        ny=draw(st.integers(1, 10**4)),
+        x0=draw(st.integers(0, 100)),
+        y0=draw(st.integers(0, 100)),
+        width=draw(st.integers(1, 100)),
+        height=draw(st.integers(1, 100)),
+        processors=draw(st.integers(1, MAX_RANKS)),
+    )
+
+
+@st.composite
+def plan_responses(draw):
+    return PlanResponse(
+        config=draw(st.sampled_from(CONFIG_NAMES)),
+        machine=draw(st.sampled_from(MACHINE_NAMES)),
+        ranks=draw(st.integers(1, MAX_RANKS)),
+        strategy=draw(st.sampled_from(STRATEGY_NAMES)),
+        grid_px=draw(st.integers(1, 64)),
+        grid_py=draw(st.integers(1, 64)),
+        concurrent=draw(st.booleans()),
+        parent_nx=draw(st.integers(1, 10**4)),
+        parent_ny=draw(st.integers(1, 10**4)),
+        assignments=tuple(
+            draw(st.lists(plan_assignments(), min_size=1, max_size=4))
+        ),
+        ratios=tuple(draw(st.lists(_frac, max_size=4))),
     )
 
 
@@ -194,6 +241,7 @@ def error_responses(draw):
 
 INSTANCES = st.one_of(
     recommend_requests(), simulate_requests(), verify_requests(),
+    plan_requests(), plan_assignments(), plan_responses(),
     plan_options(), recommend_responses(), iteration_payloads(),
     simulate_responses(), verify_failures(), verify_responses(),
     health_responses(), error_responses(),
@@ -226,6 +274,7 @@ class TestRoundTrip:
         versioned = [s for s in ALL_SCHEMAS if "schema_version" in s._SPEC]
         assert {s.__name__ for s in versioned} >= {
             "RecommendRequest", "SimulateRequest", "VerifyRequest",
+            "PlanRequest", "PlanResponse",
             "RecommendResponse", "SimulateResponse", "VerifyResponse",
             "HealthResponse", "ErrorResponse",
         }
@@ -240,6 +289,13 @@ def _minimal_payload(cls) -> bytes:
         "RecommendRequest": RecommendRequest(),
         "SimulateRequest": SimulateRequest(),
         "VerifyRequest": VerifyRequest(),
+        "PlanRequest": PlanRequest(),
+        "PlanAssignmentPayload": _ASSIGNMENT,
+        "PlanResponse": PlanResponse(
+            config="table2", machine="bgl", ranks=64, strategy="parallel",
+            grid_px=8, grid_py=8, concurrent=True, parent_nx=100,
+            parent_ny=100, assignments=(_ASSIGNMENT,), ratios=(0.5, 0.5),
+        ),
         "PlanOptionPayload": _OPTION,
         "RecommendResponse": RecommendResponse(
             config="table2", machine="bgl", efficiency_floor=0.5,
@@ -269,6 +325,10 @@ def _minimal_payload(cls) -> bytes:
 _OPTION = PlanOptionPayload(
     ranks=64, strategy="parallel", mapping="multilevel",
     time_per_iteration=1.0, core_seconds=64.0, efficiency=1.0,
+)
+_ASSIGNMENT = PlanAssignmentPayload(
+    domain="d1", nx=100, ny=100, x0=0, y0=0, width=10, height=10,
+    processors=16,
 )
 _ITER = IterationPayload(
     total_time=1.0, integration_time=0.9, io_time=0.1, mpi_wait=0.2,
