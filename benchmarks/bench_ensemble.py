@@ -1,0 +1,215 @@
+"""Benchmark: the runtime ensemble fabric at 1000 concurrent members.
+
+Drives a 1000-member steered ensemble — seeds clustered into 32
+families so members visit ~32 distinct nest states per tick — twice:
+once with the cross-member memo disabled (every member prices its own
+replan) and once with it enabled (one pricing pass per distinct
+scheduling state).  The recorded speedup is the dedup claim of the
+ensemble fabric and is asserted against a floor; both legs must fold to
+byte-identical snapshots, so the speedup is free of behaviour drift.
+
+A second harness replays the 100-member CI smoke with runtime
+``kill``/``spawn``/``branch`` events at 1, 2, and ``REPRO_ENSEMBLE_JOBS``
+workers and asserts the merged snapshots are byte-identical — the
+determinism contract under the affinity work queue.
+
+Results append to ``BENCH_ensemble.json`` at the repo root.
+
+Environment knobs:
+
+* ``REPRO_ENSEMBLE_MEMBERS`` — ensemble size for the dedup run
+  (default 1000; CI smoke uses 100).
+* ``REPRO_ENSEMBLE_FAMILIES`` — seed families, i.e. distinct nest
+  states the members cluster into (default 32).
+* ``REPRO_ENSEMBLE_TICKS`` — ticks per leg (default 6).
+* ``REPRO_ENSEMBLE_RANKS`` — machine allocation each member prices
+  (default 131072 BG/P ranks; pricing cost scales with this).
+* ``REPRO_ENSEMBLE_FLOOR`` — minimum dedup speedup (default 5.0 at the
+  1000-member default; scale it down with the member count, the memo's
+  cold misses amortise over members per family).
+* ``REPRO_ENSEMBLE_JOBS`` — worker count for the jobs-equality smoke
+  (default 4).
+* ``REPRO_ENSEMBLE_RSS_MB`` — peak-RSS ceiling for the whole run
+  (default 2048 MB).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+from conftest import record
+
+from repro.ensemble import (
+    EnsembleDriver,
+    EnsembleEvent,
+    EnsemblePolicy,
+    default_member_spec,
+)
+from repro.obs.metrics import peak_rss_bytes, sample_rss
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_ensemble.json"
+
+MEMBERS = int(os.environ.get("REPRO_ENSEMBLE_MEMBERS", 1000))
+FAMILIES = int(os.environ.get("REPRO_ENSEMBLE_FAMILIES", 32))
+TICKS = int(os.environ.get("REPRO_ENSEMBLE_TICKS", 6))
+RANKS = int(os.environ.get("REPRO_ENSEMBLE_RANKS", 131072))
+FLOOR = float(os.environ.get("REPRO_ENSEMBLE_FLOOR", 5.0))
+JOBS = int(os.environ.get("REPRO_ENSEMBLE_JOBS", 4))
+RSS_CEILING_MB = float(os.environ.get("REPRO_ENSEMBLE_RSS_MB", 2048))
+
+
+def assert_rss_within(ceiling_mb: float) -> int:
+    """Fail with :class:`MemoryError` when peak RSS exceeds *ceiling_mb*."""
+    sample_rss()
+    peak = peak_rss_bytes()
+    if peak > ceiling_mb * 2**20:
+        raise MemoryError(
+            f"peak RSS {peak / 2**20:.1f} MiB exceeds the "
+            f"{ceiling_mb:.0f} MiB ensemble ceiling "
+            "(REPRO_ENSEMBLE_RSS_MB); the memory budget was not held"
+        )
+    return peak
+
+
+def _specs(n: int, families: int, seed0: int = 7):
+    """*n* members whose seeds cluster into *families* nest states.
+
+    The bench configuration is deliberately small on the model side
+    (20x16 parent, one 6-cell nest) and large on the scheduling side
+    (131k-rank pricing): the dedup claim is about scheduling work, and
+    this shape puts the pricing pass — the thing the memo removes —
+    squarely in the no-dedup leg's critical path.
+    """
+    return [
+        default_member_spec(
+            seed0 + (i % families),
+            parent_nx=20,
+            parent_ny=16,
+            nests=1,
+            nest_px=6,
+            refinement=3,
+            amplitude=2.0,
+        )
+        for i in range(n)
+    ]
+
+
+def _events(n: int):
+    """The runtime-event storyline every leg replays identically."""
+    return [
+        EnsembleEvent(tick=1, action="branch", member=0),
+        EnsembleEvent(tick=2, action="kill", member=1 % n),
+        EnsembleEvent(tick=2, action="spawn", seed=9001),
+    ]
+
+
+def _policy(memo: bool) -> EnsemblePolicy:
+    return EnsemblePolicy(machine="bgp", ranks=RANKS, io="pnetcdf", memo=memo)
+
+
+def _leg(memo: bool, n: int, families: int, jobs: int = 1):
+    driver = EnsembleDriver(
+        _specs(n, families), policy=_policy(memo), jobs=jobs,
+        events=_events(n),
+    )
+    t0 = time.perf_counter()
+    result = driver.run(TICKS)
+    return time.perf_counter() - t0, result
+
+
+def test_dedup_floor():
+    families = min(FAMILIES, MEMBERS)
+
+    # No-dedup leg first: the baseline must pay full price before the
+    # memo leg can claim a speedup over it.
+    t_off, off = _leg(False, MEMBERS, families)
+    t_on, on = _leg(True, MEMBERS, families)
+    speedup = t_off / t_on
+
+    # Same trajectory bit-for-bit: the memo changes wall time only.
+    assert on.snapshot_json() == off.snapshot_json()
+    assert off.memo.hits == 0
+    assert on.memo.hits > 0
+
+    peak = assert_rss_within(RSS_CEILING_MB)
+
+    payload = {
+        "members": MEMBERS,
+        "families": families,
+        "ticks": TICKS,
+        "ranks": RANKS,
+        "member_ticks": on.member_ticks,
+        "events": {"branched": 1, "killed": 1, "spawned": 1},
+        "no_dedup_s": t_off,
+        "dedup_s": t_on,
+        "speedup": speedup,
+        "floor": FLOOR,
+        "dedup_hit_rate": on.dedup_hit_rate,
+        "memo": on.memo.to_json(),
+        "members_per_s": on.member_ticks / t_on,
+        "no_dedup_members_per_s": off.member_ticks / t_off,
+        "peak_rss_mb": peak / 2**20,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    data = {"benchmark": "ensemble fabric, cross-member dedup",
+            "trajectory": []}
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text())
+    data["trajectory"].append(payload)
+    BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")
+
+    record(
+        "ensemble",
+        "\n".join(
+            [
+                f"ensemble fabric, {MEMBERS} members in {families} families, "
+                f"{TICKS} ticks at {RANKS} ranks:",
+                f"  no-dedup  {t_off:>8.2f}s  "
+                f"{off.member_ticks / t_off:>8.1f} member-ticks/s",
+                f"  dedup     {t_on:>8.2f}s  "
+                f"{on.member_ticks / t_on:>8.1f} member-ticks/s",
+                f"  speedup   {speedup:>7.2f}x  (floor {FLOOR:.1f}x)",
+                f"  hit rate  {on.dedup_hit_rate:>8.2f}  "
+                f"(local {on.memo.local_hits}, shared {on.memo.shared_hits}, "
+                f"misses {on.memo.misses})",
+                f"  snapshots byte-identical: True",
+                f"  [appended to {BENCH_JSON.name}]",
+            ]
+        ),
+    )
+
+    assert speedup >= FLOOR, (
+        f"dedup speedup {speedup:.2f}x is below the {FLOOR:.1f}x floor "
+        "(REPRO_ENSEMBLE_FLOOR)"
+    )
+
+
+def test_events_and_jobs_equality():
+    """100-member smoke: kill/spawn/branch at jobs=1/2/N fold identically."""
+    n = min(MEMBERS, 100)
+    families = min(FAMILIES, n)
+
+    _, baseline = _leg(True, n, families, jobs=1)
+    metrics = baseline.metrics
+    assert metrics["ensemble.members.branched"]["value"] == 1
+    assert metrics["ensemble.members.killed"]["value"] == 1
+    assert metrics["ensemble.members.spawned"]["value"] == 1
+
+    expected = baseline.snapshot_json()
+    for jobs in sorted({2, JOBS}):
+        _, parallel_run = _leg(True, n, families, jobs=jobs)
+        assert parallel_run.snapshot_json() == expected, (
+            f"snapshot at jobs={jobs} diverged from jobs=1"
+        )
+
+    assert_rss_within(RSS_CEILING_MB)
+
+
+def test_rss_ceiling_failure_mode():
+    """The budget-exceeded path must fail loudly, not pass vacuously."""
+    with pytest.raises(MemoryError, match="exceeds the 1 MiB"):
+        assert_rss_within(1.0)

@@ -22,6 +22,10 @@ Commands
     Run the resident HTTP planning service (``POST /recommend``,
     ``/simulate``, ``/verify``; ``GET /healthz``, ``/metrics``) with
     warm-started shared caches. See ``docs/service.md``.
+``ensemble``
+    Drive N concurrent steered scenarios (kill/spawn/branch mid-flight)
+    with cross-member pricing dedup and a live ASCII/JSON dashboard.
+    See ``docs/ensemble.md``.
 
 Every command that runs the simulator also accepts ``--trace PATH`` to
 stream structured trace events (JSONL + Chrome export) while it runs.
@@ -442,6 +446,102 @@ def _serve_sharded(args, policy) -> int:
     return 0
 
 
+def _cmd_ensemble(args) -> int:
+    from repro.ensemble import (
+        EnsembleDriver,
+        EnsemblePolicy,
+        default_member_spec,
+        parse_event,
+        render_dashboard,
+        render_json_line,
+    )
+
+    if args.members < 1:
+        raise ConfigurationError(f"--members must be >= 1, got {args.members}")
+    if args.families < 1:
+        raise ConfigurationError(f"--families must be >= 1, got {args.families}")
+    specs = [
+        default_member_spec(
+            args.seed + (i % args.families),
+            parent_nx=args.parent_nx,
+            parent_ny=args.parent_ny,
+            nests=args.nests,
+            nest_px=args.nest_px,
+            refinement=args.refinement,
+            retrack_interval=args.retrack_interval,
+        )
+        for i in range(args.members)
+    ]
+    policy = EnsemblePolicy(
+        machine=args.machine,
+        ranks=args.ranks,
+        io=None if args.io == "none" else args.io,
+        mapping=args.mapping,
+        memo=args.memo,
+    )
+    events = [parse_event(text) for text in args.event]
+
+    def progress(frame):
+        if args.json:
+            print(render_json_line(frame), flush=True)
+        elif args.dashboard:
+            print(render_dashboard(frame), flush=True)
+            print(flush=True)
+
+    driver = EnsembleDriver(
+        specs,
+        policy=policy,
+        jobs=args.jobs,
+        events=events,
+        progress=progress if (args.json or args.dashboard) else None,
+    )
+    result = driver.run(args.ticks)
+    if args.json:
+        import json as _json
+
+        print(
+            _json.dumps(
+                {
+                    "final": True,
+                    "jobs": result.jobs,
+                    "member_ticks": result.member_ticks,
+                    "members_per_s": result.members_per_s,
+                    "dedup_hit_rate": result.dedup_hit_rate,
+                    "memo": result.memo.to_json(),
+                    "caches": result.caches,
+                    "wall_s": result.wall_s,
+                    "metrics": result.metrics,
+                    "members": [m.to_json() for m in result.members],
+                },
+                sort_keys=True,
+            )
+        )
+    else:
+        metrics = result.metrics
+        print(
+            f"ensemble: {metrics['ensemble.members.initial']['value']} members "
+            f"(+{metrics['ensemble.members.spawned']['value']} spawned, "
+            f"+{metrics['ensemble.members.branched']['value']} branched, "
+            f"-{metrics['ensemble.members.killed']['value']} killed), "
+            f"{result.ticks} ticks, jobs={result.jobs}"
+        )
+        print(
+            f"  {result.member_ticks} member-ticks in {result.wall_s:.2f}s "
+            f"({result.members_per_s:,.1f} member-ticks/s)"
+        )
+        print(
+            f"  dedup: {result.memo.hits} hits / {result.memo.misses} misses "
+            f"({result.dedup_hit_rate:.1%} hit rate, "
+            f"{result.memo.shared_hits} via shared table)"
+        )
+        print(
+            f"  steering: {metrics['ensemble.steer.moves']['value']} moves, "
+            f"{metrics['ensemble.steer.replans']['value']} replans, "
+            f"sim time {metrics['ensemble.sim_time.total_s']['value']:.3f}s"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -550,6 +650,51 @@ def build_parser() -> argparse.ArgumentParser:
                    help="router-to-shard keep-alive connections per shard "
                         "(default: 8)")
     p.set_defaults(func=_cmd_serve, warm=True)
+
+    p = sub.add_parser(
+        "ensemble",
+        help="drive N concurrent steered scenarios with cross-member "
+             "work dedup (see docs/ensemble.md)")
+    p.add_argument("--members", type=int, default=8, metavar="N",
+                   help="initial ensemble size (default: 8)")
+    p.add_argument("--families", type=int, default=2, metavar="K",
+                   help="distinct seed families among the initial members; "
+                        "members of one family share a trajectory until "
+                        "events diverge them (default: 2)")
+    p.add_argument("--ticks", type=int, default=4, metavar="T",
+                   help="outer ticks to advance every member (default: 4)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="base seed; family f runs under seed+f (default: 7)")
+    p.add_argument("--machine", choices=["bgl", "bgp"], default="bgp")
+    p.add_argument("--ranks", type=int, default=4096,
+                   help="rank count every member is priced at (default: 4096)")
+    p.add_argument("--io", choices=["none", "pnetcdf", "split"],
+                   default="pnetcdf")
+    p.add_argument("--mapping", choices=["oblivious", "txyz"],
+                   default="oblivious")
+    p.add_argument("--parent-nx", type=int, default=40, dest="parent_nx")
+    p.add_argument("--parent-ny", type=int, default=32, dest="parent_ny")
+    p.add_argument("--nests", type=int, default=2,
+                   help="nests per member (default: 2)")
+    p.add_argument("--nest-px", type=int, default=10, dest="nest_px",
+                   help="nest size in fine points per side (default: 10)")
+    p.add_argument("--refinement", type=int, default=2)
+    p.add_argument("--retrack-interval", type=int, default=1,
+                   dest="retrack_interval",
+                   help="iterations between tracker passes (default: 1)")
+    p.add_argument("--event", action="append", default=[],
+                   metavar="ACTION:TICK[:ARG]",
+                   help="schedule a runtime intervention (kill:T:MEMBER, "
+                        "branch:T:MEMBER, spawn:T[:SEED]); repeatable")
+    p.add_argument("--no-memo", dest="memo", action="store_false",
+                   help="disable cross-member dedup (the benchmark baseline)")
+    p.add_argument("--dashboard", action="store_true",
+                   help="print a live ASCII dashboard frame per tick")
+    p.add_argument("--json", action="store_true",
+                   help="print one JSON progress line per tick plus a "
+                        "final JSON summary")
+    _add_jobs_flag(p)
+    p.set_defaults(func=_cmd_ensemble, memo=True)
 
     p = sub.add_parser("report",
                        help="run experiment drivers and write a markdown report")

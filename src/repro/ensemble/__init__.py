@@ -1,0 +1,79 @@
+"""Runtime ensemble fabric: many steered scenarios, one machine budget.
+
+The ROADMAP's "scenario diversity under heavy traffic" proof point:
+drive hundreds-to-thousands of seeded
+:class:`~repro.steering.driver.SteeredRun` members concurrently, with
+runtime ``kill``/``spawn``/``branch`` (ProWis-style ensemble management,
+PAPERS.md arxiv 2308.05019), while the pricing work that dominates each
+member-tick is deduplicated across members:
+
+* :mod:`repro.ensemble.member` — one member: seeded model + steered run
+  + pricing loop + checkpoint/branch;
+* :mod:`repro.ensemble.memo` — the cross-member memo; members that reach
+  the same scheduling state share one plan/placement/route/pricing pass
+  (a 1000-member ensemble clustered into K nest states does ~K passes);
+* :mod:`repro.ensemble.driver` — the tick loop over the affinity work
+  queue, with an exact determinism contract: merged snapshots are
+  byte-identical at any worker count;
+* :mod:`repro.ensemble.dashboard` — live ASCII/JSON frames
+  (``repro ensemble --dashboard``).
+
+See ``docs/ensemble.md`` for the driver API, the dedup key, and the
+determinism contract.
+"""
+
+from repro.ensemble.dashboard import (
+    EnsembleProgress,
+    MemberRow,
+    progress_json,
+    render_dashboard,
+    render_json_line,
+)
+from repro.ensemble.driver import (
+    EnsembleDriver,
+    EnsembleEvent,
+    EnsembleResult,
+    parse_event,
+)
+from repro.ensemble.member import (
+    EnsembleCheckpoint,
+    EnsembleMember,
+    EnsemblePolicy,
+    MemberSpec,
+    MemberSummary,
+    MemberTick,
+    branch_seed,
+    default_member_spec,
+)
+from repro.ensemble.memo import (
+    CrossMemberMemo,
+    MemoStats,
+    PricedState,
+    SharedMemoTable,
+    state_digest,
+)
+
+__all__ = [
+    "EnsembleDriver",
+    "EnsembleEvent",
+    "EnsembleResult",
+    "parse_event",
+    "EnsembleMember",
+    "EnsemblePolicy",
+    "EnsembleCheckpoint",
+    "MemberSpec",
+    "MemberSummary",
+    "MemberTick",
+    "branch_seed",
+    "default_member_spec",
+    "CrossMemberMemo",
+    "MemoStats",
+    "PricedState",
+    "SharedMemoTable",
+    "state_digest",
+    "EnsembleProgress",
+    "MemberRow",
+    "render_dashboard",
+    "progress_json",
+    "render_json_line",
+]

@@ -1,0 +1,137 @@
+"""Live ensemble dashboard: ASCII frames and canonical JSON.
+
+The driver publishes one :class:`EnsembleProgress` frame per tick;
+:func:`render_dashboard` turns a frame into a fixed-width ASCII panel
+(header counters plus a per-member table with simulated-time progress
+bars, truncated to the top rows with a "+N more" footer at ensemble
+scale), and :func:`progress_json` into a stable JSON object — one line
+per tick makes ``repro ensemble --json`` stream-parseable.
+
+Rendering is pure: frames in, strings out, no terminal control codes —
+the CLI decides whether to repaint or append, and tests assert content
+without a tty.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = [
+    "MemberRow",
+    "EnsembleProgress",
+    "render_dashboard",
+    "progress_json",
+    "render_json_line",
+]
+
+_BAR_WIDTH = 18
+
+
+@dataclass(frozen=True)
+class MemberRow:
+    """One member's running totals as of the frame's tick."""
+
+    member_id: int
+    alive: bool
+    ticks: int
+    sim_time_s: float
+    moved: int
+    replans: int
+    last_total_s: float
+    #: Parallel-over-sequential improvement of the latest priced state.
+    improvement: float
+
+
+@dataclass(frozen=True)
+class EnsembleProgress:
+    """One per-tick dashboard frame."""
+
+    tick: int
+    ticks: int
+    jobs: int
+    alive: int
+    spawned: int
+    killed: int
+    branched: int
+    member_ticks: int
+    wall_s: float
+    members_per_s: float
+    rows: Tuple[MemberRow, ...]
+
+
+def _bar(value: float, peak: float, width: int = _BAR_WIDTH) -> str:
+    if peak <= 0.0:
+        return "." * width
+    filled = int(round(width * min(1.0, value / peak)))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_dashboard(progress: EnsembleProgress, *, max_rows: int = 16) -> str:
+    """One frame as fixed-width ASCII (no control codes)."""
+    head = (
+        f"ensemble tick {progress.tick + 1}/{progress.ticks}"
+        f" | jobs {progress.jobs}"
+        f" | alive {progress.alive}"
+        f" (+{progress.spawned} spawned, -{progress.killed} killed,"
+        f" {progress.branched} branched)"
+    )
+    rate = (
+        f"{progress.member_ticks} member-ticks"
+        f" | {progress.members_per_s:,.1f} member-ticks/s"
+        f" | wall {progress.wall_s:.2f}s"
+    )
+    lines = [head, rate]
+    rows = progress.rows
+    if rows:
+        peak = max(r.sim_time_s for r in rows)
+        lines.append(
+            f"  {'id':>5} {'':1} {'sim time':>10} {'ticks':>5} "
+            f"{'moves':>5} {'replans':>7} {'last':>9} {'gain':>6}  progress"
+        )
+        for row in rows[:max_rows]:
+            mark = " " if row.alive else "x"
+            lines.append(
+                f"  {row.member_id:>5} {mark:1} {row.sim_time_s:>9.4f}s "
+                f"{row.ticks:>5} {row.moved:>5} {row.replans:>7} "
+                f"{row.last_total_s:>8.4f}s {row.improvement:>5.1%}  "
+                f"{_bar(row.sim_time_s, peak)}"
+            )
+        if len(rows) > max_rows:
+            lines.append(f"  (+{len(rows) - max_rows} more members)")
+    return "\n".join(lines)
+
+
+def progress_json(progress: EnsembleProgress) -> Dict[str, Any]:
+    """The frame as a stable JSON-able dict (one line per tick)."""
+    return {
+        "tick": progress.tick,
+        "ticks": progress.ticks,
+        "jobs": progress.jobs,
+        "alive": progress.alive,
+        "spawned": progress.spawned,
+        "killed": progress.killed,
+        "branched": progress.branched,
+        "member_ticks": progress.member_ticks,
+        "wall_s": progress.wall_s,
+        "members_per_s": progress.members_per_s,
+        "members": [
+            {
+                "member": r.member_id,
+                "alive": r.alive,
+                "ticks": r.ticks,
+                "sim_time_s": r.sim_time_s,
+                "moves": r.moved,
+                "replans": r.replans,
+                "last_total_s": r.last_total_s,
+                "improvement": r.improvement,
+            }
+            for r in progress.rows
+        ],
+    }
+
+
+def render_json_line(progress: EnsembleProgress) -> str:
+    """One compact JSON line for streaming consumers."""
+    return json.dumps(progress_json(progress), sort_keys=True)

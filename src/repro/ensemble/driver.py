@@ -1,0 +1,491 @@
+"""The ensemble driver: N steered scenarios, one deterministic result.
+
+:class:`EnsembleDriver` advances N seeded members tick-by-tick through
+the affinity work queue (``jobs=1`` runs the identical code inline — the
+determinism oracle). Per tick it:
+
+1. applies scheduled :class:`EnsembleEvent`\\ s — ``kill`` retires a
+   member, ``spawn`` starts a fresh one, ``branch`` checkpoints a member
+   on its worker and restores the copy (with a deterministically forked
+   RNG stream) on the new member's worker;
+2. fans one ``advance_wave`` task per worker (members stay resident —
+   only tick records cross the boundary);
+3. folds the returned :class:`~repro.ensemble.member.MemberTick` records
+   in ``(tick, member_id)`` order into the running deterministic
+   snapshot and, when asked, publishes an
+   :class:`~repro.ensemble.dashboard.EnsembleProgress` frame.
+
+Determinism contract
+--------------------
+``EnsembleResult.snapshot_json()`` — metrics, member summaries, and the
+deterministic core of every tick record — is **byte-identical for any
+worker count**. Two ingredients make that true: records are folded in a
+canonical order regardless of arrival order, and every priced value is a
+pure function of member state (a memo hit returns bit-for-bit what the
+miss computed, see :mod:`repro.ensemble.memo`). Wall times, memo hit
+rates, and cache counters are scheduling-dependent, so they live beside
+the snapshot (``wall_s``, ``memo``, ``caches``), never in it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.exec.workqueue import AffinityWorkQueue
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.metrics import gauge as _obs_gauge
+from repro.obs.trace import tracer
+
+from repro.ensemble import runtime
+from repro.ensemble.dashboard import EnsembleProgress, MemberRow
+from repro.ensemble.member import (
+    EnsembleMember,
+    EnsemblePolicy,
+    MemberSpec,
+    MemberSummary,
+    MemberTick,
+    branch_seed,
+)
+from repro.ensemble.memo import MemoStats, SharedMemoTable
+
+__all__ = [
+    "EnsembleEvent",
+    "parse_event",
+    "EnsembleDriver",
+    "EnsembleResult",
+]
+
+_ACTIONS = ("kill", "spawn", "branch")
+
+#: Fixed bucket bounds (simulated seconds per tick) for the snapshot's
+#: tick-cost histogram — stable across runs by construction.
+_TICK_BOUNDS = (1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0)
+
+_MEMBER_TICKS = _obs_counter("ensemble.member_ticks")
+_EVENTS_APPLIED = _obs_counter("ensemble.events")
+_ALIVE_GAUGE = _obs_gauge("ensemble.members.alive")
+
+
+@dataclass(frozen=True)
+class EnsembleEvent:
+    """A scheduled runtime intervention, applied at the *start* of a tick.
+
+    ``kill``/``branch`` name a member; ``spawn`` optionally carries a
+    seed (default: derived deterministically from the new member id).
+    """
+
+    tick: int
+    action: str
+    member: Optional[int] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ConfigurationError(
+                f"unknown ensemble event action {self.action!r} "
+                f"(choose from {_ACTIONS})"
+            )
+        if self.tick < 0:
+            raise ConfigurationError(f"event tick must be >= 0, got {self.tick}")
+        if self.action in ("kill", "branch") and self.member is None:
+            raise ConfigurationError(f"{self.action} event needs a member id")
+
+
+def parse_event(text: str) -> EnsembleEvent:
+    """Parse ``ACTION:TICK[:MEMBER]`` (for spawn the third field is a seed)."""
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise ConfigurationError(
+            f"malformed event {text!r}; expected ACTION:TICK[:MEMBER]"
+        )
+    action = parts[0].strip().lower()
+    try:
+        tick = int(parts[1])
+        arg = int(parts[2]) if len(parts) == 3 else None
+    except ValueError:
+        raise ConfigurationError(f"malformed event {text!r}: non-integer field")
+    if action == "spawn":
+        return EnsembleEvent(tick=tick, action=action, seed=arg)
+    return EnsembleEvent(tick=tick, action=action, member=arg)
+
+
+@dataclass
+class EnsembleResult:
+    """Everything one ensemble run produced."""
+
+    ticks: int
+    jobs: int
+    records: Tuple[MemberTick, ...]
+    members: Tuple[MemberSummary, ...]
+    #: Deterministic registry-format snapshot (same at any ``jobs``).
+    metrics: Dict[str, Dict[str, Any]]
+    #: Aggregated memo traffic across workers (wall-side diagnostic).
+    memo: MemoStats
+    #: Summed per-worker plan/placement cache counters (diagnostic).
+    caches: Dict[str, int] = field(default_factory=dict)
+    wall_s: float = 0.0
+    member_ticks: int = 0
+
+    @property
+    def members_per_s(self) -> float:
+        return self.member_ticks / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        return self.memo.hit_rate
+
+    def snapshot_json(self) -> str:
+        """The byte-identical-at-any-jobs determinism artifact."""
+        return json.dumps(
+            {
+                "ticks": self.ticks,
+                "metrics": self.metrics,
+                "members": [m.to_json() for m in self.members],
+                "records": [r.deterministic() for r in self.records],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+class EnsembleDriver:
+    """Drive N members for T ticks with mid-flight events.
+
+    Parameters
+    ----------
+    specs:
+        One :class:`MemberSpec` per initial member (ids ``0..N-1``).
+    policy:
+        Pricing/memo policy shared by every member.
+    jobs:
+        Worker processes; ``1`` runs inline (the determinism oracle).
+        ``None`` takes the ``REPRO_ENSEMBLE_JOBS`` environment default
+        (itself 1), which is how CI sweeps whole test groups from the
+        inline oracle to a worker pool without touching each call site.
+    events:
+        Scheduled kill/spawn/branch interventions.
+    progress:
+        Optional per-tick callback receiving an
+        :class:`~repro.ensemble.dashboard.EnsembleProgress` frame.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[MemberSpec],
+        *,
+        policy: Optional[EnsemblePolicy] = None,
+        jobs: Optional[int] = None,
+        events: Sequence[EnsembleEvent] = (),
+        progress: Optional[Callable[[EnsembleProgress], None]] = None,
+    ):
+        if not specs:
+            raise ConfigurationError("ensemble needs at least one member spec")
+        if jobs is None:
+            raw = os.environ.get("REPRO_ENSEMBLE_JOBS", "1")
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"REPRO_ENSEMBLE_JOBS must be an integer, got {raw!r}"
+                ) from None
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.specs = list(specs)
+        self.policy = policy or EnsemblePolicy()
+        self.policy.validate()
+        self.jobs = jobs
+        self.events = list(events)
+        self.progress = progress
+        self._schedule: Dict[int, List[EnsembleEvent]] = {}
+        for event in self.events:
+            self._schedule.setdefault(event.tick, []).append(event)
+
+    # ------------------------------------------------------------------
+    def run(self, ticks: int) -> EnsembleResult:
+        if ticks < 1:
+            raise ConfigurationError(f"ticks must be >= 1, got {ticks}")
+        tr = tracer()
+        t_start = time.perf_counter()
+        shared: Optional[SharedMemoTable] = None
+        if self.jobs > 1 and self.policy.memo:
+            shared = SharedMemoTable.create(self.policy.memo_slots)
+        queue = AffinityWorkQueue(
+            self.jobs,
+            initializer=runtime.init_worker,
+            initargs=(
+                self.policy,
+                shared.handle if shared is not None else None,
+                shared.lock if shared is not None else None,
+            ),
+        )
+        try:
+            return self._run(queue, ticks, t_start)
+        finally:
+            queue.close()
+            if shared is not None:
+                shared.release()
+
+    # ------------------------------------------------------------------
+    def _run(
+        self, queue: AffinityWorkQueue, ticks: int, t_start: float
+    ) -> EnsembleResult:
+        tr = tracer()
+        # Parent-side member ledger: id -> (worker, seed, alive).
+        workers: Dict[int, int] = {}
+        seeds: Dict[int, int] = {}
+        alive: Dict[int, bool] = {}
+        next_id = 0
+        counts = {"spawned": 0, "killed": 0, "branched": 0}
+        dead_summaries: Dict[int, MemberSummary] = {}
+        # Per-member running totals for the dashboard.
+        moved_totals: Dict[int, int] = {}
+        replan_totals: Dict[int, int] = {}
+        last_tick: Dict[int, MemberTick] = {}
+
+        def place(member_id: int, spec: MemberSpec, seed, checkpoint) -> None:
+            worker = queue.worker_for(member_id)
+            workers[member_id] = worker
+            seeds[member_id] = seed if seed is not None else spec.seed
+            alive[member_id] = True
+            moved_totals[member_id] = 0
+            replan_totals[member_id] = 0
+            queue.submit(
+                member_id, runtime.create_members,
+                ((member_id, spec, seed, checkpoint),),
+            )
+
+        with tr.span("ensemble.create", {"members": len(self.specs)} if tr.enabled else None):
+            for spec in self.specs:
+                place(next_id, spec, None, None)
+                next_id += 1
+            queue.gather()
+
+        records: List[MemberTick] = []
+        member_ticks = 0
+        for tick in range(ticks):
+            for event in self._schedule.get(tick, ()):
+                _EVENTS_APPLIED.inc()
+                if event.action == "kill":
+                    if not alive.get(event.member, False):
+                        raise ConfigurationError(
+                            f"kill at tick {tick}: member {event.member} "
+                            "is not alive"
+                        )
+                    queue.submit(
+                        event.member, runtime.kill_member, event.member
+                    )
+                    summary = queue.gather()[0]
+                    dead_summaries[event.member] = summary
+                    alive[event.member] = False
+                    counts["killed"] += 1
+                elif event.action == "spawn":
+                    seed = (
+                        event.seed
+                        if event.seed is not None
+                        else branch_seed(self.specs[0].seed, next_id)
+                    )
+                    place(next_id, self.specs[0].with_seed(seed), None, None)
+                    next_id += 1
+                    counts["spawned"] += 1
+                    queue.gather()
+                elif event.action == "branch":
+                    if not alive.get(event.member, False):
+                        raise ConfigurationError(
+                            f"branch at tick {tick}: member {event.member} "
+                            "is not alive"
+                        )
+                    queue.submit(
+                        event.member, runtime.checkpoint_member, event.member
+                    )
+                    checkpoint = queue.gather()[0]
+                    child_seed = branch_seed(
+                        checkpoint.seed, checkpoint.branch_count
+                    )
+                    place(next_id, checkpoint.spec, child_seed, checkpoint)
+                    next_id += 1
+                    counts["branched"] += 1
+                    queue.gather()
+
+            # One advance task per worker holding live members.
+            by_worker: Dict[int, List[int]] = {}
+            for member_id, is_alive in alive.items():
+                if is_alive:
+                    by_worker.setdefault(workers[member_id], []).append(member_id)
+            with tr.span(
+                "ensemble.tick",
+                {"tick": tick, "alive": sum(alive.values())} if tr.enabled else None,
+            ):
+                for worker in sorted(by_worker):
+                    queue.submit(
+                        worker, runtime.advance_wave,
+                        (tick, tuple(sorted(by_worker[worker]))),
+                    )
+                wave = [t for batch in queue.gather() for t in batch]
+            wave.sort(key=lambda t: t.member_id)
+            records.extend(wave)
+            member_ticks += len(wave)
+            _MEMBER_TICKS.inc(len(wave))
+            _ALIVE_GAUGE.set(sum(alive.values()))
+            for t in wave:
+                moved_totals[t.member_id] += t.moved
+                replan_totals[t.member_id] += t.replanned
+                last_tick[t.member_id] = t
+            if self.progress is not None:
+                self.progress(
+                    self._progress_frame(
+                        tick, ticks, alive, counts, member_ticks,
+                        time.perf_counter() - t_start,
+                        moved_totals, replan_totals, last_tick, queue,
+                    )
+                )
+
+        # Final summaries + worker diagnostics.
+        for worker in range(queue.jobs):
+            queue.submit(worker, runtime.live_summaries, None)
+        live = [s for batch in queue.gather() for s in batch]
+        for worker in range(queue.jobs):
+            queue.submit(worker, runtime.collect_stats, None)
+        stats = queue.gather()
+
+        summaries = sorted(
+            list(live) + list(dead_summaries.values()),
+            key=lambda s: s.member_id,
+        )
+        memo = MemoStats()
+        caches = {
+            "plan_hits": 0, "plan_misses": 0,
+            "placement_hits": 0, "placement_misses": 0,
+        }
+        for s in stats:
+            memo.add(s["memo"])
+            for key in caches:
+                caches[key] += s[key]
+
+        wall_s = time.perf_counter() - t_start
+        records_tuple = tuple(
+            sorted(records, key=lambda t: (t.tick, t.member_id))
+        )
+        metrics = _fold_metrics(
+            records_tuple, summaries, ticks, len(self.specs), counts
+        )
+        return EnsembleResult(
+            ticks=ticks,
+            jobs=self.jobs,
+            records=records_tuple,
+            members=tuple(summaries),
+            metrics=metrics,
+            memo=memo,
+            caches=caches,
+            wall_s=wall_s,
+            member_ticks=member_ticks,
+        )
+
+    # ------------------------------------------------------------------
+    def _progress_frame(
+        self, tick, ticks, alive, counts, member_ticks, wall_s,
+        moved_totals, replan_totals, last_tick, queue,
+    ) -> EnsembleProgress:
+        rows = []
+        for member_id in sorted(last_tick):
+            t = last_tick[member_id]
+            rows.append(
+                MemberRow(
+                    member_id=member_id,
+                    alive=alive.get(member_id, False),
+                    ticks=t.tick + 1,
+                    sim_time_s=t.sim_time_s,
+                    moved=moved_totals.get(member_id, 0),
+                    replans=replan_totals.get(member_id, 0),
+                    last_total_s=t.priced.par_total,
+                    improvement=t.priced.improvement,
+                )
+            )
+        return EnsembleProgress(
+            tick=tick,
+            ticks=ticks,
+            jobs=queue.jobs,
+            alive=sum(alive.values()),
+            spawned=counts["spawned"],
+            killed=counts["killed"],
+            branched=counts["branched"],
+            member_ticks=member_ticks,
+            wall_s=wall_s,
+            members_per_s=member_ticks / wall_s if wall_s > 0 else 0.0,
+            rows=tuple(rows),
+        )
+
+
+def _fold_metrics(
+    records: Tuple[MemberTick, ...],
+    summaries: Sequence[MemberSummary],
+    ticks: int,
+    initial: int,
+    counts: Dict[str, int],
+) -> Dict[str, Dict[str, Any]]:
+    """Registry-format snapshot folded in canonical record order.
+
+    Records arrive already sorted ``(tick, member_id)``; every float
+    fold below runs in that order, so the resulting doubles — and their
+    JSON rendering — are identical at any worker count.
+    """
+    hist_counts = [0] * (len(_TICK_BOUNDS) + 1)
+    hist_sum = 0.0
+    sim_total = 0.0
+    steer_total = 0.0
+    features = moved = replans = 0
+    for t in records:
+        value = t.priced.par_total
+        lo, hi = 0, len(_TICK_BOUNDS)
+        while lo < hi:  # bisect_left over the fixed bounds
+            mid = (lo + hi) // 2
+            if _TICK_BOUNDS[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        hist_counts[lo] += 1
+        hist_sum += value
+        sim_total += t.priced.par_total + t.steer_model_s
+        steer_total += t.steer_model_s
+        features += t.features
+        moved += t.moved
+        replans += t.replanned
+    max_sim = max((s.sim_time_s for s in summaries), default=0.0)
+
+    def c(value: int) -> Dict[str, Any]:
+        return {"type": "counter", "value": value}
+
+    return {
+        "ensemble.ticks": c(ticks),
+        "ensemble.member_ticks": c(len(records)),
+        "ensemble.members.initial": c(initial),
+        "ensemble.members.spawned": c(counts["spawned"]),
+        "ensemble.members.killed": c(counts["killed"]),
+        "ensemble.members.branched": c(counts["branched"]),
+        "ensemble.members.final_alive": c(
+            sum(1 for s in summaries if s.alive)
+        ),
+        "ensemble.steer.features": c(features),
+        "ensemble.steer.moves": c(moved),
+        "ensemble.steer.replans": c(replans),
+        "ensemble.sim_time.total_s": {
+            "type": "gauge", "value": sim_total, "updates": len(records),
+        },
+        "ensemble.sim_time.max_s": {
+            "type": "gauge", "value": max_sim, "updates": len(summaries),
+        },
+        "ensemble.steer.model_time_s": {
+            "type": "gauge", "value": steer_total, "updates": len(records),
+        },
+        "ensemble.tick.par_total_s": {
+            "type": "histogram",
+            "bounds": list(_TICK_BOUNDS),
+            "counts": hist_counts,
+            "count": len(records),
+            "sum": hist_sum,
+        },
+    }

@@ -1,0 +1,149 @@
+"""Worker-resident ensemble state and the task functions that drive it.
+
+One module-global :class:`_WorkerState` lives in every pool worker (and,
+for ``jobs=1``, in the driver's own process — the inline path runs the
+exact same functions). The driver talks to it exclusively through the
+module-level task functions below, routed by member affinity over
+:class:`~repro.exec.workqueue.AffinityWorkQueue`, so a member's model
+state, its warm plan/placement/route caches, and the worker's local memo
+never cross a process boundary; only compact :class:`MemberTick` records
+and checkpoints do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.exec.placementcache import placement_cache_stats
+from repro.exec.plancache import plan_cache_stats
+
+from repro.ensemble.member import (
+    EnsembleCheckpoint,
+    EnsembleMember,
+    MemberSpec,
+    MemberSummary,
+    MemberTick,
+    EnsemblePolicy,
+    PricingContext,
+)
+from repro.ensemble.memo import (
+    CrossMemberMemo,
+    MemoStats,
+    SharedMemoHandle,
+    SharedMemoTable,
+)
+
+__all__ = [
+    "init_worker",
+    "create_members",
+    "advance_wave",
+    "checkpoint_member",
+    "kill_member",
+    "live_summaries",
+    "collect_stats",
+]
+
+
+class _WorkerState:
+    def __init__(
+        self,
+        policy: EnsemblePolicy,
+        shared: Optional[SharedMemoTable],
+    ):
+        self.policy = policy
+        self.context = PricingContext(policy)
+        self.memo = CrossMemberMemo(shared=shared)
+        self.members: Dict[int, EnsembleMember] = {}
+
+
+_STATE: Optional[_WorkerState] = None
+
+
+def _state() -> _WorkerState:
+    if _STATE is None:
+        raise ConfigurationError("ensemble worker not initialised")
+    return _STATE
+
+
+def init_worker(
+    policy: EnsemblePolicy,
+    memo_handle: Optional[SharedMemoHandle],
+    memo_lock: Any,
+) -> None:
+    """Pool initializer (also called inline for ``jobs=1``)."""
+    global _STATE
+    shared = None
+    if policy.memo and memo_handle is not None:
+        shared = SharedMemoTable.attach(memo_handle, memo_lock)
+    _STATE = _WorkerState(policy, shared)
+
+
+def create_members(
+    payload: Tuple[Tuple[int, MemberSpec, Optional[int], Optional[EnsembleCheckpoint]], ...],
+) -> Tuple[int, ...]:
+    """Instantiate members ``(id, spec, seed, checkpoint)`` here."""
+    st = _state()
+    created: List[int] = []
+    for member_id, spec, seed, checkpoint in payload:
+        if member_id in st.members:
+            raise ConfigurationError(f"member {member_id} already exists")
+        st.members[member_id] = EnsembleMember(
+            member_id, spec, st.context, seed=seed, checkpoint=checkpoint
+        )
+        created.append(member_id)
+    return tuple(created)
+
+
+def advance_wave(
+    payload: Tuple[int, Tuple[int, ...]],
+) -> Tuple[MemberTick, ...]:
+    """Tick every listed member once; ``(tick_index, member_ids)``."""
+    st = _state()
+    tick_index, member_ids = payload
+    if not st.policy.memo:
+        # No-dedup baseline still needs *a* memo object; a throwaway
+        # per-member instance guarantees zero cross-member reuse.
+        return tuple(
+            st.members[m].tick(tick_index, CrossMemberMemo())
+            for m in member_ids
+        )
+    return tuple(st.members[m].tick(tick_index, st.memo) for m in member_ids)
+
+
+def checkpoint_member(member_id: int) -> EnsembleCheckpoint:
+    """Freeze a member for branching; bumps its branch counter."""
+    st = _state()
+    member = st.members[member_id]
+    checkpoint = member.checkpoint()
+    member.branch_count += 1
+    return checkpoint
+
+
+def kill_member(member_id: int) -> MemberSummary:
+    """Remove a member; returns its final summary."""
+    st = _state()
+    member = st.members.pop(member_id)
+    return member.summary(alive=False)
+
+
+def live_summaries(_: Any = None) -> Tuple[MemberSummary, ...]:
+    st = _state()
+    return tuple(
+        st.members[m].summary(alive=True) for m in sorted(st.members)
+    )
+
+
+def collect_stats(_: Any = None) -> Dict[str, Any]:
+    """Worker-side diagnostics: memo traffic + cache counters."""
+    st = _state()
+    plan = plan_cache_stats()
+    placement = placement_cache_stats()
+    return {
+        "memo": st.memo.stats,
+        "memo_entries": st.memo.entries(),
+        "plan_hits": plan.hits,
+        "plan_misses": plan.misses,
+        "placement_hits": placement.hits,
+        "placement_misses": placement.misses,
+    }

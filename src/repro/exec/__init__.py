@@ -11,7 +11,10 @@ with local cores without changing a single result:
   ``(mapping name, grid dims, torus dims, ranks-per-node, rects)``;
 * :mod:`repro.exec.shm` — zero-copy message columns over
   ``multiprocessing.shared_memory`` so sweep workers map large halo
-  batches instead of pickling them.
+  batches instead of pickling them;
+* :mod:`repro.exec.workqueue` — :class:`AffinityWorkQueue`, persistent
+  workers with sticky affinity routing for *stateful* residents (the
+  ensemble fabric's members), inline at ``jobs=1``.
 
 Both caches evict against byte budgets derived from
 ``REPRO_NETSIM_MEM_MB`` (:mod:`repro.netsim.budget`), so residency
@@ -37,6 +40,7 @@ from repro.exec.plancache import (
 )
 from repro.exec.pool import SweepResult, SweepRunner, run_sweep
 from repro.exec.procs import SupervisedProcess, WorkerSpawnError
+from repro.exec.workqueue import AffinityWorkQueue
 from repro.exec.shm import (
     SharedColumns,
     attach_halo_batch,
@@ -52,6 +56,7 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "run_sweep",
+    "AffinityWorkQueue",
     "SupervisedProcess",
     "WorkerSpawnError",
     "PlanCacheStats",

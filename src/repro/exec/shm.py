@@ -113,14 +113,19 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
     try:
         return shared_memory.SharedMemory(name=name, track=False)
     except TypeError:  # Python < 3.13: no track parameter
-        shm = shared_memory.SharedMemory(name=name)
-        try:
-            from multiprocessing import resource_tracker
+        # Attaching registers the segment with the resource tracker on
+        # these versions; suppress the registration rather than undo it,
+        # because unregistering drops the *owner's* entry too (the
+        # tracker cache is one set shared over the inherited pipe) and
+        # the owner's later unlink would then log a KeyError.
+        from multiprocessing import resource_tracker
 
-            resource_tracker.unregister(shm._name, "shared_memory")
-        except Exception:
-            pass  # tracking merely risks early unlink; attachment works
-        return shm
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
 
 
 def share_arrays(arrays: Mapping[str, np.ndarray]) -> SharedColumns:

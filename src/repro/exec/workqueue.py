@@ -1,0 +1,245 @@
+"""Dynamic work queue with sticky worker affinity for stateful tasks.
+
+The sweep pool (:mod:`repro.exec.pool`) fans *stateless* tasks over a
+``ProcessPoolExecutor``: any worker may run any task, per-task state is
+reset, and that is exactly right for pricing sweeps. Ensemble members
+are the opposite — each member is a *stateful* resident (a running
+:class:`~repro.steering.driver.SteeredRun` plus its warm plan/placement/
+route caches), and bouncing a member between workers would re-pickle its
+model state every tick and cold-start every cache it touches.
+
+:class:`AffinityWorkQueue` therefore keeps **persistent workers** each
+owning a private task queue, and routes every task by an integer
+*affinity* key (``worker = affinity % jobs``). Tasks for one key always
+land on the same worker, so whatever state the task functions build
+there stays put. Results return on one shared queue and are re-ordered
+to submission order before :meth:`gather` returns — callers observe
+deterministic ordering no matter how workers interleave.
+
+``jobs=1`` runs everything inline in the calling process through the
+same code path (initializer included), which is both the zero-overhead
+mode and the determinism oracle for ``jobs=N``.
+
+Task functions must be module-level callables (picklable by reference);
+payloads and results cross the process boundary by pickling. Worker
+exceptions are re-raised in the parent at :meth:`gather`, and a worker
+that dies without reporting (OOM kill, hard crash) turns into a
+:class:`~repro.errors.SweepError` naming the lost tasks instead of a
+hang.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SweepError
+from repro.obs.metrics import counter as _obs_counter
+
+__all__ = ["AffinityWorkQueue"]
+
+_TASKS_DISPATCHED = _obs_counter("exec.queue.tasks")
+_WAVES = _obs_counter("exec.queue.waves")
+
+#: Sentinel task id reporting an initializer crash.
+_INIT_FAILURE = -1
+
+
+def _exc_payload(exc: BaseException) -> Tuple[Any, str]:
+    """An exception as a (picklable object, formatted traceback) pair."""
+    tb = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+    try:
+        import pickle
+
+        pickle.dumps(exc)
+        return exc, tb
+    except Exception:
+        return SweepError(f"{type(exc).__name__}: {exc}"), tb
+
+
+def _worker_main(
+    index: int,
+    task_q: "mp.Queue",
+    result_q: "mp.Queue",
+    initializer: Optional[Callable[..., None]],
+    initargs: Tuple[Any, ...],
+) -> None:
+    """Worker loop: run the initializer once, then tasks until sentinel."""
+    if initializer is not None:
+        try:
+            initializer(*initargs)
+        except BaseException as exc:  # report, don't die silently
+            result_q.put((_INIT_FAILURE, False, _exc_payload(exc)))
+            return
+    while True:
+        item = task_q.get()
+        if item is None:
+            return
+        task_id, fn, payload = item
+        try:
+            result_q.put((task_id, True, fn(payload)))
+        except BaseException as exc:
+            result_q.put((task_id, False, _exc_payload(exc)))
+
+
+class AffinityWorkQueue:
+    """Persistent workers with affinity routing and ordered gathers.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count; ``1`` executes inline in the calling process.
+    initializer / initargs:
+        Run once in every worker before any task (and inline for
+        ``jobs=1``). ``initargs`` cross via ``Process`` arguments, so
+        they may carry inheritable primitives (e.g. ``mp.Lock``) that
+        ordinary queues refuse.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        *,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ):
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._next_task_id = 0
+        self._pending: List[int] = []  # submission order of the open wave
+        self._inline_results: Dict[int, Tuple[bool, Any]] = {}
+        self._closed = False
+        self._procs: List[mp.process.BaseProcess] = []
+        self._task_qs: List[Any] = []
+        self._result_q: Optional[Any] = None
+        if jobs == 1:
+            if initializer is not None:
+                initializer(*initargs)
+            return
+        ctx = mp.get_context()
+        self._result_q = ctx.Queue()
+        for index in range(jobs):
+            tq = ctx.Queue()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(index, tq, self._result_q, initializer, initargs),
+                daemon=True,
+                name=f"repro-ensemble-{index}",
+            )
+            proc.start()
+            self._task_qs.append(tq)
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------
+    def worker_for(self, affinity: int) -> int:
+        """The worker index tasks with *affinity* are routed to."""
+        return affinity % self.jobs
+
+    def submit(self, affinity: int, fn: Callable[[Any], Any], payload: Any) -> int:
+        """Queue one task on the worker owning *affinity*; returns its id."""
+        if self._closed:
+            raise SweepError("AffinityWorkQueue is closed")
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        self._pending.append(task_id)
+        _TASKS_DISPATCHED.inc()
+        if self.jobs == 1:
+            try:
+                self._inline_results[task_id] = (True, fn(payload))
+            except BaseException as exc:
+                self._inline_results[task_id] = (False, _exc_payload(exc))
+            return task_id
+        self._task_qs[self.worker_for(affinity)].put((task_id, fn, payload))
+        return task_id
+
+    def gather(self) -> List[Any]:
+        """Results of every submitted-ungathered task, in submission order.
+
+        Re-raises the first task exception (by submission order) after
+        draining the wave, so a failure cannot leave stray results
+        behind for the next wave.
+        """
+        wanted = self._pending
+        self._pending = []
+        _WAVES.inc()
+        collected: Dict[int, Tuple[bool, Any]] = {}
+        if self.jobs == 1:
+            for task_id in wanted:
+                collected[task_id] = self._inline_results.pop(task_id)
+        else:
+            remaining = set(wanted)
+            while remaining:
+                try:
+                    task_id, ok, value = self._result_q.get(timeout=1.0)
+                except queue_mod.Empty:
+                    dead = [
+                        i for i, p in enumerate(self._procs) if not p.is_alive()
+                    ]
+                    if dead:
+                        raise SweepError(
+                            f"ensemble worker(s) {dead} died with "
+                            f"{len(remaining)} task(s) outstanding"
+                        ) from None
+                    continue
+                if task_id == _INIT_FAILURE:
+                    exc, tb = value
+                    raise SweepError(
+                        f"worker initializer failed:\n{tb}"
+                    ) from exc
+                collected[task_id] = (ok, value)
+                remaining.discard(task_id)
+        results: List[Any] = []
+        failure: Optional[Tuple[Any, str]] = None
+        for task_id in wanted:
+            ok, value = collected[task_id]
+            if ok:
+                results.append(value)
+            elif failure is None:
+                failure = value
+        if failure is not None:
+            exc, tb = failure
+            exc.__cause__ = SweepError(f"worker task failed:\n{tb}")
+            raise exc
+        return results
+
+    def run_wave(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Tuple[int, Any]],
+    ) -> List[Any]:
+        """Submit ``(affinity, payload)`` tasks and gather, in order."""
+        for affinity, payload in tasks:
+            self.submit(affinity, fn, payload)
+        return self.gather()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pending = []
+        self._inline_results.clear()
+        for tq in self._task_qs:
+            try:
+                tq.put(None)
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for tq in self._task_qs:
+            tq.close()
+        if self._result_q is not None:
+            self._result_q.close()
+
+    def __enter__(self) -> "AffinityWorkQueue":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -110,6 +110,9 @@ class IterationProfile:
     #: Per-sibling contribution to the average per-rank sync wait.
     sync_wait_contribs: Tuple[float, ...]
     io_time: float
+    #: Modeled steering overhead (nest respawns) attributed to this
+    #: group; zero for plain simulate_iteration traces.
+    steer_time: float = 0.0
 
     @property
     def nest_phase_time(self) -> float:
@@ -124,7 +127,7 @@ class IterationProfile:
 
     @property
     def total_time(self) -> float:
-        return self.integration_time + self.io_time
+        return self.integration_time + self.io_time + self.steer_time
 
     @property
     def nest_wait(self) -> float:
@@ -156,7 +159,7 @@ def phase_breakdown(
 
     profiles: List[IterationProfile] = []
     for span_id in order:
-        parent_time = parent_wait = io_time = 0.0
+        parent_time = parent_wait = io_time = steer_time = 0.0
         nests: List[Tuple[str, float]] = []
         nest_contribs: List[float] = []
         sync_contribs: List[float] = []
@@ -175,6 +178,10 @@ def phase_breakdown(
                 sync_contribs.append(attrs.get("sync_contrib", 0.0))
             elif kind == "io":
                 io_time = r["model_time"]
+            elif kind == "steer":
+                # A group may steer more than once (e.g. one member
+                # span covering several retrack passes): accumulate.
+                steer_time += r["model_time"]
         profiles.append(
             IterationProfile(
                 span_id=span_id,
@@ -188,6 +195,7 @@ def phase_breakdown(
                 nest_wait_contribs=tuple(nest_contribs),
                 sync_wait_contribs=tuple(sync_contribs),
                 io_time=io_time,
+                steer_time=steer_time,
             )
         )
     return tuple(profiles)
@@ -218,7 +226,11 @@ def reconcile(
             ("nest_phase", profile.nest_phase_time, report.nest_phase_time),
             ("integration", profile.integration_time, report.integration_time),
             ("io", profile.io_time, report.io_time),
-            ("total", profile.total_time, report.total_time),
+            # Reports without a steering notion (IterationReport) imply
+            # zero steer overhead; ensemble member records carry theirs.
+            ("steer", profile.steer_time, getattr(report, "steer_time", 0.0)),
+            ("total", profile.total_time,
+             report.total_time + getattr(report, "steer_time", 0.0)),
             ("mpi_wait", profile.mpi_wait, report.mpi_wait),
         ]
         if profile.strategy != report.strategy:
@@ -269,6 +281,7 @@ class ProfileReport:
                     "nest_phase_time": p.nest_phase_time,
                     "integration_time": p.integration_time,
                     "io_time": p.io_time,
+                    "steer_time": p.steer_time,
                     "total_time": p.total_time,
                     "mpi_wait": p.mpi_wait,
                 }

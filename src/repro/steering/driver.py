@@ -10,49 +10,117 @@
 * whenever any nest moved, the processor allocation is *replanned* so
   the simulated cost model keeps pricing the current configuration.
 
+Replanning goes through the memoized plan cache
+(:func:`repro.exec.plancache.parallel_plan`) — a steered run revisits
+the same handful of nest configurations as features jitter back and
+forth, and an ensemble of steered runs revisits each other's — and,
+when a *machine* is supplied, the placement cache
+(:func:`repro.exec.placementcache.cached_placement`), keeping a warm
+:class:`~repro.core.mapping.base.Placement` on :attr:`SteeredRun.placement`
+for whoever prices the plan next. The ``steering.replan.*`` counters
+record the hit/miss split and reconcile exactly with
+:func:`~repro.exec.plancache.plan_cache_stats`.
+
+A run is **checkpointable**: :meth:`SteeredRun.checkpoint` captures the
+full member state (parent field, every nest's spec *and* fine state,
+iteration counter, steering history) as a picklable value and
+:meth:`SteeredRun.restore` resumes it bit-exactly — the primitive the
+ensemble layer builds ``branch``/migration on.
+
 This realises the paper's closing future-work item ("simultaneously
 steer these multiple nested simulations") within the reproduction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
+from repro.core.mapping.base import Mapping, Placement, SlotSpace
+from repro.core.mapping.oblivious import ObliviousMapping
 from repro.core.scheduler.plan import ExecutionPlan
-from repro.core.scheduler.strategies import ParallelSiblingsStrategy, Predictor
+from repro.core.scheduler.strategies import Predictor
 from repro.errors import ConfigurationError
+from repro.exec.placementcache import cached_placement, placement_cache_stats
+from repro.exec.plancache import parallel_plan, plan_cache_stats
 from repro.obs.metrics import counter as _obs_counter
 from repro.obs.trace import tracer
 from repro.runtime.process_grid import ProcessGrid
 from repro.steering.mover import NestMove, plan_moves
 from repro.steering.tracker import TrackedFeature, find_depressions
+from repro.topology.machines import Machine
+from repro.wrf.fields import ModelState
 from repro.wrf.grid import DomainSpec
 from repro.wrf.model import NestedModel
 from repro.wrf.nest import Nest
+from repro.wrf.physics import PhysicsParams
+from repro.wrf.solver import SolverParams
 
-__all__ = ["SteeringEvent", "SteeredRun"]
+__all__ = ["SteeringEvent", "SteeredCheckpoint", "SteeredRun"]
 
 # Observability: steering decisions per run. Bound once at import;
 # registry resets zero them in place.
 _STEER_CALLS = _obs_counter("steering.steer_calls")
 _STEER_MOVES = _obs_counter("steering.nest_moves")
 _STEER_REPLANS = _obs_counter("steering.replans")
+# Replan cache traffic: classified by diffing the cache's own counters
+# around each lookup, so these reconcile exactly with plan_cache_stats()
+# / placement_cache_stats() when the run is the only cache client.
+_REPLAN_PLAN_HITS = _obs_counter("steering.replan.cache_hit")
+_REPLAN_PLAN_MISSES = _obs_counter("steering.replan.cache_miss")
+_REPLAN_PLACE_HITS = _obs_counter("steering.replan.placement_cache_hit")
+_REPLAN_PLACE_MISSES = _obs_counter("steering.replan.placement_cache_miss")
 
 
 @dataclass(frozen=True)
 class SteeringEvent:
-    """Record of one steering decision."""
+    """Record of one steering decision.
+
+    The wall fields split where real time went (tracking + move planning
+    vs replanning); ``steer_model_s`` is the *modeled* cost of the pass
+    in simulated seconds — respawned fine points times the run's
+    ``respawn_cost_s_per_point``, zero by default — the number the
+    ``steer`` trace phase carries so profile reports can attribute
+    steering overhead alongside the parent/nest/io phases.
+    """
 
     iteration: int
     features: tuple[TrackedFeature, ...]
     moves: tuple[NestMove, ...]
     replanned: bool
+    track_wall_ns: int = 0
+    replan_wall_ns: int = 0
+    steer_model_s: float = 0.0
 
     @property
     def num_moved(self) -> int:
         """Number of nests that changed position."""
         return sum(1 for m in self.moves if m.moved)
+
+    @property
+    def steer_wall_ns(self) -> int:
+        """Total wall time of the steering pass."""
+        return self.track_wall_ns + self.replan_wall_ns
+
+
+@dataclass(frozen=True)
+class SteeredCheckpoint:
+    """Complete, picklable state of a :class:`SteeredRun` member.
+
+    Restoring continues the integration bit-exactly: the parent field,
+    every nest's footprint and fine state, the iteration counter, and
+    the steering history are all captured by value.
+    """
+
+    iteration: int
+    parent_spec: DomainSpec
+    state: ModelState
+    nests: Tuple[Tuple[DomainSpec, ModelState], ...]
+    events: Tuple[SteeringEvent, ...]
+    solver_params: SolverParams
+    physics: Optional[PhysicsParams]
+    two_way: bool
 
 
 class SteeredRun:
@@ -69,6 +137,15 @@ class SteeredRun:
         point counts are used as ratios.
     retrack_interval:
         Iterations between tracker invocations.
+    machine / mapping / mode:
+        When *machine* is given, every replan also derives the plan's
+        placement through the placement cache (mapping defaults to the
+        Blue Gene XYZT order, mode to the machine default) and keeps it
+        on :attr:`placement` for pricing.
+    respawn_cost_s_per_point:
+        Modeled cost, in simulated seconds per respawned fine point, a
+        nest move charges to the ``steer`` phase. The default ``0.0``
+        keeps steering free in model time (the historical behaviour).
     """
 
     def __init__(
@@ -79,14 +156,29 @@ class SteeredRun:
         predictor: Optional[Predictor] = None,
         retrack_interval: int = 5,
         min_move_cells: int = 2,
+        machine: Optional[Machine] = None,
+        mapping: Optional[Mapping] = None,
+        mode: Optional[str] = None,
+        respawn_cost_s_per_point: float = 0.0,
     ):
         if retrack_interval < 1:
             raise ConfigurationError("retrack_interval must be >= 1")
+        if respawn_cost_s_per_point < 0:
+            raise ConfigurationError(
+                "respawn_cost_s_per_point must be >= 0, "
+                f"got {respawn_cost_s_per_point}"
+            )
         self.model = model
         self.grid = grid
         self.predictor = predictor
         self.retrack_interval = retrack_interval
         self.min_move_cells = min_move_cells
+        self.machine = machine
+        self.mapping = mapping
+        self.mode = mode
+        self.respawn_cost_s_per_point = respawn_cost_s_per_point
+        self.placement: Optional[Placement] = None
+        self._placement_rects: Optional[Tuple] = None
         self.events: List[SteeringEvent] = []
         self.plan: ExecutionPlan = self._replan()
 
@@ -97,20 +189,50 @@ class SteeredRun:
     def _replan(self) -> ExecutionPlan:
         specs = self._current_specs()
         if self.predictor is not None:
-            return ParallelSiblingsStrategy(self.predictor).plan(
-                self.grid, self.model.parent_spec, specs
-            )
-        return ParallelSiblingsStrategy().plan(
-            self.grid,
-            self.model.parent_spec,
-            specs,
-            ratios=[s.points for s in specs],
-        )
+            ratios = [float(r) for r in self.predictor.predict_ratios(specs)]
+        else:
+            ratios = [float(s.points) for s in specs]
+        before = plan_cache_stats().hits
+        plan = parallel_plan(self.grid, self.model.parent_spec, specs, ratios)
+        if plan_cache_stats().hits > before:
+            _REPLAN_PLAN_HITS.inc()
+        else:
+            _REPLAN_PLAN_MISSES.inc()
+        if self.machine is not None:
+            rects = tuple(plan.rects) if plan.concurrent else None
+            # A nest move changes footprint *positions*, not sizes, so
+            # the replanned rects — and therefore the placement — are
+            # usually identical to the current ones. Skip the cache
+            # round-trip entirely then: at ensemble scale the hit path
+            # (key hashing over 100k+ ranks) is itself the hot loop.
+            if self.placement is None or rects != self._placement_rects:
+                space = SlotSpace(
+                    self.machine.torus_for_ranks(self.grid.size, self.mode),
+                    self.machine.mode(self.mode).ranks_per_node,
+                )
+                mapping = self.mapping or ObliviousMapping()
+                place_before = placement_cache_stats().hits
+                self.placement = cached_placement(
+                    mapping, self.grid, space, rects
+                )
+                if placement_cache_stats().hits > place_before:
+                    _REPLAN_PLACE_HITS.inc()
+                else:
+                    _REPLAN_PLACE_MISSES.inc()
+                self._placement_rects = rects
+        return plan
 
     # ------------------------------------------------------------------
-    def _apply_moves(self, moved_specs: Sequence[DomainSpec]) -> int:
-        """Re-bind nests whose footprints changed; returns the count."""
+    def _apply_moves(
+        self, moved_specs: Sequence[DomainSpec]
+    ) -> Tuple[int, int]:
+        """Re-bind nests whose footprints changed.
+
+        Returns ``(nests moved, fine points respawned)`` — the latter
+        drives the modeled steering cost.
+        """
         changed = 0
+        respawned_points = 0
         for spec in moved_specs:
             old = self.model.nests[spec.name]
             dx = abs(spec.parent_start[0] - old.spec.parent_start[0])  # type: ignore[index]
@@ -126,11 +248,13 @@ class SteeredRun:
             nest.spawn(self.model.state)
             self.model.nests[spec.name] = nest
             changed += 1
-        return changed
+            respawned_points += spec.points
+        return changed, respawned_points
 
     def steer(self) -> SteeringEvent:
         """Run one tracking/moving/replanning pass right now."""
         tr = tracer()
+        t0 = time.perf_counter_ns()
         with tr.span(
             "steering.steer",
             {"iteration": self.model.iteration} if tr.enabled else None,
@@ -140,10 +264,24 @@ class SteeredRun:
             )
             specs = self._current_specs()
             moved_specs, moves = plan_moves(specs, self.model.parent_spec, features)
-            changed = self._apply_moves(moved_specs)
+            changed, respawned_points = self._apply_moves(moved_specs)
+            t_tracked = time.perf_counter_ns()
             replanned = changed > 0
             if replanned:
                 self.plan = self._replan()
+            t_replanned = time.perf_counter_ns()
+            steer_model_s = self.respawn_cost_s_per_point * respawned_points
+            if tr.enabled:
+                tr.phase(
+                    "steer",
+                    steer_model_s,
+                    {
+                        "iteration": self.model.iteration,
+                        "moved": changed,
+                        "replanned": replanned,
+                        "replan_wall_ns": t_replanned - t_tracked,
+                    },
+                )
         _STEER_CALLS.inc()
         _STEER_MOVES.inc(changed)
         _STEER_REPLANS.inc(1 if replanned else 0)
@@ -152,9 +290,75 @@ class SteeredRun:
             features=tuple(features),
             moves=tuple(moves),
             replanned=replanned,
+            track_wall_ns=t_tracked - t0,
+            replan_wall_ns=t_replanned - t_tracked,
+            steer_model_s=steer_model_s,
         )
         self.events.append(event)
         return event
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> SteeredCheckpoint:
+        """Capture the full run state as a picklable value."""
+        model = self.model
+        nests = []
+        for name in model.sibling_names:
+            nest = model.nests[name]
+            if nest.state is None:  # pragma: no cover - spawn() at init
+                raise ConfigurationError(f"nest {name!r} has no state yet")
+            nests.append((nest.spec, nest.state.copy()))
+        return SteeredCheckpoint(
+            iteration=model.iteration,
+            parent_spec=model.parent_spec,
+            state=model.state.copy(),
+            nests=tuple(nests),
+            events=tuple(self.events),
+            solver_params=model.params,
+            physics=model.physics,
+            two_way=model.two_way,
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint: SteeredCheckpoint,
+        grid: ProcessGrid,
+        *,
+        predictor: Optional[Predictor] = None,
+        retrack_interval: int = 5,
+        min_move_cells: int = 2,
+        machine: Optional[Machine] = None,
+        mapping: Optional[Mapping] = None,
+        mode: Optional[str] = None,
+        respawn_cost_s_per_point: float = 0.0,
+    ) -> "SteeredRun":
+        """Resume a checkpointed run; continuation is bit-exact."""
+        model = NestedModel(
+            checkpoint.parent_spec,
+            [spec for spec, _ in checkpoint.nests],
+            initial_state=checkpoint.state,
+            solver_params=checkpoint.solver_params,
+            physics=checkpoint.physics,
+            two_way=checkpoint.two_way,
+        )
+        # __init__ spawned each nest by interpolation; overwrite with the
+        # checkpointed fine states (they have integrated past spawn).
+        for spec, state in checkpoint.nests:
+            model.nests[spec.name].state = state.copy()
+        model.iteration = checkpoint.iteration
+        run = cls(
+            model,
+            grid,
+            predictor=predictor,
+            retrack_interval=retrack_interval,
+            min_move_cells=min_move_cells,
+            machine=machine,
+            mapping=mapping,
+            mode=mode,
+            respawn_cost_s_per_point=respawn_cost_s_per_point,
+        )
+        run.events = list(checkpoint.events)
+        return run
 
     # ------------------------------------------------------------------
     def run(self, num_iterations: int, dt: Optional[float] = None) -> None:

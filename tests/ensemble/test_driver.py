@@ -1,0 +1,225 @@
+"""Tests for the ensemble driver: events, determinism, dedup, dashboard."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ensemble import (
+    EnsembleDriver,
+    EnsembleEvent,
+    EnsemblePolicy,
+    default_member_spec,
+    parse_event,
+    progress_json,
+    render_dashboard,
+)
+
+POLICY = EnsemblePolicy(machine="bgp", ranks=1024, io="pnetcdf")
+
+
+def specs(n=4, families=2, seed0=7):
+    return [
+        default_member_spec(seed0 + (i % families), parent_nx=32, parent_ny=24,
+                            nests=2, nest_px=8)
+        for i in range(n)
+    ]
+
+
+class TestEvents:
+    def test_parse_kill_and_branch(self):
+        e = parse_event("kill:3:1")
+        assert (e.action, e.tick, e.member) == ("kill", 3, 1)
+        e = parse_event("branch:0:2")
+        assert (e.action, e.tick, e.member) == ("branch", 0, 2)
+
+    def test_parse_spawn_seed(self):
+        e = parse_event("spawn:2:99")
+        assert (e.action, e.tick, e.seed, e.member) == ("spawn", 2, 99, None)
+        e = parse_event("spawn:2")
+        assert e.seed is None
+
+    def test_parse_rejects_malformed(self):
+        for text in ("kill", "kill:x", "jump:1:2", "kill:1:2:3"):
+            with pytest.raises(ConfigurationError):
+                parse_event(text)
+
+    def test_event_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnsembleEvent(tick=0, action="kill")  # needs a member
+        with pytest.raises(ConfigurationError):
+            EnsembleEvent(tick=-1, action="spawn")
+        with pytest.raises(ConfigurationError):
+            EnsembleEvent(tick=0, action="warp")
+
+
+class TestDriverBasics:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            EnsembleDriver([], policy=POLICY)
+        with pytest.raises(ConfigurationError):
+            EnsembleDriver(specs(1), policy=POLICY, jobs=0)
+        with pytest.raises(ConfigurationError):
+            EnsembleDriver(specs(1), policy=POLICY).run(0)
+
+    def test_small_run_accounting(self):
+        result = EnsembleDriver(specs(4), policy=POLICY).run(3)
+        assert result.member_ticks == 12
+        assert len(result.records) == 12
+        assert len(result.members) == 4
+        assert all(m.alive for m in result.members)
+        assert result.metrics["ensemble.member_ticks"]["value"] == 12
+        assert result.metrics["ensemble.members.final_alive"]["value"] == 4
+        hist = result.metrics["ensemble.tick.par_total_s"]
+        assert hist["count"] == 12
+        assert sum(hist["counts"]) == 12
+        assert result.members_per_s > 0.0
+
+    def test_records_in_canonical_order(self):
+        result = EnsembleDriver(specs(4), policy=POLICY).run(2)
+        keys = [(r.tick, r.member_id) for r in result.records]
+        assert keys == sorted(keys)
+
+    def test_dedup_within_families(self):
+        # 4 members, 2 seed families -> every family's twin hits the memo.
+        # Pinned to the inline oracle: the hits>0 claim needs the twins
+        # on one worker (cross-worker same-wave hits are best-effort).
+        result = EnsembleDriver(
+            specs(4, families=2), policy=POLICY, jobs=1
+        ).run(3)
+        assert result.memo.hits > 0
+        assert result.dedup_hit_rate > 0.0
+        # Twins fold identical priced vectors.
+        by_key = {}
+        for r in result.records:
+            by_key.setdefault((r.tick, r.member_id % 2), set()).add(
+                r.priced.to_vector().tobytes()
+            )
+        assert all(len(v) == 1 for v in by_key.values())
+
+    def test_memo_off_matches_memo_on_deterministically(self):
+        on = EnsembleDriver(specs(4), policy=POLICY).run(3)
+        off = EnsembleDriver(
+            specs(4),
+            policy=EnsemblePolicy(machine="bgp", ranks=1024, io="pnetcdf",
+                                  memo=False),
+        ).run(3)
+        assert on.snapshot_json() == off.snapshot_json()
+        assert off.memo.hits == 0
+
+
+class TestRuntimeEvents:
+    def test_kill_spawn_branch(self):
+        events = [
+            EnsembleEvent(tick=1, action="branch", member=0),
+            EnsembleEvent(tick=2, action="kill", member=1),
+            EnsembleEvent(tick=2, action="spawn", seed=123),
+        ]
+        result = EnsembleDriver(
+            specs(3), policy=POLICY, events=events
+        ).run(4)
+        metrics = result.metrics
+        assert metrics["ensemble.members.initial"]["value"] == 3
+        assert metrics["ensemble.members.spawned"]["value"] == 1
+        assert metrics["ensemble.members.killed"]["value"] == 1
+        assert metrics["ensemble.members.branched"]["value"] == 1
+        assert metrics["ensemble.members.final_alive"]["value"] == 4
+        by_id = {m.member_id: m for m in result.members}
+        assert len(by_id) == 5
+        assert not by_id[1].alive
+        assert by_id[1].ticks == 2  # killed at start of tick 2
+        assert by_id[3].ticks == 4  # branch child lives ticks 1..3 + parent's 1
+        assert by_id[4].seed == 123
+
+    def test_branch_child_continues_parent_trajectory(self):
+        # With branch_perturb=0 a branch stays bit-identical to its
+        # parent as long as steering keeps both on the same path.
+        member_specs = [
+            default_member_spec(7, parent_nx=32, parent_ny=24, nests=2,
+                                nest_px=8)
+        ]
+        events = [EnsembleEvent(tick=1, action="branch", member=0)]
+        result = EnsembleDriver(
+            member_specs, policy=POLICY, events=events
+        ).run(3)
+        parent = [r for r in result.records if r.member_id == 0]
+        child = [r for r in result.records if r.member_id == 1]
+        assert len(child) == 2
+        for p, c in zip(parent[1:], child):
+            assert p.tick == c.tick
+            assert p.priced == c.priced
+            assert p.sim_time_s == c.sim_time_s
+
+    def test_kill_dead_member_rejected(self):
+        events = [
+            EnsembleEvent(tick=1, action="kill", member=0),
+            EnsembleEvent(tick=2, action="kill", member=0),
+        ]
+        with pytest.raises(ConfigurationError):
+            EnsembleDriver(specs(2), policy=POLICY, events=events).run(3)
+
+
+class TestJobsEquality:
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_snapshot_byte_identical_across_jobs(self, jobs):
+        events = [
+            EnsembleEvent(tick=1, action="branch", member=0),
+            EnsembleEvent(tick=2, action="kill", member=1),
+            EnsembleEvent(tick=2, action="spawn"),
+        ]
+
+        def run(j):
+            return EnsembleDriver(
+                specs(5), policy=POLICY, jobs=j, events=events
+            ).run(3)
+
+        baseline = run(1).snapshot_json()
+        assert run(jobs).snapshot_json() == baseline
+
+    def test_shared_memo_used_across_workers(self):
+        # Member 3 spawns one tick behind member 0 with the same seed
+        # and lands on the other worker (3 % 2 != 0 % 2), so every state
+        # it reaches was already priced — and shared — by worker 0 in
+        # the previous tick. The cross-worker hit is deterministic: the
+        # gather barrier orders tick N's stores before tick N+1's
+        # lookups.
+        initial = [
+            default_member_spec(7 + i, parent_nx=32, parent_ny=24, nests=2,
+                                nest_px=8)
+            for i in range(3)
+        ]
+        events = [EnsembleEvent(tick=1, action="spawn", seed=7)]
+        result = EnsembleDriver(
+            initial, policy=POLICY, jobs=2, events=events
+        ).run(3)
+        assert result.memo.shared_hits > 0
+
+
+class TestDashboard:
+    def test_progress_frames_and_render(self):
+        frames = []
+        result = EnsembleDriver(
+            specs(3), policy=POLICY, progress=frames.append
+        ).run(2)
+        assert len(frames) == 2
+        last = frames[-1]
+        assert last.tick == 1
+        assert last.alive == 3
+        assert len(last.rows) == 3
+        text = render_dashboard(last)
+        assert "ensemble tick 2/2" in text
+        assert "member-ticks/s" in text
+        assert "#" in text  # progress bars
+        assert "\x1b" not in text  # pure ASCII, no control codes
+        payload = progress_json(last)
+        assert json.dumps(payload)  # JSON-able
+        assert payload["members"][0]["member"] == 0
+        assert result.member_ticks == 6
+
+    def test_render_truncates_rows(self):
+        frames = []
+        EnsembleDriver(
+            specs(6), policy=POLICY, progress=frames.append
+        ).run(1)
+        text = render_dashboard(frames[-1], max_rows=4)
+        assert "(+2 more members)" in text

@@ -1,0 +1,174 @@
+"""Tests for ensemble members: seeding, branching, checkpoint/restore."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.ensemble.member import (
+    EnsembleMember,
+    EnsemblePolicy,
+    PricingContext,
+    branch_seed,
+    default_member_spec,
+)
+from repro.ensemble.memo import CrossMemberMemo
+from repro.util.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def context():
+    return PricingContext(EnsemblePolicy(machine="bgp", ranks=1024, io="pnetcdf"))
+
+
+def small_spec(seed=7, **kw):
+    kw.setdefault("parent_nx", 32)
+    kw.setdefault("parent_ny", 24)
+    kw.setdefault("nests", 2)
+    kw.setdefault("nest_px", 8)
+    return default_member_spec(seed, **kw)
+
+
+class TestPolicy:
+    def test_validate_rejects_unknowns(self):
+        with pytest.raises(ConfigurationError):
+            EnsemblePolicy(machine="cray").validate()
+        with pytest.raises(ConfigurationError):
+            EnsemblePolicy(mapping="zigzag").validate()
+        with pytest.raises(ConfigurationError):
+            EnsemblePolicy(ranks=0).validate()
+        with pytest.raises(ConfigurationError):
+            EnsemblePolicy(memo_slots=0).validate()
+
+    def test_context_signature_separates_policies(self):
+        a = PricingContext(EnsemblePolicy(machine="bgp", ranks=1024))
+        b = PricingContext(EnsemblePolicy(machine="bgl", ranks=1024))
+        assert a.sig != b.sig
+
+
+class TestDefaultMemberSpec:
+    def test_nests_fit_and_are_distinct(self):
+        spec = small_spec(nests=3)
+        assert len(spec.nests) == 3
+        names = {n.name for n in spec.nests}
+        assert len(names) == 3
+        for n in spec.nests:
+            assert n.fits_in(spec.parent)
+
+    def test_rejects_oversized_nest(self):
+        with pytest.raises(ConfigurationError):
+            default_member_spec(1, parent_nx=6, parent_ny=6, nest_px=20,
+                                refinement=2)
+
+    def test_rejects_zero_nests(self):
+        with pytest.raises(ConfigurationError):
+            default_member_spec(1, nests=0)
+
+
+class TestBranchSeed:
+    def test_deterministic_and_positive(self):
+        assert branch_seed(7, 0) == branch_seed(7, 0)
+        assert branch_seed(7, 0) != branch_seed(7, 1)
+        assert branch_seed(7, 0) != branch_seed(8, 0)
+        assert branch_seed(7, 0) >= 0
+
+    @given(seed=st.integers(min_value=0, max_value=2**32),
+           index=st.integers(min_value=0, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_branch_stream_equals_fresh_member_stream(self, seed, index):
+        """ISSUE satellite: branch(member).rng stream == fresh stream
+        seeded with the branch key."""
+        key = branch_seed(seed, index)
+        branched = make_rng(key)
+        fresh = make_rng(branch_seed(seed, index))
+        assert np.array_equal(branched.random(16), fresh.random(16))
+
+
+class TestEnsembleMember:
+    def test_tick_advances_and_prices(self, context):
+        member = EnsembleMember(0, small_spec(), context)
+        memo = CrossMemberMemo()
+        t = member.tick(0, memo)
+        assert t.member_id == 0
+        assert t.tick == 0
+        assert t.iteration == 1
+        assert t.priced.par_total > 0.0
+        assert t.sim_time_s == pytest.approx(member.sim_time_s)
+        assert t.memo_source == "computed"
+        # Deterministic payload excludes wall-side diagnostics.
+        det = t.deterministic()
+        assert "wall_ns" not in det and "memo_source" not in det
+        assert det["priced"] == list(t.priced.to_vector())
+
+    def test_same_seed_same_trajectory(self, context):
+        a = EnsembleMember(0, small_spec(seed=11), context)
+        b = EnsembleMember(1, small_spec(seed=11), context)
+        memo_a, memo_b = CrossMemberMemo(), CrossMemberMemo()
+        for tick in range(3):
+            ta = a.tick(tick, memo_a)
+            tb = b.tick(tick, memo_b)
+            assert ta.priced == tb.priced
+            assert ta.sim_time_s == tb.sim_time_s
+            assert a.state_digest() == b.state_digest()
+
+    def test_memo_hit_returns_identical_bits(self, context):
+        """The heart of the dedup determinism argument."""
+        memo = CrossMemberMemo()
+        a = EnsembleMember(0, small_spec(seed=11), context)
+        b = EnsembleMember(1, small_spec(seed=11), context)
+        ta = a.tick(0, memo)
+        tb = b.tick(0, memo)
+        assert ta.memo_source == "computed"
+        assert tb.memo_source == "local"
+        assert tb.priced == ta.priced
+        assert tb.priced.to_vector().tobytes() == ta.priced.to_vector().tobytes()
+
+    def test_checkpoint_restore_is_bit_exact(self, context):
+        memo = CrossMemberMemo()
+        original = EnsembleMember(0, small_spec(seed=5), context)
+        for tick in range(2):
+            original.tick(tick, memo)
+        checkpoint = original.checkpoint()
+        clone = EnsembleMember(9, checkpoint.spec, context,
+                               seed=checkpoint.seed, checkpoint=checkpoint)
+        assert np.array_equal(clone.run.model.state.h, original.run.model.state.h)
+        assert clone.state_digest() == original.state_digest()
+        # Both continue identically (fresh memos: prices are recomputed).
+        t_orig = original.tick(2, CrossMemberMemo())
+        t_clone = clone.tick(2, CrossMemberMemo())
+        assert t_orig.priced == t_clone.priced
+        assert np.array_equal(clone.run.model.state.h, original.run.model.state.h)
+
+    def test_branch_perturb_diverges_from_child_stream(self, context):
+        spec = small_spec(seed=5, branch_perturb=0.01)
+        parent = EnsembleMember(0, spec, context)
+        parent.tick(0, CrossMemberMemo())
+        checkpoint = parent.checkpoint()
+        parent.branch_count += 1
+        child_seed = branch_seed(checkpoint.seed, checkpoint.branch_count)
+        child = EnsembleMember(1, spec, context, seed=child_seed,
+                               checkpoint=checkpoint)
+        assert not np.array_equal(
+            child.run.model.state.h, parent.run.model.state.h
+        )
+        # The perturbation is exactly what the child's own stream yields.
+        expected = checkpoint.steered.state.h.copy()
+        expected += make_rng(child_seed).normal(0.0, 0.01, expected.shape)
+        assert np.array_equal(child.run.model.state.h, expected)
+
+    def test_next_branch_seed_tracks_count(self, context):
+        member = EnsembleMember(0, small_spec(), context)
+        first = member.next_branch_seed()
+        member.branch_count += 1
+        assert member.next_branch_seed() != first
+        assert first == branch_seed(member.seed, 0)
+
+    def test_summary(self, context):
+        member = EnsembleMember(3, small_spec(seed=5), context)
+        member.tick(0, CrossMemberMemo())
+        s = member.summary(alive=True)
+        assert s.member_id == 3
+        assert s.ticks == 1
+        assert s.alive
+        assert s.to_json()["seed"] == 5

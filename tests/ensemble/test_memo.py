@@ -1,0 +1,209 @@
+"""Tests for the cross-member pricing memo."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ensemble.memo import (
+    DIGEST_SIZE,
+    VECTOR_LEN,
+    CrossMemberMemo,
+    MemoStats,
+    PricedState,
+    SharedMemoTable,
+    state_digest,
+)
+from repro.wrf.grid import DomainSpec
+
+
+def priced(base=1.0):
+    return PricedState(
+        seq_total=10.0 * base,
+        seq_integration=6.0 * base,
+        seq_io=2.0 * base,
+        seq_wait=2.0 * base,
+        par_total=5.0 * base,
+        par_parent=2.0 * base,
+        par_nest_phase=1.5 * base,
+        par_integration=3.0 * base,
+        par_io=1.0 * base,
+        par_wait=1.0 * base,
+        par_hops=2.5,
+    )
+
+
+def domain(name="d01", nx=100, ny=90, start=None):
+    if start is None:
+        return DomainSpec(name, nx, ny, dx_km=24.0)
+    return DomainSpec(name, nx, ny, 8.0, parent="d01", parent_start=start,
+                      refinement=3, level=1)
+
+
+class TestPricedState:
+    def test_vector_roundtrip_is_bit_exact(self):
+        p = priced(base=1.0 / 3.0)  # not exactly representable inputs
+        vec = p.to_vector()
+        assert vec.dtype == np.float64
+        assert len(vec) == VECTOR_LEN
+        back = PricedState.from_vector(vec)
+        assert back == p
+
+    def test_improvement(self):
+        assert priced().improvement == pytest.approx(0.5)
+        zero = PricedState(*([0.0] * VECTOR_LEN))
+        assert zero.improvement == 0.0
+
+
+class TestStateDigest:
+    def test_deterministic_and_sized(self):
+        parent = domain()
+        sibs = [domain("d02", 30, 24, (10, 10))]
+        a = state_digest(("bgp", "", "pnetcdf", "oblivious", 32, 32), parent, sibs)
+        b = state_digest(("bgp", "", "pnetcdf", "oblivious", 32, 32), parent, sibs)
+        assert a == b
+        assert len(a) == DIGEST_SIZE
+
+    def test_sensitive_to_nest_position_and_policy(self):
+        parent = domain()
+        sig = ("bgp", "", "pnetcdf", "oblivious", 32, 32)
+        base = state_digest(sig, parent, [domain("d02", 30, 24, (10, 10))])
+        moved = state_digest(sig, parent, [domain("d02", 30, 24, (11, 10))])
+        other_sig = state_digest(
+            ("bgl", "", "pnetcdf", "oblivious", 32, 32),
+            parent, [domain("d02", 30, 24, (10, 10))],
+        )
+        assert base != moved
+        assert base != other_sig
+
+
+class TestSharedMemoTable:
+    def test_put_get_roundtrip(self):
+        table = SharedMemoTable.create(slots=64)
+        try:
+            digest = state_digest(("x",), domain(), [])
+            vec = priced(base=1.0 / 7.0).to_vector()
+            assert table.get(digest) is None
+            assert table.put(digest, vec)
+            got = table.get(digest)
+            assert got is not None
+            assert np.array_equal(got, vec)  # bit-exact
+            assert table.entries() == 1
+        finally:
+            table.release()
+
+    def test_duplicate_put_is_idempotent(self):
+        table = SharedMemoTable.create(slots=64)
+        try:
+            digest = b"\x01" * DIGEST_SIZE
+            vec = priced().to_vector()
+            assert table.put(digest, vec)
+            assert table.put(digest, vec * 2.0)  # loser keeps first value
+            assert np.array_equal(table.get(digest), vec)
+            assert table.entries() == 1
+        finally:
+            table.release()
+
+    def test_linear_probe_handles_slot_collisions(self):
+        # Digests whose first 8 LE bytes are congruent mod slots all
+        # probe from the same start slot.
+        table = SharedMemoTable.create(slots=8)
+        try:
+            digests = [
+                (i * 8).to_bytes(8, "little") + bytes(DIGEST_SIZE - 8)
+                for i in range(4)
+            ]
+            for i, digest in enumerate(digests):
+                assert table.put(digest, priced(base=float(i + 1)).to_vector())
+            for i, digest in enumerate(digests):
+                got = table.get(digest)
+                assert got is not None
+                assert got[0] == priced(base=float(i + 1)).to_vector()[0]
+        finally:
+            table.release()
+
+    def test_full_table_drops_inserts(self):
+        table = SharedMemoTable.create(slots=2)
+        try:
+            vec = priced().to_vector()
+            assert table.put(b"\x00" * DIGEST_SIZE, vec)
+            assert table.put(b"\x01" * DIGEST_SIZE, vec)
+            assert not table.put(b"\x02" * DIGEST_SIZE, vec)
+            assert table.entries() == 2
+        finally:
+            table.release()
+
+    def test_attach_sees_owner_writes(self):
+        table = SharedMemoTable.create(slots=32)
+        try:
+            digest = b"\x07" * DIGEST_SIZE
+            vec = priced(base=2.5).to_vector()
+            table.put(digest, vec)
+            attached = SharedMemoTable.attach(table.handle, table.lock)
+            try:
+                got = attached.get(digest)
+                assert np.array_equal(got, vec)
+            finally:
+                attached.close()
+        finally:
+            table.release()
+
+    def test_rejects_bad_slots(self):
+        with pytest.raises(ConfigurationError):
+            SharedMemoTable.create(slots=0)
+
+
+class TestCrossMemberMemo:
+    def test_local_hit_path(self):
+        memo = CrossMemberMemo()
+        digest = b"\x03" * DIGEST_SIZE
+        assert memo.lookup(digest) is None
+        memo.store(digest, priced())
+        value, source = memo.lookup(digest)
+        assert source == "local"
+        assert value == priced()
+        assert memo.stats.local_hits == 1
+        assert memo.stats.misses == 1
+        assert memo.stats.stores == 1
+        assert memo.entries() == 1
+
+    def test_shared_hit_promotes_to_local(self):
+        table = SharedMemoTable.create(slots=32)
+        try:
+            producer = CrossMemberMemo(shared=table)
+            consumer = CrossMemberMemo(shared=table)
+            digest = b"\x05" * DIGEST_SIZE
+            producer.store(digest, priced(base=1.0 / 3.0))
+            value, source = consumer.lookup(digest)
+            assert source == "shared"
+            assert value == priced(base=1.0 / 3.0)  # exact roundtrip
+            # Second lookup comes from the promoted local copy.
+            _, source = consumer.lookup(digest)
+            assert source == "local"
+            assert consumer.stats.shared_hits == 1
+            assert consumer.stats.local_hits == 1
+        finally:
+            table.release()
+
+    def test_shared_drop_counted(self):
+        table = SharedMemoTable.create(slots=1)
+        try:
+            memo = CrossMemberMemo(shared=table)
+            memo.store(b"\x00" * DIGEST_SIZE, priced())
+            memo.store(b"\x01" * DIGEST_SIZE, priced())
+            assert memo.stats.shared_drops == 1
+            # Local front still serves both.
+            assert memo.lookup(b"\x01" * DIGEST_SIZE)[1] == "local"
+        finally:
+            table.release()
+
+
+class TestMemoStats:
+    def test_add_and_rates(self):
+        a = MemoStats(local_hits=2, shared_hits=1, misses=1, stores=1)
+        b = MemoStats(local_hits=1, misses=2, stores=2, shared_drops=1)
+        a.add(b)
+        assert a.hits == 4
+        assert a.misses == 3
+        assert a.hit_rate == pytest.approx(4 / 7)
+        assert a.to_json()["shared_drops"] == 1
+        assert MemoStats().hit_rate == 0.0

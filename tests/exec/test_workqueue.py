@@ -1,0 +1,140 @@
+"""Tests for the affinity work queue."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError, SweepError
+from repro.exec.workqueue import AffinityWorkQueue
+
+_STATE = {}
+
+
+def _init(tag):
+    _STATE["tag"] = tag
+    _STATE.setdefault("calls", []).clear()
+
+
+def _init_boom(_tag):
+    raise RuntimeError("init exploded")
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_and_square(x):
+    return (os.getpid(), x * x)
+
+
+def _remember(x):
+    _STATE.setdefault("calls", []).append(x)
+    return len(_STATE["calls"])
+
+
+def _tagged(x):
+    return (_STATE.get("tag"), x)
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+def _die(_x):
+    os._exit(13)
+
+
+class TestInline:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ConfigurationError):
+            AffinityWorkQueue(0)
+
+    def test_results_in_submission_order(self):
+        with AffinityWorkQueue(1) as q:
+            for i in (5, 1, 4):
+                q.submit(i, _square, i)
+            assert q.gather() == [25, 1, 16]
+
+    def test_initializer_runs_inline(self):
+        with AffinityWorkQueue(1, initializer=_init, initargs=("solo",)) as q:
+            q.submit(0, _tagged, 42)
+            assert q.gather() == [("solo", 42)]
+
+    def test_state_persists_between_waves(self):
+        with AffinityWorkQueue(1, initializer=_init, initargs=("s",)) as q:
+            q.submit(0, _remember, "a")
+            assert q.gather() == [1]
+            q.submit(0, _remember, "b")
+            assert q.gather() == [2]
+
+    def test_exception_propagates(self):
+        with AffinityWorkQueue(1) as q:
+            q.submit(0, _fail_on_three, 3)
+            with pytest.raises(ValueError, match="three"):
+                q.gather()
+
+    def test_failure_does_not_leak_into_next_wave(self):
+        with AffinityWorkQueue(1) as q:
+            q.submit(0, _fail_on_three, 1)
+            q.submit(0, _fail_on_three, 3)
+            q.submit(0, _fail_on_three, 2)
+            with pytest.raises(ValueError):
+                q.gather()
+            q.submit(0, _square, 4)
+            assert q.gather() == [16]
+
+    def test_close_idempotent_and_blocks_submit(self):
+        q = AffinityWorkQueue(1)
+        q.close()
+        q.close()
+        with pytest.raises(SweepError):
+            q.submit(0, _square, 1)
+
+
+class TestPool:
+    def test_matches_inline_results(self):
+        tasks = [(i, i) for i in range(10)]
+        with AffinityWorkQueue(1) as q1:
+            inline = q1.run_wave(_square, tasks)
+        with AffinityWorkQueue(3) as q3:
+            pooled = q3.run_wave(_square, tasks)
+        assert pooled == inline
+
+    def test_affinity_is_sticky(self):
+        with AffinityWorkQueue(2) as q:
+            first = q.run_wave(_pid_and_square, [(i, i) for i in range(6)])
+            second = q.run_wave(_pid_and_square, [(i, i) for i in range(6)])
+        for i in range(6):
+            assert first[i][0] == second[i][0]  # same worker both waves
+            assert q.worker_for(i) == i % 2
+        # Distinct affinities mod jobs land on distinct workers.
+        assert first[0][0] != first[1][0]
+        assert first[0][0] == first[2][0]
+
+    def test_worker_state_is_per_process(self):
+        with AffinityWorkQueue(2, initializer=_init, initargs=("pool",)) as q:
+            q.submit(0, _remember, "x")
+            q.submit(1, _remember, "y")
+            assert sorted(q.gather()) == [1, 1]  # separate states
+
+    def test_exception_propagates_with_traceback(self):
+        with AffinityWorkQueue(2) as q:
+            q.submit(0, _fail_on_three, 3)
+            with pytest.raises(ValueError, match="three") as excinfo:
+                q.gather()
+            assert isinstance(excinfo.value.__cause__, SweepError)
+            assert "three is right out" in str(excinfo.value.__cause__)
+
+    def test_initializer_failure_raises(self):
+        with AffinityWorkQueue(2, initializer=_init_boom, initargs=(0,)) as q:
+            q.submit(0, _square, 2)
+            with pytest.raises(SweepError, match="initializer"):
+                q.gather()
+
+    def test_dead_worker_detected(self):
+        with AffinityWorkQueue(2) as q:
+            q.submit(0, _die, None)
+            with pytest.raises(SweepError, match="died"):
+                q.gather()

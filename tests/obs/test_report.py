@@ -223,3 +223,63 @@ class TestTraceSession:
         with TraceSession(path):
             tracer().event("ping")
         assert (tmp_path / "trace.log.chrome.json").exists()
+
+
+# ------------------------------------------------------------ steer phase
+class TestSteerPhase:
+    COMMON = {"strategy": "parallel", "machine": "BlueGene/P", "ranks": 1024,
+              "concurrent": True}
+
+    def test_steer_time_counted_into_total(self):
+        records = [
+            _phase(1, "parent", 2.0, {**self.COMMON}),
+            _phase(1, "nest", 1.0, {**self.COMMON, "sibling": "d02"}),
+            _phase(1, "io", 0.5, {**self.COMMON}),
+            _phase(1, "steer", 0.25, {**self.COMMON}),
+        ]
+        (profile,) = phase_breakdown(records)
+        assert profile.steer_time == 0.25
+        assert profile.total_time == 2.0 + 1.0 + 0.5 + 0.25
+        from repro.obs.report import ProfileReport
+
+        doc = ProfileReport(wall=(), iterations=(profile,)).to_json()
+        assert doc["iterations"][0]["steer_time"] == 0.25
+
+    def test_multiple_steer_phases_accumulate(self):
+        records = [
+            _phase(1, "parent", 2.0, {**self.COMMON}),
+            _phase(1, "steer", 0.25, {**self.COMMON}),
+            _phase(1, "steer", 0.75, {**self.COMMON}),
+        ]
+        (profile,) = phase_breakdown(records)
+        assert profile.steer_time == 1.0
+
+    def test_profiles_without_steer_default_to_zero(self):
+        records = [_phase(1, "parent", 2.0, {**self.COMMON})]
+        (profile,) = phase_breakdown(records)
+        assert profile.steer_time == 0.0
+        assert profile.total_time == 2.0
+
+    def test_reconcile_pairs_steer_with_report_steer_time(self):
+        class FakeParent:
+            total = 2.0
+
+        class FakeReport:
+            strategy = "parallel"
+            parent = FakeParent()
+            nest_phase_time = 1.0
+            integration_time = 3.0
+            io_time = 0.5
+            total_time = 3.5
+            mpi_wait = 0.0
+            steer_time = 0.25
+
+        records = [
+            _phase(1, "parent", 2.0, {**self.COMMON}),
+            _phase(1, "nest", 1.0, {**self.COMMON, "sibling": "d02"}),
+            _phase(1, "io", 0.5, {**self.COMMON}),
+            _phase(1, "steer", 0.25, {**self.COMMON}),
+        ]
+        assert reconcile(records, [FakeReport()]) == []
+        # A trace that dropped the steer phase is flagged.
+        assert reconcile(records[:-1], [FakeReport()])

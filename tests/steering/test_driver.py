@@ -90,3 +90,167 @@ class TestSteeredRun:
         run = SteeredRun(make_model(), ProcessGrid(8, 8))
         with pytest.raises(ConfigurationError):
             run.run(-1)
+
+
+class TestReplanCaching:
+    """Satellite: _replan goes through the plan/placement caches and the
+    steering.replan.* counters reconcile with the caches' own stats."""
+
+    def setup_method(self):
+        from repro.exec.placementcache import reset_placement_cache
+        from repro.exec.plancache import reset_plan_cache
+        from repro.obs.metrics import registry
+
+        reset_plan_cache()
+        reset_placement_cache()
+        registry().reset("steering.replan.")
+
+    def test_plan_counters_reconcile_with_plan_cache(self):
+        from repro.exec.plancache import plan_cache_stats
+        from repro.obs.metrics import registry
+
+        run = SteeredRun(make_model(), ProcessGrid(8, 8))
+        run.steer()  # moves nests -> replans a new configuration
+        run._replan()  # same configuration again -> pure cache hit
+        snap = registry().snapshot("steering.replan.")
+        stats = plan_cache_stats()
+        assert snap["steering.replan.cache_hit"]["value"] == stats.hits
+        assert snap["steering.replan.cache_miss"]["value"] == stats.misses
+        assert stats.hits >= 1
+        assert stats.misses >= 2  # init plan + post-move plan
+
+    def test_placement_counters_reconcile_with_placement_cache(self):
+        from repro.exec.placementcache import placement_cache_stats
+        from repro.obs.metrics import registry
+        from repro.topology.machines import BLUE_GENE_P
+
+        first = SteeredRun(
+            make_model(), ProcessGrid(32, 32), machine=BLUE_GENE_P
+        )
+        assert first.placement is not None
+        # A second run with the same shape re-derives the same placement
+        # from the shared cache.
+        second = SteeredRun(
+            make_model(seed=9), ProcessGrid(32, 32), machine=BLUE_GENE_P
+        )
+        assert second.placement is not None
+        snap = registry().snapshot("steering.replan.")
+        stats = placement_cache_stats()
+        assert snap["steering.replan.placement_cache_hit"]["value"] == stats.hits
+        assert snap["steering.replan.placement_cache_miss"]["value"] == stats.misses
+        assert stats.hits >= 1
+
+    def test_unchanged_rects_skip_the_placement_lookup(self):
+        from repro.exec.placementcache import placement_cache_stats
+        from repro.topology.machines import BLUE_GENE_P
+
+        run = SteeredRun(
+            make_model(), ProcessGrid(32, 32), machine=BLUE_GENE_P
+        )
+        placed = run.placement
+        before = placement_cache_stats()
+        run.steer()  # moves nests; sizes (hence rects) are unchanged
+        after = placement_cache_stats()
+        assert run.placement is placed
+        assert (after.hits, after.misses) == (before.hits, before.misses)
+
+    def test_no_machine_means_no_placement(self):
+        run = SteeredRun(make_model(), ProcessGrid(8, 8))
+        assert run.placement is None
+
+
+class TestSteeringEventTimes:
+    """Satellite: events carry the wall/model time split."""
+
+    def test_wall_split_recorded(self):
+        run = SteeredRun(make_model(), ProcessGrid(8, 8))
+        event = run.steer()
+        assert event.track_wall_ns > 0
+        assert event.replan_wall_ns >= 0
+        assert event.steer_wall_ns == event.track_wall_ns + event.replan_wall_ns
+        if event.replanned:
+            assert event.replan_wall_ns > 0
+
+    def test_steer_model_time_prices_respawns(self):
+        run = SteeredRun(
+            make_model(), ProcessGrid(8, 8), respawn_cost_s_per_point=1e-6
+        )
+        event = run.steer()
+        assert event.num_moved >= 1
+        respawned = sum(
+            run.model.nests[m.name].spec.points for m in event.moves if m.moved
+        )
+        assert event.steer_model_s == pytest.approx(1e-6 * respawned)
+
+    def test_default_steer_cost_is_free(self):
+        run = SteeredRun(make_model(), ProcessGrid(8, 8))
+        event = run.steer()
+        assert event.steer_model_s == 0.0
+
+    def test_negative_respawn_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SteeredRun(
+                make_model(), ProcessGrid(8, 8), respawn_cost_s_per_point=-1.0
+            )
+
+    def test_steer_phase_traced(self):
+        from repro.obs.report import phase_breakdown
+        from repro.obs.trace import tracing
+
+        run = SteeredRun(
+            make_model(), ProcessGrid(8, 8), respawn_cost_s_per_point=1e-6
+        )
+        with tracing() as buf:
+            event = run.steer()
+        phases = [r for r in buf.records if r.get("type") == "phase"]
+        assert [p["phase"] for p in phases] == ["steer"]
+        assert phases[0]["model_time"] == event.steer_model_s
+        assert phases[0]["attrs"]["moved"] == event.num_moved
+        (profile,) = phase_breakdown(buf.records)
+        assert profile.steer_time == event.steer_model_s
+
+
+class TestCheckpointRestore:
+    """Satellite/tentpole: checkpoint/restore resumes bit-exactly."""
+
+    def test_restore_continues_bit_exactly(self):
+        original = SteeredRun(make_model(seed=5), ProcessGrid(8, 8),
+                              retrack_interval=2)
+        original.run(3)
+        checkpoint = original.checkpoint()
+        clone = SteeredRun.restore(checkpoint, ProcessGrid(8, 8),
+                                   retrack_interval=2)
+        assert clone.model.iteration == original.model.iteration
+        assert np.array_equal(clone.model.state.h, original.model.state.h)
+        for name in original.model.sibling_names:
+            assert np.array_equal(
+                clone.model.nests[name].state.h,
+                original.model.nests[name].state.h,
+            )
+        original.run(3)
+        clone.run(3)
+        assert np.array_equal(clone.model.state.h, original.model.state.h)
+        for name in original.model.sibling_names:
+            assert np.array_equal(
+                clone.model.nests[name].state.h,
+                original.model.nests[name].state.h,
+            )
+
+    def test_checkpoint_preserves_history_and_is_picklable(self):
+        import pickle
+
+        run = SteeredRun(make_model(), ProcessGrid(8, 8), retrack_interval=2)
+        run.run(4)
+        checkpoint = pickle.loads(pickle.dumps(run.checkpoint()))
+        clone = SteeredRun.restore(checkpoint, ProcessGrid(8, 8),
+                                   retrack_interval=2)
+        assert [e.iteration for e in clone.events] == [
+            e.iteration for e in run.events
+        ]
+
+    def test_checkpoint_is_a_snapshot_not_a_view(self):
+        run = SteeredRun(make_model(), ProcessGrid(8, 8))
+        checkpoint = run.checkpoint()
+        before = checkpoint.state.h.copy()
+        run.run(2)
+        assert np.array_equal(checkpoint.state.h, before)

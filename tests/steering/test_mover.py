@@ -85,3 +85,41 @@ class TestPlanMoves:
         assert moves[0].moved
         dx, dy = moves[0].displacement
         assert dx > 0 and dy > 0
+
+
+class TestEdgeCases:
+    def test_move_to_grid_boundary_clamps_and_fits(self, parent):
+        # Features right on the parent corners: the planned footprints
+        # must clamp to the boundary and stay inside the parent.
+        nests = [nest("d02", (40, 40)), nest("d03", (5, 60))]
+        feats = [feature(0, 0, depth=8.0), feature(99, 89, depth=9.0)]
+        moved, moves = plan_moves(nests, parent, feats)
+        assert all(m.moved for m in moves)
+        for spec in moved:
+            assert spec.fits_in(parent)
+            x, y = spec.parent_start
+            assert x >= 0 and y >= 0
+        starts = {spec.parent_start for spec in moved}
+        assert (0, 0) in starts  # corner feature pinned the nest flush
+
+    def test_two_nests_swap_regions_in_one_tick(self, parent):
+        # The strongest feature sits between the nests but nearer d03;
+        # the second feature sits on d03's old home. Greedy assignment
+        # sends d03 toward the middle and d02 across to d03's old
+        # region — a positional swap planned in a single pass that must
+        # still come out disjoint.
+        nests = [nest("d02", (10, 10)), nest("d03", (30, 30))]
+        feats = [feature(26, 25, depth=8.0), feature(36, 35, depth=9.0)]
+        moved, moves = plan_moves(nests, parent, feats)
+        assert all(m.moved for m in moves)
+        d02, d03 = moved
+        # d02 crossed over d03's old position; d03 moved back toward
+        # d02's side.
+        assert d02.parent_start[0] > 30
+        assert d03.parent_start[0] < 30
+        ax, ay = d02.parent_start
+        bx, by = d03.parent_start
+        aw, ah = d02.parent_extent()
+        bw, bh = d03.parent_extent()
+        assert (ax + aw <= bx or bx + bw <= ax
+                or ay + ah <= by or by + bh <= ay)

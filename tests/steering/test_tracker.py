@@ -68,3 +68,37 @@ class TestFindDepressions:
     def test_tiny_domain_rejected(self):
         with pytest.raises(ConfigurationError):
             find_depressions(ModelState.at_rest(2, 2))
+
+
+class TestLostFeatures:
+    def test_flat_field_has_no_features(self):
+        state = ModelState.at_rest(60, 50)
+        assert find_depressions(state) == []
+
+    def test_shallow_low_below_intensity_floor_is_lost(self):
+        # A depression that decays under min_intensity drops off the
+        # tracker's radar entirely.
+        state = state_with_lows(60, 50, [(30, 25)], amp=0.04)
+        assert find_depressions(state, min_intensity=0.05) == []
+
+    def test_steered_run_with_no_features_is_a_noop(self):
+        from repro.runtime.process_grid import ProcessGrid
+        from repro.steering.driver import SteeredRun
+        from repro.wrf.grid import DomainSpec
+        from repro.wrf.model import NestedModel
+
+        parent = DomainSpec("d01", 60, 50, dx_km=24.0)
+        nests = [DomainSpec("d02", 24, 24, 8.0, parent="d01",
+                            parent_start=(2, 2), refinement=3, level=1)]
+        model = NestedModel(parent, nests,
+                            initial_state=ModelState.at_rest(60, 50))
+        run = SteeredRun(model, ProcessGrid(8, 8))
+        before = {n: model.nests[n].spec.parent_start
+                  for n in model.sibling_names}
+        event = run.steer()
+        assert event.features == ()
+        assert event.num_moved == 0
+        assert not event.replanned
+        after = {n: model.nests[n].spec.parent_start
+                 for n in model.sibling_names}
+        assert after == before

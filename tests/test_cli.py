@@ -284,3 +284,59 @@ class TestServe:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait(timeout=30)
+
+
+class TestEnsemble:
+    ARGS = ["ensemble", "--members", "4", "--families", "2", "--ticks", "2",
+            "--ranks", "1024", "--parent-nx", "32", "--parent-ny", "24",
+            "--nest-px", "8"]
+
+    def test_summary_output(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "4 members" in out
+        assert "member-ticks/s" in out
+        assert "dedup:" in out
+
+    def test_events_reported(self, capsys):
+        assert main(self.ARGS + ["--event", "branch:0:0",
+                                 "--event", "kill:1:1",
+                                 "--event", "spawn:1:99"]) == 0
+        out = capsys.readouterr().out
+        assert "+1 spawned" in out
+        assert "+1 branched" in out
+        assert "-1 killed" in out
+
+    def test_dashboard_frames(self, capsys):
+        assert main(self.ARGS + ["--dashboard"]) == 0
+        out = capsys.readouterr().out
+        assert "ensemble tick 1/2" in out
+        assert "ensemble tick 2/2" in out
+        assert "progress" in out
+
+    def test_json_stream_and_summary(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert len(lines) == 3  # one per tick + final
+        assert lines[0]["tick"] == 0
+        assert lines[-1]["final"] is True
+        assert lines[-1]["member_ticks"] == 8
+        assert "dedup_hit_rate" in lines[-1]
+
+    def test_no_memo_baseline(self, capsys):
+        assert main(self.ARGS + ["--no-memo", "--json"]) == 0
+        final = json.loads(capsys.readouterr().out.splitlines()[-1])
+        assert final["memo"]["local_hits"] == 0
+        assert final["memo"]["shared_hits"] == 0
+
+    def test_rejects_bad_event(self, capsys):
+        assert main(self.ARGS + ["--event", "warp:1"]) == 2
+        assert "unknown ensemble event action" in capsys.readouterr().err
+
+    def test_rejects_bad_members(self, capsys):
+        assert main(["ensemble", "--members", "0"]) == 2
+        assert "--members" in capsys.readouterr().err
+
+    def test_jobs_validated(self, capsys):
+        assert main(self.ARGS + ["--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
